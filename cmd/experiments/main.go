@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Figures 7-9, the Section 5.2 cost-model scenario, and the measurement
+// experiments for space (Section 5.1), balancing (Section 4.3) and the
+// interval-index comparison (Section 6). See EXPERIMENTS.md for the
+// paper-versus-measured record.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -fig 7 -fig 8
+//	experiments -costmodel -space -balance -compare -strategies
+//	experiments -all -quick      # smaller sweeps, for smoke tests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"predmatch/internal/experiments"
+)
+
+type figList []int
+
+func (f *figList) String() string { return fmt.Sprint([]int(*f)) }
+
+func (f *figList) Set(s string) error {
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return err
+	}
+	if n < 7 || n > 9 {
+		return fmt.Errorf("the paper's measured figures are 7, 8 and 9")
+	}
+	*f = append(*f, n)
+	return nil
+}
+
+func main() {
+	var figs figList
+	flag.Var(&figs, "fig", "regenerate a figure (7, 8 or 9); repeatable")
+	all := flag.Bool("all", false, "run every experiment")
+	costmodel := flag.Bool("costmodel", false, "run the Section 5.2 cost-model scenario")
+	space := flag.Bool("space", false, "run the Section 5.1 marker-space experiment")
+	balance := flag.Bool("balance", false, "run the Section 4.3 balancing ablation")
+	compare := flag.Bool("compare", false, "run the Section 6 interval-index comparison")
+	strategies := flag.Bool("strategies", false, "run the whole-scheme strategy shoot-out")
+	memory := flag.Bool("memory", false, "run the Section 3 memory-footprint measurement")
+	quick := flag.Bool("quick", false, "smaller sweeps and fewer repetitions")
+	seed := flag.Int64("seed", 1990, "workload random seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Out: os.Stdout}
+
+	ran := false
+	if *all {
+		experiments.All(cfg)
+		return
+	}
+	for _, n := range figs {
+		ran = true
+		switch n {
+		case 7:
+			experiments.Fig7(cfg)
+		case 8:
+			experiments.Fig8(cfg)
+		case 9:
+			experiments.Fig9(cfg)
+		}
+	}
+	if *costmodel {
+		ran = true
+		experiments.CostModel(cfg)
+	}
+	if *space {
+		ran = true
+		experiments.Space(cfg)
+	}
+	if *balance {
+		ran = true
+		experiments.Balance(cfg)
+	}
+	if *compare {
+		ran = true
+		experiments.Compare(cfg)
+	}
+	if *strategies {
+		ran = true
+		experiments.Strategies(cfg)
+	}
+	if *memory {
+		ran = true
+		experiments.Memory(cfg)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

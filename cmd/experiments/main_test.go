@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestFigListValidation(t *testing.T) {
+	var f figList
+	for _, ok := range []string{"7", "8", "9"} {
+		if err := f.Set(ok); err != nil {
+			t.Errorf("Set(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"1", "10", "x", ""} {
+		var g figList
+		if err := g.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if f.String() == "" {
+		t.Error("String empty")
+	}
+	if len(f) != 3 {
+		t.Errorf("figList = %v", f)
+	}
+}

@@ -1,0 +1,146 @@
+// Command predmatch runs database-rule scripts through the predicate
+// matching engine: declare relations and indexes, define prioritized
+// rules (with arithmetic set actions and disjunctive conditions) and
+// two-relation joinrules, stream tuple mutations, run planned selects,
+// and watch rules fire. The matching strategy is selectable, covering
+// the paper's baselines and the IBS-tree scheme. See internal/script for
+// the statement grammar.
+//
+// Usage:
+//
+//	predmatch [-matcher ibs|ibs-unbalanced|hashseq|seqscan|rtree] [script.pm ...]
+//
+// With no script arguments, statements are read from standard input.
+// Run with -demo for a built-in scenario based on the paper's EMP
+// examples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"predmatch/internal/core"
+	"predmatch/internal/hashseq"
+	"predmatch/internal/ibs"
+	"predmatch/internal/matcher"
+	"predmatch/internal/pred"
+	"predmatch/internal/rtree"
+	"predmatch/internal/script"
+	"predmatch/internal/seqscan"
+	"predmatch/internal/storage"
+)
+
+const demo = `
+# Demo: the paper's EMP relation and example predicates as live rules.
+relation emp (name string, age int, salary int, dept string)
+index emp salary
+
+rule low_paid_senior on insert to emp \
+  when salary < 20000 and age > 50 do log 'flag: low paid senior'
+rule mid_band on insert, update to emp \
+  when salary between 20000 and 30000 do log 'mid salary band'
+rule odd_shoe on insert to emp \
+  when isodd(age) and dept = 'shoe' do log 'odd-aged shoe dept'
+rule no_kids on insert to emp \
+  when age < 16 do raise 'labor law violation'
+
+insert emp ('ada', 52, 18000, 'deli')
+insert emp ('bob', 33, 25000, 'shoe')
+insert emp ('cyd', 41, 90000, 'toy')
+update emp 3 ('cyd', 41, 28000, 'toy')
+
+# Queries run through the System R style planner.
+select emp where salary between 20000 and 30000
+select emp where age > 50 or isodd(age)
+
+# A two-relation rule through the two-layer network (selection + join).
+relation dept (dname string, budget int)
+joinrule underfunded on emp, dept \
+  when salary > 25000 and emp.dept = dname and budget < 100000 \
+  do log 'well-paid employee in underfunded department'
+insert dept ('toy', 50000)
+
+dump emp
+stats
+`
+
+func matcherFactory(name string) (func(*storage.DB, *pred.Registry) matcher.Matcher, error) {
+	switch name {
+	case "ibs":
+		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return core.New(db.Catalog(), funcs)
+		}, nil
+	case "ibs-unbalanced":
+		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return core.New(db.Catalog(), funcs,
+				core.WithTreeOptions(ibs.Balanced(false)),
+				core.WithName("ibs-unbalanced"))
+		}, nil
+	case "hashseq":
+		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return hashseq.New(db.Catalog(), funcs)
+		}, nil
+	case "seqscan":
+		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return seqscan.New(db.Catalog(), funcs)
+		}, nil
+	case "rtree":
+		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return rtree.NewPredMatcher(db.Catalog(), funcs)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown matcher %q (want ibs, ibs-unbalanced, hashseq, seqscan or rtree)", name)
+	}
+}
+
+func main() {
+	matcherName := flag.String("matcher", "ibs", "matching strategy: ibs, ibs-unbalanced, hashseq, seqscan, rtree")
+	runDemo := flag.Bool("demo", false, "run the built-in demo scenario and exit")
+	flag.Parse()
+
+	mk, err := matcherFactory(*matcherName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predmatch:", err)
+		os.Exit(2)
+	}
+	in := script.New(os.Stdout, script.WithMatcher(mk))
+
+	if *runDemo {
+		if err := in.Run(strings.NewReader(demo)); err != nil {
+			fmt.Fprintln(os.Stderr, "predmatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sources := flag.Args()
+	if len(sources) == 0 {
+		if err := in.Run(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "predmatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, path := range sources {
+		var r io.ReadCloser
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "predmatch:", err)
+				os.Exit(1)
+			}
+			r = f
+		}
+		err := in.Run(r)
+		r.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predmatch: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predmatch/internal/script"
+)
+
+func TestMatcherFactory(t *testing.T) {
+	for _, name := range []string{"ibs", "ibs-unbalanced", "hashseq", "seqscan", "rtree"} {
+		mk, err := matcherFactory(name)
+		if err != nil || mk == nil {
+			t.Errorf("matcherFactory(%q) = %v", name, err)
+		}
+	}
+	if _, err := matcherFactory("bogus"); err == nil {
+		t.Error("unknown matcher accepted")
+	}
+}
+
+// TestDemoScript runs the built-in demo through every matcher; its
+// statements must parse and execute cleanly everywhere.
+func TestDemoScript(t *testing.T) {
+	for _, name := range []string{"ibs", "ibs-unbalanced", "hashseq", "seqscan", "rtree"} {
+		mk, err := matcherFactory(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		in := script.New(&buf, script.WithMatcher(mk))
+		if err := in.Run(strings.NewReader(demo)); err != nil {
+			t.Fatalf("%s: demo failed: %v\n%s", name, err, buf.String())
+		}
+		for _, want := range []string{
+			"flag: low paid senior",
+			"mid salary band",
+			"odd-aged shoe dept",
+			"well-paid employee in underfunded department",
+			"emp: 2 row(s)",
+		} {
+			if !strings.Contains(buf.String(), want) {
+				t.Errorf("%s: demo output missing %q", name, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Deptaudit: the two-layer discrimination network (selection layer +
+// join layer) the paper's conclusion plans for the Ariel rule engine.
+//
+// Rule: flag every employee earning over 50,000 whose department's
+// budget is under 100,000 —
+//
+//	emp.salary > 50000  AND  emp.dept = dept.dname  AND  dept.budget < 100000
+//
+// The selection clauses on each relation go through the IBS-tree
+// predicate index (layer 1); qualifying tuples populate TREAT-style
+// alpha memories whose equi-join hash indexes complete the match
+// (layer 2). The network is wired to the storage engine's change feed,
+// so ordinary inserts/updates/deletes drive activations.
+//
+// Run with: go run ./examples/deptaudit
+package main
+
+import (
+	"fmt"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/join"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func main() {
+	db := storage.NewDB()
+	emp := schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "dept", Type: value.KindString},
+		schema.Attribute{Name: "salary", Type: value.KindInt},
+	)
+	dept := schema.MustRelation("dept",
+		schema.Attribute{Name: "dname", Type: value.KindString},
+		schema.Attribute{Name: "budget", Type: value.KindInt},
+	)
+	empTab, err := db.CreateRelation(emp)
+	if err != nil {
+		panic(err)
+	}
+	deptTab, err := db.CreateRelation(dept)
+	if err != nil {
+		panic(err)
+	}
+
+	net := join.New(db.Catalog(), pred.NewRegistry(), func(a join.Activation) {
+		fmt.Printf("  AUDIT rule %d: %s earns %s but %s has budget %s\n",
+			a.Rule,
+			a.Tuples[0][0], a.Tuples[0][2], // emp name, salary
+			a.Tuples[1][0], a.Tuples[1][1]) // dept name, budget
+	})
+	// Drive the network from the storage change feed.
+	db.Observe(func(ev storage.Event) error {
+		switch ev.Op {
+		case storage.OpInsert:
+			return net.Insert(ev.Rel, ev.ID, ev.New)
+		case storage.OpUpdate:
+			return net.Update(ev.Rel, ev.ID, ev.New)
+		case storage.OpDelete:
+			net.Delete(ev.Rel, ev.ID)
+		}
+		return nil
+	})
+
+	rule := &join.Rule{
+		ID: 1,
+		Sides: []join.Side{
+			{Rel: "emp", Pred: pred.New(0, "emp",
+				pred.IvClause("salary", interval.Greater(value.Int(50000))))},
+			{Rel: "dept", Pred: pred.New(0, "dept",
+				pred.IvClause("budget", interval.Less(value.Int(100000))))},
+		},
+		Conditions: []join.Condition{{Left: 0, LeftAttr: "dept", Right: 1, RightAttr: "dname"}},
+	}
+	if err := net.AddRule(rule); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("load departments:")
+	shoe, _ := deptTab.Insert(tuple.New(value.String_("shoe"), value.Int(60000)))
+	_, _ = deptTab.Insert(tuple.New(value.String_("gold"), value.Int(5000000)))
+
+	fmt.Println("hire employees:")
+	_, _ = empTab.Insert(tuple.New(value.String_("ada"), value.String_("shoe"), value.Int(80000)))
+	_, _ = empTab.Insert(tuple.New(value.String_("bob"), value.String_("shoe"), value.Int(30000)))  // salary too low
+	_, _ = empTab.Insert(tuple.New(value.String_("cyd"), value.String_("gold"), value.Int(120000))) // rich dept
+
+	fmt.Println("budget cut for gold (now the join fires for cyd):")
+	if err := deptTab.Update(2, tuple.New(value.String_("gold"), value.Int(90000))); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("shoe department dissolved (no further activations for it):")
+	if err := deptTab.Delete(shoe); err != nil {
+		panic(err)
+	}
+	_, _ = empTab.Insert(tuple.New(value.String_("dee"), value.String_("shoe"), value.Int(200000)))
+
+	fmt.Printf("\nalpha memories: emp side %d tuples, dept side %d tuples\n",
+		net.MemorySize(1, 0), net.MemorySize(1, 1))
+	fmt.Printf("layer-1 selection predicates: %d\n", net.SelectionIndex().Len())
+}

@@ -1,0 +1,108 @@
+// Quickstart: the library's two main entry points in one file.
+//
+//  1. The raw IBS-tree (internal/ibs): a dynamic interval index
+//     answering "which intervals contain X" — the paper's Section 4.2
+//     data structure.
+//  2. The full predicate index (internal/core, the paper's Figure 1):
+//     register conjunctive predicates over relations and ask which of
+//     them match a tuple.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"predmatch/internal/core"
+	"predmatch/internal/ibs"
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func intCmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func main() {
+	fmt.Println("== 1. IBS-tree: dynamic interval stabbing ==")
+
+	tree := ibs.New(intCmp) // balanced by default
+	check := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	check(tree.Insert(1, interval.Closed(9, 19)))      // [9, 19]
+	check(tree.Insert(2, interval.Closed(2, 7)))       // [2, 7]
+	check(tree.Insert(3, interval.ClosedOpen(1, 3)))   // [1, 3)
+	check(tree.Insert(4, interval.OpenClosed(17, 20))) // (17, 20]
+	check(tree.Insert(5, interval.Point(18)))          // the equality predicate "= 18"
+	check(tree.Insert(6, interval.AtMost(17)))         // (-inf, 17]
+
+	for _, x := range []int{2, 7, 18, 25} {
+		fmt.Printf("intervals containing %2d: %v\n", x, tree.Stab(x))
+	}
+
+	check(tree.Delete(6)) // intervals can be removed on-line
+	fmt.Printf("after deleting id 6, intervals containing 2: %v\n", tree.Stab(2))
+	fmt.Printf("tree: %d intervals, %d nodes, %d markers, height %d\n\n",
+		tree.Len(), tree.NodeCount(), tree.MarkerCount(), tree.Height())
+
+	fmt.Println("== 2. Predicate index: which predicates match a tuple ==")
+
+	cat := schema.NewCatalog()
+	emp := schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "salary", Type: value.KindInt},
+		schema.Attribute{Name: "dept", Type: value.KindString},
+	)
+	check(cat.Add(emp))
+	funcs := pred.NewRegistry()
+
+	ix := core.New(cat, funcs)
+
+	// The paper's four example predicates:
+	//   EMP.salary < 20000 and EMP.age > 50
+	check(ix.Add(pred.New(1, "emp",
+		pred.IvClause("salary", interval.Less(value.Int(20000))),
+		pred.IvClause("age", interval.Greater(value.Int(50))),
+	)))
+	//   20000 <= EMP.salary <= 30000
+	check(ix.Add(pred.New(2, "emp",
+		pred.IvClause("salary", interval.Closed(value.Int(20000), value.Int(30000))),
+	)))
+	//   EMP.dept = 'sales'
+	check(ix.Add(pred.New(3, "emp", pred.EqClause("dept", value.String_("sales")))))
+	//   IsOdd(EMP.age) and EMP.dept = 'shoe'
+	check(ix.Add(pred.New(4, "emp",
+		pred.FnClause("age", "isodd"),
+		pred.EqClause("dept", value.String_("shoe")),
+	)))
+
+	people := []tuple.Tuple{
+		tuple.New(value.String_("ada"), value.Int(52), value.Int(18000), value.String_("deli")),
+		tuple.New(value.String_("bob"), value.Int(33), value.Int(25000), value.String_("shoe")),
+		tuple.New(value.String_("cyd"), value.Int(41), value.Int(90000), value.String_("sales")),
+	}
+	for _, t := range people {
+		matches, err := ix.Match("emp", t, nil)
+		check(err)
+		fmt.Printf("%v matches predicates %v\n", t, matches)
+	}
+
+	fmt.Println("\nper-attribute IBS-trees inside the index:")
+	for _, ts := range ix.Trees() {
+		fmt.Printf("  %s.%s: %d intervals, height %d\n", ts.Rel, ts.Attr, ts.Intervals, ts.Height)
+	}
+}

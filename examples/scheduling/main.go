@@ -1,0 +1,117 @@
+// Scheduling: the IBS-tree outside the rule system.
+//
+// The paper's conclusion notes the IBS-tree "may be useful for other
+// applications besides testing predicates, including VLSI CAD tools,
+// geographic information systems ... anywhere an index for intervals is
+// required which must be dynamically updatable." This example runs a
+// meeting-room booking service: reservations are time intervals added
+// and cancelled on-line, and queries ask "who occupies the room at time
+// T" (a stabbing query) — plus an availability check implemented with
+// interval overlap on top of stabbing the requested slot's endpoints.
+//
+// Run with: go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"predmatch/internal/ibs"
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+)
+
+// minutes since midnight make a convenient ordered domain.
+func hm(h, m int) int64 { return int64(h*60 + m) }
+
+func fmtTime(v int64) string {
+	return fmt.Sprintf("%02d:%02d", v/60, v%60)
+}
+
+type booking struct {
+	id    markset.ID
+	who   string
+	slot  interval.Interval[int64]
+	begin time.Duration // unused; shows bookings could carry payloads
+}
+
+func cmp(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func main() {
+	tree := ibs.New(cmp)
+	byID := map[markset.ID]booking{}
+	next := markset.ID(1)
+
+	book := func(who string, from, to int64) markset.ID {
+		// Half-open [from, to): back-to-back meetings don't collide.
+		slot := interval.ClosedOpen(from, to)
+		// Availability: any existing booking overlapping the slot? A
+		// range-overlap query on the same index — no separate structure.
+		if conflicts := tree.Overlapping(slot); len(conflicts) > 0 {
+			c := byID[conflicts[0]]
+			fmt.Printf("  %s: %s-%s CONFLICTS with %s (%s)\n",
+				who, fmtTime(from), fmtTime(to), c.who, c.slot)
+			return 0
+		}
+		id := next
+		next++
+		if err := tree.Insert(id, slot); err != nil {
+			panic(err)
+		}
+		byID[id] = booking{id: id, who: who, slot: slot}
+		fmt.Printf("  booked %s %s-%s (id %d)\n", who, fmtTime(from), fmtTime(to), id)
+		return id
+	}
+	cancel := func(id markset.ID) {
+		b := byID[id]
+		if err := tree.Delete(id); err != nil {
+			panic(err)
+		}
+		delete(byID, id)
+		fmt.Printf("  cancelled %s %s (id %d)\n", b.who, b.slot, id)
+	}
+	occupant := func(at int64) {
+		ids := tree.Stab(at)
+		if len(ids) == 0 {
+			fmt.Printf("  %s: room free\n", fmtTime(at))
+			return
+		}
+		for _, id := range ids {
+			fmt.Printf("  %s: occupied by %s (%s)\n", fmtTime(at), byID[id].who, byID[id].slot)
+		}
+	}
+
+	fmt.Println("bookings:")
+	standup := book("platform standup", hm(9, 0), hm(9, 30))
+	book("design review", hm(9, 30), hm(11, 0)) // back-to-back: fine
+	book("1:1 ada/bob", hm(11, 30), hm(12, 0))
+	book("late sync", hm(10, 30), hm(11, 30)) // conflicts with design review
+
+	fmt.Println("\nwho has the room?")
+	for _, at := range []int64{hm(9, 15), hm(9, 30), hm(11, 10), hm(11, 45)} {
+		occupant(at)
+	}
+
+	fmt.Println("\ncancel the standup and re-check 09:15:")
+	cancel(standup)
+	occupant(hm(9, 15))
+
+	fmt.Println("\nall-day maintenance window (open-ended interval):")
+	if err := tree.Insert(9999, interval.AtLeast(hm(18, 0))); err != nil {
+		panic(err)
+	}
+	byID[9999] = booking{id: 9999, who: "maintenance", slot: interval.AtLeast(hm(18, 0))}
+	occupant(hm(22, 0))
+
+	fmt.Printf("\nindex: %d intervals, %d nodes, %d markers, height %d\n",
+		tree.Len(), tree.NodeCount(), tree.MarkerCount(), tree.Height())
+}

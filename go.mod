@@ -1,0 +1,3 @@
+module predmatch
+
+go 1.22

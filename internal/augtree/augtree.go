@@ -1,0 +1,347 @@
+// Package augtree implements the classic augmented interval tree
+// (Cormen et al. style): an AVL tree of intervals keyed by lower bound
+// (made unique by an (lower bound, id) composite key — the same
+// transformation the paper discusses for priority search trees), where
+// every node carries the maximum upper bound of its subtree. Stabbing
+// queries prune subtrees whose maximum upper bound lies below the query
+// point and stop descending right once lower bounds exceed it.
+//
+// It serves as one of the dynamic comparators for the IBS-tree in the
+// paper's Section 6 comparison: O(log N) insert/delete with O(N) space,
+// but stabbing is O(min(N, L·log N)) rather than the IBS-tree's
+// O(log N + L).
+package augtree
+
+import (
+	"fmt"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+)
+
+// ID identifies an interval.
+type ID = markset.ID
+
+// Tree is an augmented interval tree over domain T.
+type Tree[T any] struct {
+	cmp  interval.Cmp[T]
+	root *node[T]
+	ivs  map[ID]interval.Interval[T]
+}
+
+type node[T any] struct {
+	id          ID
+	iv          interval.Interval[T]
+	maxHi       interval.Bound[T]
+	left, right *node[T]
+	height      int32
+}
+
+// New returns an empty tree ordered by cmp.
+func New[T any](cmp interval.Cmp[T]) *Tree[T] {
+	return &Tree[T]{cmp: cmp, ivs: make(map[ID]interval.Interval[T])}
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree[T]) Len() int { return len(t.ivs) }
+
+// Height returns the tree height.
+func (t *Tree[T]) Height() int {
+	if t.root == nil {
+		return 0
+	}
+	return int(t.root.height)
+}
+
+// cmpLo orders lower bounds: -inf first, then by value with closed
+// before open (a closed bound starts earlier).
+func (t *Tree[T]) cmpLo(a, b interval.Bound[T]) int {
+	ai, bi := a.Kind == interval.NegInf, b.Kind == interval.NegInf
+	switch {
+	case ai && bi:
+		return 0
+	case ai:
+		return -1
+	case bi:
+		return 1
+	}
+	if c := t.cmp(a.Value, b.Value); c != 0 {
+		return c
+	}
+	switch {
+	case a.Closed == b.Closed:
+		return 0
+	case a.Closed:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// cmpHi orders upper bounds: +inf last, open before closed at equal value.
+func (t *Tree[T]) cmpHi(a, b interval.Bound[T]) int {
+	ai, bi := a.Kind == interval.PosInf, b.Kind == interval.PosInf
+	switch {
+	case ai && bi:
+		return 0
+	case ai:
+		return 1
+	case bi:
+		return -1
+	}
+	if c := t.cmp(a.Value, b.Value); c != 0 {
+		return c
+	}
+	switch {
+	case a.Closed == b.Closed:
+		return 0
+	case a.Closed:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// cmpKey orders nodes by (lower bound, id).
+func (t *Tree[T]) cmpKey(aLo interval.Bound[T], aID ID, b *node[T]) int {
+	if c := t.cmpLo(aLo, b.iv.Lo); c != 0 {
+		return c
+	}
+	switch {
+	case aID < b.id:
+		return -1
+	case aID > b.id:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func height[T any](n *node[T]) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+// fix recomputes height and maxHi from children.
+func (t *Tree[T]) fix(n *node[T]) {
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		n.height = l + 1
+	} else {
+		n.height = r + 1
+	}
+	n.maxHi = n.iv.Hi
+	if n.left != nil && t.cmpHi(n.left.maxHi, n.maxHi) > 0 {
+		n.maxHi = n.left.maxHi
+	}
+	if n.right != nil && t.cmpHi(n.right.maxHi, n.maxHi) > 0 {
+		n.maxHi = n.right.maxHi
+	}
+}
+
+func (t *Tree[T]) rotateRight(n *node[T]) *node[T] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	t.fix(n)
+	t.fix(l)
+	return l
+}
+
+func (t *Tree[T]) rotateLeft(n *node[T]) *node[T] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	t.fix(n)
+	t.fix(r)
+	return r
+}
+
+func (t *Tree[T]) rebalance(n *node[T]) *node[T] {
+	t.fix(n)
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = t.rotateLeft(n.left)
+		}
+		return t.rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = t.rotateRight(n.right)
+		}
+		return t.rotateLeft(n)
+	}
+	return n
+}
+
+// Insert adds iv under id.
+func (t *Tree[T]) Insert(id ID, iv interval.Interval[T]) error {
+	if err := iv.Validate(t.cmp); err != nil {
+		return err
+	}
+	if _, dup := t.ivs[id]; dup {
+		return fmt.Errorf("augtree: duplicate interval id %d", id)
+	}
+	t.ivs[id] = iv
+	t.root = t.insert(t.root, id, iv)
+	return nil
+}
+
+func (t *Tree[T]) insert(n *node[T], id ID, iv interval.Interval[T]) *node[T] {
+	if n == nil {
+		nn := &node[T]{id: id, iv: iv, maxHi: iv.Hi, height: 1}
+		return nn
+	}
+	if t.cmpKey(iv.Lo, id, n) < 0 {
+		n.left = t.insert(n.left, id, iv)
+	} else {
+		n.right = t.insert(n.right, id, iv)
+	}
+	return t.rebalance(n)
+}
+
+// Delete removes the interval stored under id.
+func (t *Tree[T]) Delete(id ID) error {
+	iv, ok := t.ivs[id]
+	if !ok {
+		return fmt.Errorf("augtree: unknown interval id %d", id)
+	}
+	delete(t.ivs, id)
+	t.root = t.remove(t.root, iv.Lo, id)
+	return nil
+}
+
+func (t *Tree[T]) remove(n *node[T], lo interval.Bound[T], id ID) *node[T] {
+	if n == nil {
+		return nil
+	}
+	switch c := t.cmpKey(lo, id, n); {
+	case c < 0:
+		n.left = t.remove(n.left, lo, id)
+	case c > 0:
+		n.right = t.remove(n.right, lo, id)
+	default:
+		if n.left == nil {
+			return n.right
+		}
+		if n.right == nil {
+			return n.left
+		}
+		// Replace with the predecessor's payload, then remove it below.
+		p := n.left
+		for p.right != nil {
+			p = p.right
+		}
+		n.id, n.iv = p.id, p.iv
+		n.left = t.remove(n.left, p.iv.Lo, p.id)
+	}
+	return t.rebalance(n)
+}
+
+// Stab returns the ids of all intervals containing x, in ascending order.
+func (t *Tree[T]) Stab(x T) []ID {
+	return t.StabAppend(x, nil)
+}
+
+// StabAppend appends the ids of all intervals containing x to dst.
+func (t *Tree[T]) StabAppend(x T, dst []ID) []ID {
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		// Prune: even the largest upper bound in this subtree lies below x.
+		if !aboveOrAt(t.cmp, n.maxHi, x) {
+			return
+		}
+		walk(n.left)
+		if n.iv.Contains(t.cmp, x) {
+			dst = append(dst, n.id)
+		}
+		// Right subtree keys have lower bounds >= this node's; if this
+		// node's lower bound already exceeds x nothing right can match.
+		if loAbove(t.cmp, n.iv.Lo, x) {
+			return
+		}
+		walk(n.right)
+	}
+	walk(t.root)
+	return dst
+}
+
+// aboveOrAt reports whether x can still satisfy an upper bound of hi
+// (x <= hi honoring closedness; +inf always passes).
+func aboveOrAt[T any](cmp interval.Cmp[T], hi interval.Bound[T], x T) bool {
+	if hi.Kind == interval.PosInf {
+		return true
+	}
+	c := cmp(x, hi.Value)
+	if c == 0 {
+		return hi.Closed
+	}
+	return c < 0
+}
+
+// loAbove reports whether the lower bound lo lies strictly above x (no
+// interval starting at lo can contain x).
+func loAbove[T any](cmp interval.Cmp[T], lo interval.Bound[T], x T) bool {
+	if lo.Kind == interval.NegInf {
+		return false
+	}
+	c := cmp(lo.Value, x)
+	if c == 0 {
+		return !lo.Closed
+	}
+	return c > 0
+}
+
+// CheckInvariants verifies BST key order, AVL balance, and maxHi
+// augmentation; exported for tests.
+func (t *Tree[T]) CheckInvariants() error {
+	var walk func(n *node[T]) (int32, interval.Bound[T], error)
+	walk = func(n *node[T]) (int32, interval.Bound[T], error) {
+		if n == nil {
+			return 0, interval.Bound[T]{Kind: interval.NegInf}, nil
+		}
+		lh, lmax, err := walk(n.left)
+		if err != nil {
+			return 0, lmax, err
+		}
+		rh, rmax, err := walk(n.right)
+		if err != nil {
+			return 0, rmax, err
+		}
+		if n.left != nil && t.cmpKey(n.left.iv.Lo, n.left.id, n) >= 0 {
+			return 0, lmax, fmt.Errorf("augtree: left key >= node key at id %d", n.id)
+		}
+		if n.right != nil && t.cmpKey(n.right.iv.Lo, n.right.id, n) <= 0 {
+			return 0, rmax, fmt.Errorf("augtree: right key <= node key at id %d", n.id)
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if n.height != h {
+			return 0, lmax, fmt.Errorf("augtree: height %d != actual %d at id %d", n.height, h, n.id)
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			return 0, lmax, fmt.Errorf("augtree: unbalanced at id %d", n.id)
+		}
+		want := n.iv.Hi
+		if n.left != nil && t.cmpHi(n.left.maxHi, want) > 0 {
+			want = n.left.maxHi
+		}
+		if n.right != nil && t.cmpHi(n.right.maxHi, want) > 0 {
+			want = n.right.maxHi
+		}
+		if t.cmpHi(n.maxHi, want) != 0 {
+			return 0, lmax, fmt.Errorf("augtree: maxHi stale at id %d", n.id)
+		}
+		return h, n.maxHi, nil
+	}
+	_, _, err := walk(t.root)
+	return err
+}

@@ -1,0 +1,93 @@
+package augtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+)
+
+// adapter gives the tree the ivindex.Index interface.
+type adapter struct{ *Tree[int64] }
+
+func (adapter) Name() string { return "augtree" }
+
+func TestConformance(t *testing.T) {
+	ivindex.Run(t, func() ivindex.Index {
+		return adapter{New(ivindex.Int64Cmp)}
+	}, true)
+}
+
+func TestInvariantsUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(ivindex.Int64Cmp)
+	var live []ID
+	next := ID(0)
+	for op := 0; op < 600; op++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			iv := ivindex.RandomInterval(rng, 100, true)
+			if err := tr.Insert(next, iv); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, next)
+			next++
+		} else {
+			i := rng.Intn(len(live))
+			if err := tr.Delete(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if op%50 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedHeight(t *testing.T) {
+	tr := New(ivindex.Int64Cmp)
+	const n = 1024
+	for i := int64(0); i < n; i++ { // sorted insertion
+		if err := tr.Insert(ID(i), interval.Closed(i*3, i*3+10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := tr.Height(); h > 14 {
+		t.Errorf("height %d for %d sorted inserts; AVL should be logarithmic", h, n)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringDomain(t *testing.T) {
+	strCmp := func(a, b string) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	tr := New(strCmp)
+	if err := tr.Insert(1, interval.Closed("b", "m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(2, interval.AtLeast("k")); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Stab("kiwi")
+	if !reflect.DeepEqual(got, []markset.ID{1, 2}) {
+		t.Fatalf("Stab(kiwi) = %v", got)
+	}
+}

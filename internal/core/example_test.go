@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"predmatch/internal/core"
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Example builds the paper's Figure-1 index over the EMP relation and
+// matches one tuple against all registered predicates.
+func Example() {
+	cat := schema.NewCatalog()
+	_ = cat.Add(schema.MustRelation("emp",
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "salary", Type: value.KindInt},
+	))
+	ix := core.New(cat, pred.NewRegistry())
+
+	// EMP.salary < 20000 and EMP.age > 50
+	_ = ix.Add(pred.New(1, "emp",
+		pred.IvClause("salary", interval.Less(value.Int(20000))),
+		pred.IvClause("age", interval.Greater(value.Int(50)))))
+	// 20000 <= EMP.salary <= 30000
+	_ = ix.Add(pred.New(2, "emp",
+		pred.IvClause("salary", interval.Closed(value.Int(20000), value.Int(30000)))))
+
+	matches, _ := ix.Match("emp", tuple.New(value.Int(55), value.Int(15000)), nil)
+	fmt.Println(matches)
+	matches, _ = ix.Match("emp", tuple.New(value.Int(30), value.Int(25000)), nil)
+	fmt.Println(matches)
+	// Output:
+	// [1]
+	// [2]
+}

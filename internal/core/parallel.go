@@ -1,0 +1,187 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"predmatch/internal/pred"
+	"predmatch/internal/tuple"
+)
+
+// This file implements the parallel matching mode sketched in the
+// paper's Section 6: "Parallelism can be achieved by searching the
+// second-level index on each attribute of a tuple simultaneously,
+// devoting a processor per attribute. In addition, when brute force
+// search is required, as in the case of non-indexable predicates and
+// when doing the final predicate test, the set of predicates to be
+// checked can be divided evenly among the available processors."
+//
+// MatchParallel fans the per-attribute IBS-tree stabs out to one
+// goroutine per attribute tree, then partitions the candidate completion
+// tests and the non-indexable list across workers. As the paper notes,
+// the initial relation-name hash is a per-tuple cost and does not scale.
+
+// ParallelMatcher wraps an Index with a worker pool configuration and a
+// mutex, yielding a matcher that is safe for concurrent use and exploits
+// intra-query parallelism. Construct with NewParallel.
+type ParallelMatcher struct {
+	mu      sync.RWMutex
+	ix      *Index
+	workers int
+}
+
+// NewParallel wraps ix. workers bounds the completion-test fan-out;
+// workers <= 0 selects GOMAXPROCS.
+func NewParallel(ix *Index, workers int) *ParallelMatcher {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelMatcher{ix: ix, workers: workers}
+}
+
+// Name implements matcher.Matcher.
+func (pm *ParallelMatcher) Name() string { return pm.ix.Name() + "-parallel" }
+
+// Len implements matcher.Matcher.
+func (pm *ParallelMatcher) Len() int {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.ix.Len()
+}
+
+// Add implements matcher.Matcher.
+func (pm *ParallelMatcher) Add(p *pred.Predicate) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.ix.Add(p)
+}
+
+// Remove implements matcher.Matcher.
+func (pm *ParallelMatcher) Remove(id pred.ID) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.ix.Remove(id)
+}
+
+// Match implements matcher.Matcher using intra-query parallelism.
+func (pm *ParallelMatcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.ix.matchParallel(rel, t, dst, pm.workers)
+}
+
+// MatchParallel runs one match with per-attribute tree probes in
+// parallel and the completion tests partitioned over workers
+// (workers <= 0 selects GOMAXPROCS). Unlike ParallelMatcher, it adds no
+// locking: the caller must not mutate the index concurrently.
+func (ix *Index) MatchParallel(rel string, t tuple.Tuple, dst []pred.ID, workers int) ([]pred.ID, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return ix.matchParallel(rel, t, dst, workers)
+}
+
+func (ix *Index) matchParallel(rel string, t tuple.Tuple, dst []pred.ID, workers int) ([]pred.ID, error) {
+	ri, ok := ix.rels[rel]
+	if !ok {
+		return dst, nil
+	}
+	// Small inputs don't amortize goroutine fan-out; fall back. The
+	// threshold is deliberately coarse — the crossover is measured by
+	// BenchmarkParallelMatch.
+	if len(ri.probes) <= 1 && len(ri.nonIndexable) < 64 {
+		return ix.matchSerial(ri, t, dst)
+	}
+
+	// Phase 1: one goroutine per attribute tree (the paper's "processor
+	// per attribute").
+	partials := make([][]pred.ID, len(ri.probes))
+	var wg sync.WaitGroup
+	for i, pr := range ri.probes {
+		wg.Add(1)
+		go func(i int, pr probe) {
+			defer wg.Done()
+			partials[i] = pr.tree.StabAppend(t[pr.pos], nil)
+		}(i, pr)
+	}
+	wg.Wait()
+	var candidates []pred.ID
+	for _, p := range partials {
+		candidates = append(candidates, p...)
+	}
+
+	// Phase 2: divide the completion tests and the non-indexable list
+	// evenly among the workers.
+	type unit struct {
+		id     pred.ID
+		e      *entry
+		isCand bool
+	}
+	units := make([]unit, 0, len(candidates)+len(ri.nonIndexable))
+	for _, id := range candidates {
+		units = append(units, unit{id: id, e: ix.preds[id], isCand: true})
+	}
+	for _, e := range ri.nonIndexable {
+		units = append(units, unit{id: e.bound.Pred.ID, e: e})
+	}
+	if len(units) == 0 {
+		return dst, nil
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	results := make([][]pred.ID, workers)
+	chunk := (len(units) + workers - 1) / workers
+	wg = sync.WaitGroup{}
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(units) {
+			hi = len(units)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []pred.ID
+			for _, u := range units[lo:hi] {
+				if u.isCand {
+					if u.e.bound.MatchSkipping(t, u.e.clause) {
+						out = append(out, u.id)
+					}
+				} else if u.e.bound.Match(t) {
+					out = append(out, u.id)
+				}
+			}
+			results[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, r := range results {
+		dst = append(dst, r...)
+	}
+	return dst, nil
+}
+
+// matchSerial is Match without the shared scratch buffer, safe under
+// the ParallelMatcher read lock.
+func (ix *Index) matchSerial(ri *relIndex, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	var scratch []pred.ID
+	for _, pr := range ri.probes {
+		scratch = pr.tree.StabAppend(t[pr.pos], scratch)
+	}
+	for _, id := range scratch {
+		e := ix.preds[id]
+		if e.bound.MatchSkipping(t, e.clause) {
+			dst = append(dst, id)
+		}
+	}
+	for _, e := range ri.nonIndexable {
+		if e.bound.Match(t) {
+			dst = append(dst, e.bound.Pred.ID)
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"predmatch/internal/core"
+	"predmatch/internal/matcher"
+	"predmatch/internal/matchertest"
+	"predmatch/internal/workload"
+)
+
+// TestParallelConformance runs the wrapped parallel matcher through the
+// full matcher conformance suite.
+func TestParallelConformance(t *testing.T) {
+	matchertest.Run(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return core.NewParallel(core.New(f.Catalog, f.Funcs), 4)
+	})
+}
+
+// TestMatchParallelEqualsSerial checks result equality between serial
+// and parallel matching over the paper's scenario population.
+func TestMatchParallelEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pop, err := workload.PaperScenario().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := core.New(pop.Catalog, pop.Funcs)
+	for _, p := range pop.Preds {
+		if err := ix.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel := pop.Rels[0]
+	for i := 0; i < 300; i++ {
+		tup := pop.Tuple(rng, rel)
+		serial, err := ix.Match(rel.Name(), tup, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8, 0} {
+			par, err := ix.MatchParallel(rel.Name(), tup, nil, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(serial, func(a, b int) bool { return serial[a] < serial[b] })
+			sort.Slice(par, func(a, b int) bool { return par[a] < par[b] })
+			if len(serial) == 0 && len(par) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("tuple %d workers %d: parallel %v != serial %v", i, workers, par, serial)
+			}
+		}
+	}
+}
+
+// TestParallelMatcherConcurrentUse hammers the wrapper from many
+// goroutines mixing reads and writes; the race detector (go test -race)
+// is the real assertion here.
+func TestParallelMatcherConcurrentUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pop, err := workload.PaperScenario().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := core.NewParallel(core.New(pop.Catalog, pop.Funcs), 4)
+	for _, p := range pop.Preds[:100] {
+		if err := pm.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel := pop.Rels[0]
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 100; i++ {
+				tup := pop.Tuple(rng, rel)
+				if _, err := pm.Match(rel.Name(), tup, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, p := range pop.Preds[100:150] {
+			if err := pm.Add(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for _, p := range pop.Preds[100:120] {
+			if err := pm.Remove(p.ID); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if pm.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", pm.Len())
+	}
+	if pm.Name() != "ibs-parallel" {
+		t.Fatalf("Name = %q", pm.Name())
+	}
+}
+
+// TestMatchParallelUnknownRelation covers the early-out path.
+func TestMatchParallelUnknownRelation(t *testing.T) {
+	f := matchertest.NewFixture()
+	ix := core.New(f.Catalog, f.Funcs)
+	got, err := ix.MatchParallel("nosuch", nil, nil, 4)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestMatchParallelSmallFallback covers the serial fallback for tiny
+// indexes.
+func TestMatchParallelSmallFallback(t *testing.T) {
+	f := matchertest.NewFixture()
+	ix := core.New(f.Catalog, f.Funcs)
+	p := f.RandomPredicate(rand.New(rand.NewSource(1)), 1)
+	if err := ix.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	rel := p.Rel
+	for _, r := range f.Rels {
+		if r.Name() != rel {
+			continue
+		}
+		tup := f.RandomTuple(rand.New(rand.NewSource(2)), r)
+		serial, _ := ix.Match(rel, tup, nil)
+		par, err := ix.MatchParallel(rel, tup, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(serial, func(a, b int) bool { return serial[a] < serial[b] })
+		sort.Slice(par, func(a, b int) bool { return par[a] < par[b] })
+		if !reflect.DeepEqual(serial, par) && (len(serial) != 0 || len(par) != 0) {
+			t.Fatalf("fallback mismatch: %v vs %v", par, serial)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package engine is the forward-chaining rule engine the paper's
+// predicate index serves: an Ariel-style trigger system. Rules are
+//
+//	if condition then action
+//
+// over a relation's tuples. On every insert, update or delete the engine
+// asks its (pluggable) matcher which rule predicates match the affected
+// tuple — the paper's predicate testing problem — and fires the actions
+// of the owning rules. Rule conditions may contain disjunctions; they
+// are split into disjunction-free predicates before registration, as the
+// paper prescribes, and a rule fires when any of its split predicates
+// matches.
+//
+// Actions can mutate the database (set, insert, delete), which triggers
+// further matching — forward chaining — bounded by a cascade depth limit.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"predmatch/internal/matcher"
+	"predmatch/internal/parser"
+	"predmatch/internal/pred"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Rule is a registered rule.
+type Rule struct {
+	Name string
+	Rel  string
+	// Priority orders firing among rules matching the same event: higher
+	// priorities fire first, ties break by name.
+	Priority int
+	Events   map[storage.Op]bool
+	Actions  []parser.Action
+	Source   string
+	// predIDs are the disjunction-free predicates registered for the
+	// rule's condition (one per DNF conjunct; a single always-true
+	// predicate when the rule has no condition).
+	predIDs []pred.ID
+}
+
+// Firing describes one rule activation, for logging and tests.
+type Firing struct {
+	Rule  string
+	Event storage.Event
+}
+
+// Logger receives rule "log" action output and firing traces.
+type Logger func(format string, args ...any)
+
+// Engine wires storage events to a predicate matcher and executes rule
+// actions.
+type Engine struct {
+	mu         sync.Mutex
+	db         *storage.DB
+	funcs      *pred.Registry
+	m          matcher.Matcher
+	rules      map[string]*Rule
+	byPred     map[pred.ID]*Rule
+	nextPredID pred.ID
+	log        Logger
+	maxDepth   int
+	depth      int
+	firings    []Firing
+	traceAll   bool
+	scratch    []pred.ID
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithLogger sets the destination of "log" actions and traces (default:
+// discard).
+func WithLogger(l Logger) Option { return func(e *Engine) { e.log = l } }
+
+// WithMaxCascadeDepth bounds forward-chaining recursion (default 16).
+func WithMaxCascadeDepth(d int) Option { return func(e *Engine) { e.maxDepth = d } }
+
+// WithFiringTrace records every rule activation for inspection via
+// Firings (intended for tests and examples).
+func WithFiringTrace(on bool) Option { return func(e *Engine) { e.traceAll = on } }
+
+// New builds an engine over db using m as the predicate-matching
+// strategy and registers it as a storage observer.
+func New(db *storage.DB, funcs *pred.Registry, m matcher.Matcher, opts ...Option) *Engine {
+	e := &Engine{
+		db:         db,
+		funcs:      funcs,
+		m:          m,
+		rules:      make(map[string]*Rule),
+		byPred:     make(map[pred.ID]*Rule),
+		nextPredID: 1,
+		log:        func(string, ...any) {},
+		maxDepth:   16,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	db.Observe(e.onEvent)
+	return e
+}
+
+// Matcher returns the engine's matching strategy.
+func (e *Engine) Matcher() matcher.Matcher { return e.m }
+
+// DefineRule parses and registers a rule from source text.
+func (e *Engine) DefineRule(src string) (*Rule, error) {
+	ast, err := parser.ParseRule(src, e.db.Catalog(), e.funcs)
+	if err != nil {
+		return nil, err
+	}
+	return e.DefineRuleAST(ast)
+}
+
+// DefineRuleAST registers a parsed rule: its condition is split into
+// disjunction-free predicates, each added to the matcher.
+func (e *Engine) DefineRuleAST(ast *parser.RuleAST) (*Rule, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.rules[ast.Name]; dup {
+		return nil, fmt.Errorf("engine: rule %q already defined", ast.Name)
+	}
+	r := &Rule{
+		Name:     ast.Name,
+		Rel:      ast.Rel,
+		Priority: ast.Priority,
+		Events:   make(map[storage.Op]bool),
+		Actions:  ast.Actions,
+		Source:   ast.Source,
+	}
+	for _, ev := range ast.Events {
+		r.Events[ev] = true
+	}
+
+	var preds []*pred.Predicate
+	if ast.Condition != nil {
+		preds = pred.SplitDNF(e.nextPredID, ast.Rel, ast.Condition)
+	} else {
+		preds = []*pred.Predicate{pred.New(e.nextPredID, ast.Rel)}
+	}
+	e.nextPredID += pred.ID(len(preds))
+
+	for i, p := range preds {
+		if err := e.m.Add(p); err != nil {
+			// Roll back predicates already added.
+			for _, q := range preds[:i] {
+				_ = e.m.Remove(q.ID)
+			}
+			return nil, fmt.Errorf("engine: registering rule %q: %w", ast.Name, err)
+		}
+		r.predIDs = append(r.predIDs, p.ID)
+		e.byPred[p.ID] = r
+	}
+	e.rules[ast.Name] = r
+	return r, nil
+}
+
+// DropRule removes a rule and its predicates.
+func (e *Engine) DropRule(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.rules[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown rule %q", name)
+	}
+	for _, id := range r.predIDs {
+		if err := e.m.Remove(id); err != nil {
+			return err
+		}
+		delete(e.byPred, id)
+	}
+	delete(e.rules, name)
+	return nil
+}
+
+// Rules returns the defined rule names, sorted.
+func (e *Engine) Rules() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.rules))
+	for n := range e.rules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Firings returns the recorded rule activations (WithFiringTrace).
+func (e *Engine) Firings() []Firing {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Firing, len(e.firings))
+	copy(out, e.firings)
+	return out
+}
+
+// ResetFirings clears the recorded activations.
+func (e *Engine) ResetFirings() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.firings = e.firings[:0]
+}
+
+// onEvent is the storage observer: match the affected tuple, collect the
+// owning rules, and fire their actions.
+func (e *Engine) onEvent(ev storage.Event) error {
+	// Deletes match against the old tuple; inserts and updates against
+	// the new one (the paper's focus is new and modified tuples).
+	t := ev.New
+	if ev.Op == storage.OpDelete {
+		t = ev.Old
+	}
+	if t == nil {
+		return nil
+	}
+
+	if e.depth >= e.maxDepth {
+		return fmt.Errorf("engine: cascade depth limit %d exceeded at %s on %s", e.maxDepth, ev.Op, ev.Rel)
+	}
+
+	matched, err := e.m.Match(ev.Rel, t, e.scratch[:0])
+	e.scratch = matched
+	if err != nil {
+		return err
+	}
+
+	// A rule with several DNF predicates fires once; order rule firings
+	// by name for determinism.
+	fired := make(map[*Rule]bool)
+	var toFire []*Rule
+	for _, id := range matched {
+		r := e.byPred[id]
+		if r == nil || fired[r] || !r.Events[ev.Op] {
+			continue
+		}
+		fired[r] = true
+		toFire = append(toFire, r)
+	}
+	sort.Slice(toFire, func(i, j int) bool {
+		if toFire[i].Priority != toFire[j].Priority {
+			return toFire[i].Priority > toFire[j].Priority
+		}
+		return toFire[i].Name < toFire[j].Name
+	})
+
+	e.depth++
+	defer func() { e.depth-- }()
+	for _, r := range toFire {
+		if e.traceAll {
+			e.firings = append(e.firings, Firing{Rule: r.Name, Event: ev})
+		}
+		if err := e.execute(r, ev, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execute runs a rule's actions for a triggering event.
+func (e *Engine) execute(r *Rule, ev storage.Event, t tuple.Tuple) error {
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case parser.ActionLog:
+			e.log("[rule %s] %s (%s on %s %v)", r.Name, a.Message, ev.Op, ev.Rel, t)
+		case parser.ActionRaise:
+			return fmt.Errorf("engine: rule %s raised: %s", r.Name, a.Message)
+		case parser.ActionSet:
+			if ev.Op == storage.OpDelete {
+				continue // nothing to modify
+			}
+			table, ok := e.db.Table(ev.Rel)
+			if !ok {
+				return fmt.Errorf("engine: relation %s vanished", ev.Rel)
+			}
+			pos, ok := table.Relation().AttrIndex(a.Attr)
+			if !ok {
+				return fmt.Errorf("engine: rule %s sets unknown attribute %s", r.Name, a.Attr)
+			}
+			cur, ok := table.Get(ev.ID)
+			if !ok {
+				continue // tuple already gone (cascaded delete)
+			}
+			v, err := a.Expr.Eval(table.Relation(), cur)
+			if err != nil {
+				return fmt.Errorf("engine: rule %s set expression: %w", r.Name, err)
+			}
+			if value.Equal(cur[pos], v) {
+				continue // no-op assignment; avoids trivial infinite loops
+			}
+			next := cur.Clone()
+			next[pos] = v
+			if err := table.Update(ev.ID, next); err != nil {
+				return fmt.Errorf("engine: rule %s set action: %w", r.Name, err)
+			}
+		case parser.ActionInsert:
+			table, ok := e.db.Table(a.Rel)
+			if !ok {
+				return fmt.Errorf("engine: rule %s inserts into unknown relation %s", r.Name, a.Rel)
+			}
+			if _, err := table.Insert(tuple.New(a.Values...)); err != nil {
+				return fmt.Errorf("engine: rule %s insert action: %w", r.Name, err)
+			}
+		case parser.ActionDelete:
+			if ev.Op == storage.OpDelete {
+				continue
+			}
+			table, ok := e.db.Table(ev.Rel)
+			if !ok {
+				return fmt.Errorf("engine: relation %s vanished", ev.Rel)
+			}
+			if _, exists := table.Get(ev.ID); !exists {
+				continue
+			}
+			if err := table.Delete(ev.ID); err != nil {
+				return fmt.Errorf("engine: rule %s delete action: %w", r.Name, err)
+			}
+		}
+	}
+	return nil
+}

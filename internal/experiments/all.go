@@ -1,0 +1,20 @@
+package experiments
+
+import "fmt"
+
+// All runs every experiment in paper order.
+func All(c Config) {
+	if c.Out != nil {
+		fmt.Fprintln(c.Out, "Reproduction of Hanson et al., \"A Predicate Matching Algorithm")
+		fmt.Fprintln(c.Out, "for Database Rule Systems\", SIGMOD 1990 — evaluation artifacts.")
+	}
+	Fig7(c)
+	Fig8(c)
+	Fig9(c)
+	CostModel(c)
+	Space(c)
+	Balance(c)
+	Compare(c)
+	Strategies(c)
+	Memory(c)
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predmatch/internal/augtree"
+	"predmatch/internal/ibs"
+	"predmatch/internal/inttree"
+	"predmatch/internal/islist"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+	"predmatch/internal/pst"
+	"predmatch/internal/rtree"
+	"predmatch/internal/segtree"
+	"predmatch/internal/workload"
+)
+
+// CompareRow is one structure's measurements in the Section 6
+// comparison of interval indexing techniques.
+type CompareRow struct {
+	Name     string
+	Dynamic  bool
+	InsertUs float64 // per interval (dynamic) or per interval of a full build (static)
+	SearchUs float64 // per stabbing query
+	DeleteUs float64 // per interval; static structures pay a full rebuild
+	Space    int     // markers (IBS), nodes/items otherwise
+}
+
+// Named adapters give each structure the ivindex.Index interface.
+type ibsWrap struct {
+	*ibs.Tree[int64]
+	name string
+}
+
+func (w ibsWrap) Name() string { return w.name }
+
+type augWrap struct{ *augtree.Tree[int64] }
+
+func (augWrap) Name() string { return "augtree" }
+
+type pstWrap struct{ *pst.Tree[int64] }
+
+func (pstWrap) Name() string { return "pst" }
+
+type islWrap struct{ *islist.List[int64] }
+
+func (islWrap) Name() string { return "islist" }
+
+// Compare runs the paper's Section 6 proposed experiment: "implement
+// several different techniques for dynamically indexing intervals,
+// including 1-dimensional R-trees, IBS-trees, and priority search
+// trees, and then compare their implementation complexity and time and
+// space requirements". The static segment and centered interval trees
+// are included with rebuild-per-update costs, quantifying Section 4.1's
+// argument that they "are not adequate because they do not allow
+// dynamic insertion and deletion".
+func Compare(c Config) []CompareRow {
+	n := 1000
+	queries := 2000
+	if c.Quick {
+		n, queries = 200, 300
+	}
+	rng := c.rng()
+	ivs := workload.Intervals(rng, n, 0.5)
+	points := workload.StabPoints(rng, queries)
+
+	var rows []CompareRow
+
+	dynamics := []func() ivindex.Index{
+		func() ivindex.Index { return ibsWrap{ibs.New(ivindex.Int64Cmp, ibs.Balanced(true)), "ibs-balanced"} },
+		func() ivindex.Index { return ibsWrap{ibs.New(ivindex.Int64Cmp, ibs.Balanced(false)), "ibs-unbalanced"} },
+		func() ivindex.Index { return islWrap{islist.New(ivindex.Int64Cmp)} },
+		func() ivindex.Index { return pstWrap{pst.New(ivindex.Int64Cmp)} },
+		func() ivindex.Index { return augWrap{augtree.New(ivindex.Int64Cmp)} },
+		func() ivindex.Index { return rtree.NewInterval1D() },
+	}
+	for _, mk := range dynamics {
+		ix := mk()
+		row := CompareRow{Name: ix.Name(), Dynamic: true}
+		row.InsertUs = timeOp(n, func() {
+			for i, iv := range ivs {
+				if err := ix.Insert(markset.ID(i), iv); err != nil {
+					panic(err)
+				}
+			}
+		})
+		var buf []markset.ID
+		row.SearchUs = timeOp(queries, func() {
+			for _, x := range points {
+				buf = ix.StabAppend(x, buf[:0])
+			}
+		})
+		del := n / 2
+		row.DeleteUs = timeOp(del, func() {
+			for i := 0; i < del; i++ {
+				if err := ix.Delete(markset.ID(i)); err != nil {
+					panic(err)
+				}
+			}
+		})
+		switch w := ix.(type) {
+		case ibsWrap:
+			row.Space = w.MarkerCount() // after deletions, of the remaining half
+		case islWrap:
+			row.Space = w.MarkerCount()
+		default:
+			row.Space = ix.Len()
+		}
+		rows = append(rows, row)
+	}
+
+	// Static structures: build once; "delete" costs a full rebuild.
+	segItems := make([]segtree.Item[int64], n)
+	intItems := make([]inttree.Item[int64], n)
+	for i, iv := range ivs {
+		segItems[i] = segtree.Item[int64]{ID: markset.ID(i), Iv: iv}
+		intItems[i] = inttree.Item[int64]{ID: markset.ID(i), Iv: iv}
+	}
+	{
+		var tr *segtree.Tree[int64]
+		row := CompareRow{Name: "segtree(static)"}
+		row.InsertUs = timeOp(n, func() { tr = segtree.Build(ivindex.Int64Cmp, segItems) })
+		var buf []markset.ID
+		row.SearchUs = timeOp(queries, func() {
+			for _, x := range points {
+				buf = tr.StabAppend(x, buf[:0])
+			}
+		})
+		// A deletion forces a rebuild of the remaining set.
+		row.DeleteUs = timeOp(1, func() { _ = segtree.Build(ivindex.Int64Cmp, segItems[1:]) })
+		row.Space = tr.Markers()
+		rows = append(rows, row)
+	}
+	{
+		var tr *inttree.Tree[int64]
+		row := CompareRow{Name: "inttree(static)"}
+		row.InsertUs = timeOp(n, func() { tr = inttree.Build(ivindex.Int64Cmp, intItems) })
+		var buf []markset.ID
+		row.SearchUs = timeOp(queries, func() {
+			for _, x := range points {
+				buf = tr.StabAppend(x, buf[:0])
+			}
+		})
+		row.DeleteUs = timeOp(1, func() { _ = inttree.Build(ivindex.Int64Cmp, intItems[1:]) })
+		row.Space = tr.Len()
+		rows = append(rows, row)
+	}
+
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, "\nSection 6 comparison: dynamic interval indexes (N=%d, a=0.5 workload)\n", n)
+		fmt.Fprintf(c.Out, "%-18s %10s %12s %12s %12s %10s\n",
+			"structure", "dynamic", "insert us", "search us", "delete us", "space")
+		for _, r := range rows {
+			dyn := "yes"
+			if !r.Dynamic {
+				dyn = "rebuild"
+			}
+			fmt.Fprintf(c.Out, "%-18s %10s %12.3f %12.3f %12.3f %10d\n",
+				r.Name, dyn, r.InsertUs, r.SearchUs, r.DeleteUs, r.Space)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,73 @@
+// Package experiments regenerates every evaluation artifact of the
+// paper — Figures 7, 8 and 9, the Section 5.2 cost-model scenario, and
+// measurement experiments for the Section 5.1 space analysis, the
+// Section 4.3 balancing ablation, and the Section 6 future-work
+// comparison of dynamic interval indexes. cmd/experiments is the CLI
+// front end; the root bench_test.go exposes the same workloads as
+// testing.B benchmarks.
+//
+// Absolute timings are hardware-dependent (the paper measured C++ on a
+// 1989 SPARCstation 1); what the experiments reproduce is the shape of
+// each curve — see EXPERIMENTS.md for the paper-versus-measured record.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Config controls experiment scale and output.
+type Config struct {
+	// Seed makes runs deterministic.
+	Seed int64
+	// Quick trades precision for speed (fewer repetitions and smaller
+	// sweeps), for tests.
+	Quick bool
+	// Out receives the formatted tables.
+	Out io.Writer
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// Point is one measurement in a series.
+type Point struct {
+	N  int
+	Us float64 // microseconds per operation
+}
+
+// Series is a named curve, e.g. "a=0.5" or "seqscan".
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// timeOp measures fn (which performs n operations) and returns
+// microseconds per operation.
+func timeOp(n int, fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Microseconds()) / float64(n)
+}
+
+// printSeries renders curves with a shared N column.
+func printSeries(w io.Writer, title, unit string, series []Series) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	fmt.Fprintf(w, "%8s", "N")
+	for _, s := range series {
+		fmt.Fprintf(w, "  %14s", s.Name)
+	}
+	fmt.Fprintf(w, "   (%s)\n", unit)
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%8d", series[0].Points[i].N)
+		for _, s := range series {
+			fmt.Fprintf(w, "  %14.3f", s.Points[i].Us)
+		}
+		fmt.Fprintln(w)
+	}
+}

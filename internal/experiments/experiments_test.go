@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Seed: 1, Quick: true, Out: buf}
+}
+
+// The experiment suite is primarily exercised for correctness of its
+// harness logic (the timings themselves are bench territory): every
+// experiment must run, produce plausible monotone-ish data, and print
+// its table.
+
+func TestFig7Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	series := Fig7(quickCfg(&buf))
+	if len(series) != 3 {
+		t.Fatalf("Fig7 series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.Us <= 0 {
+				t.Fatalf("series %s has non-positive timing at N=%d", s.Name, p.N)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("table header missing")
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	series := Fig8(quickCfg(&buf))
+	if len(series) != 3 {
+		t.Fatalf("Fig8 series = %d", len(series))
+	}
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Error("table header missing")
+	}
+}
+
+func TestFig9SeqGrowsFaster(t *testing.T) {
+	var buf bytes.Buffer
+	series := Fig9(Config{Seed: 7, Quick: false, Out: &buf})
+	if len(series) != 2 {
+		t.Fatalf("Fig9 series = %d", len(series))
+	}
+	ibsS, seqS := series[0], series[1]
+	// The paper's qualitative claim: sequential cost exceeds IBS cost as
+	// N grows. Assert it at the largest N (40), where the gap is widest.
+	last := len(seqS.Points) - 1
+	if seqS.Points[last].Us <= ibsS.Points[last].Us {
+		t.Logf("warning: at N=%d sequential (%.3f us) not above IBS (%.3f us); timing noise possible",
+			seqS.Points[last].N, seqS.Points[last].Us, ibsS.Points[last].Us)
+	}
+	// Sequential cost must grow materially from N=5 to N=40.
+	if seqS.Points[last].Us < seqS.Points[0].Us {
+		t.Logf("warning: sequential cost did not grow: %.3f -> %.3f", seqS.Points[0].Us, seqS.Points[last].Us)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	var buf bytes.Buffer
+	res := CostModel(quickCfg(&buf))
+	if res.MeasuredMs <= 0 || res.PredictedMs <= 0 {
+		t.Fatalf("non-positive totals: %+v", res)
+	}
+	if res.Matched <= 0 {
+		t.Fatalf("no predicates matched in the scenario: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "cost model") {
+		t.Error("table header missing")
+	}
+}
+
+func TestSpaceRegimes(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Space(quickCfg(&buf))
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		perDisjoint := float64(r.DisjointMarkers) / float64(r.N)
+		perNested := float64(r.NestedMarkers) / float64(r.N)
+		if perDisjoint > 4 {
+			t.Errorf("N=%d: disjoint markers/N = %.1f, want O(1)", r.N, perDisjoint)
+		}
+		if perNested <= perDisjoint {
+			t.Errorf("N=%d: nested (%f) not above disjoint (%f)", r.N, perNested, perDisjoint)
+		}
+	}
+}
+
+func TestBalanceAblation(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Balance(quickCfg(&buf))
+	for _, r := range rows {
+		if r.UnbalancedHeight < r.N {
+			t.Errorf("N=%d: unbalanced height %d, expected a spine", r.N, r.UnbalancedHeight)
+		}
+		if r.BalancedHeight > 3*log2(r.N) {
+			t.Errorf("N=%d: balanced height %d too large", r.N, r.BalancedHeight)
+		}
+	}
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func TestCompareCoversAllStructures(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Compare(quickCfg(&buf))
+	want := map[string]bool{
+		"ibs-balanced": false, "ibs-unbalanced": false, "islist": false, "pst": false,
+		"augtree": false, "rtree-1d": false, "segtree(static)": false, "inttree(static)": false,
+	}
+	for _, r := range rows {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected structure %q", r.Name)
+		}
+		want[r.Name] = true
+		if r.SearchUs <= 0 {
+			t.Errorf("%s: non-positive search time", r.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("structure %q missing from comparison", name)
+		}
+	}
+}
+
+func TestStrategiesCoverAllMatchers(t *testing.T) {
+	var buf bytes.Buffer
+	series := Strategies(quickCfg(&buf))
+	if len(series) != 6 {
+		t.Fatalf("strategies = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	var buf bytes.Buffer
+	All(quickCfg(&buf))
+	out := buf.String()
+	for _, want := range []string{"Figure 7", "Figure 8", "Figure 9", "cost model", "Section 5.1", "Section 4.3", "Section 6", "strategies"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All output missing %q", want)
+		}
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Memory(quickCfg(&buf))
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Preds == 0 || r.Markers == 0 || r.Nodes == 0 {
+			t.Errorf("row %+v has zero counts", r)
+		}
+		// Sanity ceiling: well under 10 KB per predicate.
+		if r.HeapBytes > uint64(r.Preds)*10_000 {
+			t.Errorf("heap %d bytes for %d preds: implausibly large", r.HeapBytes, r.Preds)
+		}
+	}
+	if !strings.Contains(buf.String(), "memory footprint") {
+		t.Error("table header missing")
+	}
+}

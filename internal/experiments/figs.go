@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"predmatch/internal/core"
+	"predmatch/internal/ibs"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/seqscan"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+	"predmatch/internal/workload"
+)
+
+// pointFracs are the paper's a values.
+var pointFracs = []float64{0, 0.5, 1}
+
+func fracName(a float64) string {
+	switch a {
+	case 0:
+		return "a=0"
+	case 0.5:
+		return "a=0.5"
+	default:
+		return "a=1"
+	}
+}
+
+// fig7Sizes mirrors the paper's x-axis (N between 0 and 1,000).
+func (c Config) sweepSizes() []int {
+	if c.Quick {
+		return []int{100, 300, 500}
+	}
+	return []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+}
+
+func (c Config) reps(def int) int {
+	if c.Quick {
+		return 2
+	}
+	return def
+}
+
+// Fig7 measures average IBS-tree insertion time versus N for each point
+// fraction a. As in the paper, the tree is the unbalanced variant with
+// random insertion order ("the balancing scheme using rotations was not
+// implemented, but ... the tree is normally balanced if data is inserted
+// in random order"), and the average insertion cost is the time to
+// insert N predicates into an initially empty index divided by N.
+func Fig7(c Config) []Series {
+	rng := c.rng()
+	var out []Series
+	for _, a := range pointFracs {
+		s := Series{Name: fracName(a)}
+		for _, n := range c.sweepSizes() {
+			reps := c.reps(6)
+			var sum float64
+			for r := 0; r < reps; r++ {
+				ivs := workload.Intervals(rng, n, a)
+				tree := ibs.New(ivindex.Int64Cmp, ibs.Balanced(false))
+				sum += timeOp(n, func() {
+					for i, iv := range ivs {
+						if err := tree.Insert(markset.ID(i), iv); err != nil {
+							panic(err)
+						}
+					}
+				})
+			}
+			s.Points = append(s.Points, Point{N: n, Us: sum / float64(reps)})
+		}
+		out = append(out, s)
+	}
+	if c.Out != nil {
+		printSeries(c.Out, "Figure 7: average IBS-tree insertion time (unbalanced, random order)", "us/insert", out)
+	}
+	return out
+}
+
+// Fig8 measures the average IBS-tree search (stabbing) time versus N for
+// each point fraction a, querying uniform random points.
+func Fig8(c Config) []Series {
+	rng := c.rng()
+	queries := 2000
+	if c.Quick {
+		queries = 300
+	}
+	var out []Series
+	for _, a := range pointFracs {
+		s := Series{Name: fracName(a)}
+		for _, n := range c.sweepSizes() {
+			tree := ibs.New(ivindex.Int64Cmp, ibs.Balanced(false))
+			for i, iv := range workload.Intervals(rng, n, a) {
+				if err := tree.Insert(markset.ID(i), iv); err != nil {
+					panic(err)
+				}
+			}
+			points := workload.StabPoints(rng, queries)
+			var buf []markset.ID
+			us := timeOp(queries, func() {
+				for _, x := range points {
+					buf = tree.StabAppend(x, buf[:0])
+				}
+			})
+			s.Points = append(s.Points, Point{N: n, Us: us})
+		}
+		out = append(out, s)
+	}
+	if c.Out != nil {
+		printSeries(c.Out, "Figure 8: average IBS-tree search time (unbalanced, random order)", "us/search", out)
+	}
+	return out
+}
+
+// fig9Schema is the single-relation, single-attribute setting of
+// Figure 9.
+func fig9Schema() (*schema.Catalog, *pred.Registry) {
+	cat := schema.NewCatalog()
+	rel := schema.MustRelation("r", schema.Attribute{Name: "attr", Type: value.KindInt})
+	if err := cat.Add(rel); err != nil {
+		panic(err)
+	}
+	return cat, pred.NewRegistry()
+}
+
+// Fig9 compares the full matching cost — find all predicates matching a
+// value — between the IBS-tree scheme and a sequential predicate list,
+// for small N (the paper sweeps 5..40, where sequential search is at its
+// most competitive; "the cost curve for sequential search is always
+// higher than for the IBS-tree, showing that the IBS-tree has quite low
+// overhead").
+func Fig9(c Config) []Series {
+	rng := c.rng()
+	sizes := []int{5, 10, 15, 20, 25, 30, 35, 40}
+	if c.Quick {
+		sizes = []int{5, 20, 40}
+	}
+	queries := 4000
+	if c.Quick {
+		queries = 500
+	}
+	ibsSeries := Series{Name: "ibs-tree"}
+	seqSeries := Series{Name: "sequential"}
+	for _, n := range sizes {
+		cat, funcs := fig9Schema()
+		preds := workload.SingleAttrPreds(rng, "r", "attr", n, 0.5)
+
+		ix := core.New(cat, funcs, core.WithTreeOptions(ibs.Balanced(false)))
+		sq := seqscan.New(cat, funcs)
+		for _, p := range preds {
+			if err := ix.Add(p); err != nil {
+				panic(err)
+			}
+			if err := sq.Add(p); err != nil {
+				panic(err)
+			}
+		}
+		points := workload.StabPoints(rng, queries)
+		tuples := make([]tuple.Tuple, len(points))
+		for i, x := range points {
+			tuples[i] = tuple.New(value.Int(x))
+		}
+		var buf []pred.ID
+		ibsSeries.Points = append(ibsSeries.Points, Point{N: n, Us: timeOp(queries, func() {
+			for _, t := range tuples {
+				buf, _ = ix.Match("r", t, buf[:0])
+			}
+		})})
+		seqSeries.Points = append(seqSeries.Points, Point{N: n, Us: timeOp(queries, func() {
+			for _, t := range tuples {
+				buf, _ = sq.Match("r", t, buf[:0])
+			}
+		})})
+	}
+	out := []Series{ibsSeries, seqSeries}
+	if c.Out != nil {
+		printSeries(c.Out, "Figure 9: predicate test cost, IBS-tree scheme vs sequential list", "us/tuple", out)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"predmatch/internal/core"
+	"predmatch/internal/workload"
+)
+
+// MemoryRow is one measurement of the Section 3 memory-footprint claim.
+type MemoryRow struct {
+	Preds     int
+	HeapBytes uint64
+	Markers   int
+	Nodes     int
+}
+
+// Memory quantifies the paper's Section 3 argument: "the largest expert
+// system applications built to date have on the order of 10,000 rules,
+// which is small enough that data structures associated with the rules
+// will fit in a few megabytes of main memory." It builds the full
+// predicate index at increasing rule counts and reports the measured
+// heap growth attributable to it.
+func Memory(c Config) []MemoryRow {
+	sizes := []int{1000, 10000}
+	if c.Quick {
+		sizes = []int{500}
+	}
+	var rows []MemoryRow
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(c.Seed))
+		spec := workload.SchemaSpec{
+			Relations:     10,
+			AttrsPerRel:   15,
+			UsedAttrFrac:  1.0 / 3.0,
+			PredsPerRel:   n / 10,
+			ClausesPer:    2,
+			IndexableFrac: 0.9,
+			PointFrac:     0.5,
+		}
+		pop, err := spec.Build(rng)
+		if err != nil {
+			panic(err)
+		}
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+
+		ix := core.New(pop.Catalog, pop.Funcs)
+		for _, p := range pop.Preds {
+			if err := ix.Add(p); err != nil {
+				panic(err)
+			}
+		}
+
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+
+		row := MemoryRow{Preds: len(pop.Preds)}
+		if after.HeapAlloc > before.HeapAlloc {
+			row.HeapBytes = after.HeapAlloc - before.HeapAlloc
+		}
+		for _, ts := range ix.Trees() {
+			row.Markers += ts.Markers
+			row.Nodes += ts.Nodes
+		}
+		rows = append(rows, row)
+		runtime.KeepAlive(ix)
+		runtime.KeepAlive(pop)
+	}
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, "\nSection 3 memory footprint: full predicate index\n")
+		fmt.Fprintf(c.Out, "%10s %14s %12s %10s %12s\n", "preds", "heap bytes", "bytes/pred", "markers", "tree nodes")
+		for _, r := range rows {
+			fmt.Fprintf(c.Out, "%10d %14d %12.0f %10d %12d\n",
+				r.Preds, r.HeapBytes, float64(r.HeapBytes)/float64(max(r.Preds, 1)), r.Markers, r.Nodes)
+		}
+		fmt.Fprintf(c.Out, "(the paper expects ~10,000 rules to fit in a few megabytes)\n")
+	}
+	return rows
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

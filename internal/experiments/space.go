@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predmatch/internal/ibs"
+	"predmatch/internal/interval"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+	"predmatch/internal/workload"
+)
+
+// SpaceRow is one row of the Section 5.1 marker-space experiment.
+type SpaceRow struct {
+	N                                             int
+	DisjointMarkers, RandomMarkers, NestedMarkers int
+}
+
+// Space measures marker counts in balanced IBS-trees for three overlap
+// regimes, quantifying Section 5.1's analysis: disjoint intervals place
+// O(N) markers ("an intriguing phenomenon ... when intervals in the tree
+// do not overlap, only O(N) markers are placed"), the paper's random
+// workload sits in between, and fully nested intervals approach the
+// O(N log N) worst case.
+func Space(c Config) []SpaceRow {
+	rng := c.rng()
+	var rows []SpaceRow
+	for _, n := range c.sweepSizes() {
+		row := SpaceRow{N: n}
+		row.DisjointMarkers = markersOf(workload.DisjointIntervals(n))
+		row.RandomMarkers = markersOf(workload.Intervals(rng, n, 0))
+		row.NestedMarkers = markersOf(workload.NestedIntervals(n))
+		rows = append(rows, row)
+	}
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, "\nSection 5.1 space: markers in a balanced IBS-tree\n")
+		fmt.Fprintf(c.Out, "%8s %12s %12s %12s %12s %12s %12s\n",
+			"N", "disjoint", "per-N", "random", "per-N", "nested", "per-N")
+		for _, r := range rows {
+			fmt.Fprintf(c.Out, "%8d %12d %12.2f %12d %12.2f %12d %12.2f\n",
+				r.N,
+				r.DisjointMarkers, float64(r.DisjointMarkers)/float64(r.N),
+				r.RandomMarkers, float64(r.RandomMarkers)/float64(r.N),
+				r.NestedMarkers, float64(r.NestedMarkers)/float64(r.N))
+		}
+	}
+	return rows
+}
+
+func markersOf(ivs []interval.Interval[int64]) int {
+	tree := ibs.New(ivindex.Int64Cmp, ibs.Balanced(true))
+	for i, iv := range ivs {
+		if err := tree.Insert(markset.ID(i), iv); err != nil {
+			panic(err)
+		}
+	}
+	return tree.MarkerCount()
+}
+
+// BalanceRow is one row of the Section 4.3 balancing ablation.
+type BalanceRow struct {
+	N                  int
+	BalancedHeight     int
+	UnbalancedHeight   int
+	BalancedSearchUs   float64
+	UnbalancedSearchUs float64
+}
+
+// Balance quantifies what the paper's Section 4.3 buys: under sorted
+// (adversarial) insertion order, the unbalanced IBS-tree the paper's
+// prototype used degrades to a linear spine, while the AVL variant with
+// the Figure 6 mark rotation rules keeps logarithmic height and search.
+func Balance(c Config) []BalanceRow {
+	rng := c.rng()
+	queries := 2000
+	if c.Quick {
+		queries = 300
+	}
+	var rows []BalanceRow
+	for _, n := range c.sweepSizes() {
+		row := BalanceRow{N: n}
+		// Sorted, non-overlapping intervals: worst case for an
+		// unbalanced BST.
+		ivs := workload.DisjointIntervals(n)
+		for _, balanced := range []bool{true, false} {
+			tree := ibs.New(ivindex.Int64Cmp, ibs.Balanced(balanced))
+			for i, iv := range ivs {
+				if err := tree.Insert(markset.ID(i), iv); err != nil {
+					panic(err)
+				}
+			}
+			points := make([]int64, queries)
+			for i := range points {
+				points[i] = rng.Int63n(int64(n) * 20)
+			}
+			var buf []markset.ID
+			us := timeOp(queries, func() {
+				for _, x := range points {
+					buf = tree.StabAppend(x, buf[:0])
+				}
+			})
+			if balanced {
+				row.BalancedHeight = tree.Height()
+				row.BalancedSearchUs = us
+			} else {
+				row.UnbalancedHeight = tree.Height()
+				row.UnbalancedSearchUs = us
+			}
+		}
+		rows = append(rows, row)
+	}
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, "\nSection 4.3 ablation: balanced vs unbalanced under sorted insertion\n")
+		fmt.Fprintf(c.Out, "%8s %14s %14s %16s %16s\n",
+			"N", "height(bal)", "height(unbal)", "search(bal) us", "search(unbal) us")
+		for _, r := range rows {
+			fmt.Fprintf(c.Out, "%8d %14d %14d %16.3f %16.3f\n",
+				r.N, r.BalancedHeight, r.UnbalancedHeight, r.BalancedSearchUs, r.UnbalancedSearchUs)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"predmatch/internal/core"
+	"predmatch/internal/hashseq"
+	"predmatch/internal/ibs"
+	"predmatch/internal/matcher"
+	"predmatch/internal/phylock"
+	"predmatch/internal/pred"
+	"predmatch/internal/rtree"
+	"predmatch/internal/selectivity"
+	"predmatch/internal/seqscan"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/workload"
+)
+
+// Strategies runs the whole-scheme shoot-out across the paper's
+// Section 2 baselines and the Section 4 IBS-tree scheme: per-tuple match
+// cost as the number of predicates grows, on a multi-relation population
+// with mixed clause shapes. The physical-locking baseline appears twice,
+// with and without secondary indexes, exposing its relation-lock
+// degeneration ("this degenerate case requires sequentially testing a
+// new or modified tuple against all the predicates").
+func Strategies(c Config) []Series {
+	sizes := []int{50, 100, 200, 400, 800}
+	queries := 2000
+	if c.Quick {
+		sizes = []int{50, 150}
+		queries = 300
+	}
+
+	kinds := []string{"seqscan", "hashseq", "rtree", "phylock-noidx", "phylock-idx", "ibs"}
+	series := make(map[string]*Series, len(kinds))
+	var order []*Series
+	for _, k := range kinds {
+		s := &Series{Name: k}
+		series[k] = s
+		order = append(order, s)
+	}
+
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(c.Seed + int64(n)))
+		spec := workload.SchemaSpec{
+			Relations:     4,
+			AttrsPerRel:   15,
+			UsedAttrFrac:  1.0 / 3.0,
+			PredsPerRel:   n,
+			ClausesPer:    2,
+			IndexableFrac: 0.9,
+			PointFrac:     0.5,
+		}
+		pop, err := spec.Build(rng)
+		if err != nil {
+			panic(err)
+		}
+
+		// Pre-draw the tuple stream: round-robin over relations.
+		tuples := make([]tuple.Tuple, queries)
+		rels := make([]string, queries)
+		for i := range tuples {
+			rel := pop.Rels[i%len(pop.Rels)]
+			rels[i] = rel.Name()
+			tuples[i] = pop.Tuple(rng, rel)
+		}
+
+		for _, kind := range kinds {
+			m := buildStrategy(kind, pop)
+			for _, p := range pop.Preds {
+				if err := m.Add(p); err != nil {
+					panic(fmt.Sprintf("%s: %v", kind, err))
+				}
+			}
+			var buf []pred.ID
+			us := timeOp(queries, func() {
+				for i, t := range tuples {
+					buf, _ = m.Match(rels[i], t, buf[:0])
+				}
+			})
+			series[kind].Points = append(series[kind].Points, Point{N: n * spec.Relations, Us: us})
+		}
+	}
+
+	out := make([]Series, 0, len(order))
+	for _, s := range order {
+		out = append(out, *s)
+	}
+	if c.Out != nil {
+		printSeries(c.Out, "Matching strategies: per-tuple match cost vs total predicates", "us/tuple", out)
+	}
+	return out
+}
+
+// buildStrategy constructs one matcher over the population, including
+// the storage substrate the physical-locking baseline needs.
+func buildStrategy(kind string, pop *workload.Population) matcher.Matcher {
+	switch kind {
+	case "seqscan":
+		return seqscan.New(pop.Catalog, pop.Funcs)
+	case "hashseq":
+		return hashseq.New(pop.Catalog, pop.Funcs)
+	case "rtree":
+		return rtree.NewPredMatcher(pop.Catalog, pop.Funcs)
+	case "ibs":
+		return core.New(pop.Catalog, pop.Funcs, core.WithEstimator(selectivity.Static{}))
+	case "ibs-unbalanced":
+		return core.New(pop.Catalog, pop.Funcs,
+			core.WithEstimator(selectivity.Static{}),
+			core.WithTreeOptions(ibs.Balanced(false)),
+			core.WithName("ibs-unbalanced"))
+	case "phylock-noidx", "phylock-idx":
+		db := storage.NewDB()
+		for _, rel := range pop.Rels {
+			tab, err := db.CreateRelation(rel)
+			if err != nil {
+				panic(err)
+			}
+			if kind == "phylock-idx" {
+				// Index the attributes predicates actually restrict (the
+				// first third of each relation's attributes).
+				used := rel.Arity() / 3
+				if used < 1 {
+					used = 1
+				}
+				for a := 0; a < used; a++ {
+					if err := tab.CreateIndex(rel.Attrs()[a].Name); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+		return phylock.New(db, pop.Funcs)
+	default:
+		panic("unknown strategy " + kind)
+	}
+}

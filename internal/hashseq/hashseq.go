@@ -1,0 +1,84 @@
+// Package hashseq implements the paper's Section 2.2 baseline: one list
+// of predicates per relation, located by hashing on the relation name,
+// then tested sequentially. This is "essentially the algorithm used in
+// many main-memory-based production rule systems including some
+// implementations of OPS5": it performs well when the average number of
+// predicates per relation is small and evenly distributed.
+package hashseq
+
+import (
+	"fmt"
+
+	"predmatch/internal/matcher"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+)
+
+// Matcher is the hash-on-relation-plus-sequential-search strategy.
+type Matcher struct {
+	catalog *schema.Catalog
+	funcs   *pred.Registry
+	byRel   map[string][]*pred.Bound
+	preds   map[pred.ID]*pred.Bound
+}
+
+var _ matcher.Matcher = (*Matcher)(nil)
+
+// New returns an empty matcher.
+func New(catalog *schema.Catalog, funcs *pred.Registry) *Matcher {
+	return &Matcher{
+		catalog: catalog,
+		funcs:   funcs,
+		byRel:   make(map[string][]*pred.Bound),
+		preds:   make(map[pred.ID]*pred.Bound),
+	}
+}
+
+// Name implements matcher.Matcher.
+func (m *Matcher) Name() string { return "hashseq" }
+
+// Len implements matcher.Matcher.
+func (m *Matcher) Len() int { return len(m.preds) }
+
+// Add implements matcher.Matcher.
+func (m *Matcher) Add(p *pred.Predicate) error {
+	if _, dup := m.preds[p.ID]; dup {
+		return fmt.Errorf("hashseq: duplicate predicate id %d", p.ID)
+	}
+	b, err := p.Bind(m.catalog, m.funcs)
+	if err != nil {
+		return err
+	}
+	m.preds[p.ID] = b
+	m.byRel[p.Rel] = append(m.byRel[p.Rel], b)
+	return nil
+}
+
+// Remove implements matcher.Matcher.
+func (m *Matcher) Remove(id pred.ID) error {
+	b, ok := m.preds[id]
+	if !ok {
+		return fmt.Errorf("hashseq: unknown predicate id %d", id)
+	}
+	delete(m.preds, id)
+	list := m.byRel[b.Pred.Rel]
+	for i, x := range list {
+		if x.Pred.ID == id {
+			m.byRel[b.Pred.Rel] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Match implements matcher.Matcher: hash to the relation's list, then
+// test each of its predicates.
+func (m *Matcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	for _, b := range m.byRel[rel] {
+		if b.Match(t) {
+			dst = append(dst, b.Pred.ID)
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,22 @@
+package hashseq_test
+
+import (
+	"testing"
+
+	"predmatch/internal/hashseq"
+	"predmatch/internal/matcher"
+	"predmatch/internal/matchertest"
+)
+
+func TestConformance(t *testing.T) {
+	matchertest.Run(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return hashseq.New(f.Catalog, f.Funcs)
+	})
+}
+
+func TestName(t *testing.T) {
+	m := hashseq.New(matchertest.NewFixture().Catalog, nil)
+	if m.Name() != "hashseq" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}

@@ -1,0 +1,277 @@
+package ibs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"predmatch/internal/interval"
+)
+
+// CheckInvariants exhaustively verifies the tree. It is exported for use
+// by tests, fuzzing harnesses and debugging sessions; it is O(N * M) in
+// nodes N and intervals M and is never called on hot paths.
+//
+// The checks are:
+//
+//  1. Search-tree order, height bookkeeping and (when enabled) the AVL
+//     balance condition.
+//  2. Mark soundness: an id in '=' of a node implies the interval contains
+//     the node's value; an id in '<' ('>') implies the interval covers the
+//     entire routing range of the left (right) subtree.
+//  3. Registry consistency: the marks recorded for each interval are
+//     exactly the marks present in the tree, and the global marker count
+//     matches.
+//  4. Endpoint references: a node's lo/hi sets name exactly the intervals
+//     having the node's value as their finite lower/upper endpoint, and
+//     every finite endpoint of every interval has a node.
+//  5. Completeness and exactness of stabbing: for every node value v, the
+//     marks collected along the search path to v equal the set of
+//     intervals containing v; for every leaf gap (routing range of a nil
+//     child), the marks collected along the path equal the set of
+//     intervals covering that whole open range. Because every finite
+//     endpoint is a node value, an interval either covers a leaf gap
+//     entirely or not at all, so these finitely many probes cover every
+//     possible query point.
+func (t *Tree[T]) CheckInvariants() error {
+	var errs []string
+	fail := func(format string, args ...any) {
+		if len(errs) < 20 {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Expected marker locations per interval, gathered from the tree.
+	type loc struct {
+		n *node[T]
+		s slot
+	}
+	seen := make(map[ID][]loc)
+	total := 0
+
+	var walk func(n *node[T], lo, hi interval.Bound[T]) int32
+	walk = func(n *node[T], lo, hi interval.Bound[T]) int32 {
+		if n == nil {
+			return 0
+		}
+		if lo.Kind == interval.Finite && t.cmp(n.value, lo.Value) <= 0 {
+			fail("bst order violated at %v (lower bound %v)", n.value, lo.Value)
+		}
+		if hi.Kind == interval.Finite && t.cmp(n.value, hi.Value) >= 0 {
+			fail("bst order violated at %v (upper bound %v)", n.value, hi.Value)
+		}
+		lh := walk(n.left, lo, finiteBound(n.value))
+		rh := walk(n.right, finiteBound(n.value), hi)
+		h := max32(lh, rh) + 1
+		if n.height != h {
+			fail("height bookkeeping wrong at %v: stored %d, actual %d", n.value, n.height, h)
+		}
+		if t.balanced && (lh-rh > 1 || rh-lh > 1) {
+			fail("avl balance violated at %v: |%d - %d| > 1", n.value, lh, rh)
+		}
+
+		// Mark soundness.
+		n.marks[slotEQ].Each(func(id ID) bool {
+			rec, ok := t.recs[id]
+			if !ok {
+				fail("mark '=' at %v references unknown id %d", n.value, id)
+			} else if !rec.iv.Contains(t.cmp, n.value) {
+				fail("unsound '=' mark: id %d %v does not contain %v", id, rec.iv, n.value)
+			}
+			seen[id] = append(seen[id], loc{n, slotEQ})
+			total++
+			return true
+		})
+		n.marks[slotLT].Each(func(id ID) bool {
+			rec, ok := t.recs[id]
+			if !ok {
+				fail("mark '<' at %v references unknown id %d", n.value, id)
+			} else if !rec.iv.CoversOpenRange(t.cmp, lo, finiteBound(n.value)) {
+				fail("unsound '<' mark: id %d %v does not cover (%v, %v)", id, rec.iv, lo, n.value)
+			}
+			seen[id] = append(seen[id], loc{n, slotLT})
+			total++
+			return true
+		})
+		n.marks[slotGT].Each(func(id ID) bool {
+			rec, ok := t.recs[id]
+			if !ok {
+				fail("mark '>' at %v references unknown id %d", n.value, id)
+			} else if !rec.iv.CoversOpenRange(t.cmp, finiteBound(n.value), hi) {
+				fail("unsound '>' mark: id %d %v does not cover (%v, %v)", id, rec.iv, n.value, hi)
+			}
+			seen[id] = append(seen[id], loc{n, slotGT})
+			total++
+			return true
+		})
+
+		// Endpoint references.
+		n.lo.Each(func(id ID) bool {
+			rec, ok := t.recs[id]
+			if !ok {
+				fail("lo endpoint set at %v references unknown id %d", n.value, id)
+			} else if rec.iv.Lo.Kind != interval.Finite || t.cmp(rec.iv.Lo.Value, n.value) != 0 {
+				fail("lo endpoint set at %v wrongly includes id %d %v", n.value, id, rec.iv)
+			}
+			return true
+		})
+		n.hi.Each(func(id ID) bool {
+			rec, ok := t.recs[id]
+			if !ok {
+				fail("hi endpoint set at %v references unknown id %d", n.value, id)
+			} else if rec.iv.Hi.Kind != interval.Finite || t.cmp(rec.iv.Hi.Value, n.value) != 0 {
+				fail("hi endpoint set at %v wrongly includes id %d %v", n.value, id, rec.iv)
+			}
+			return true
+		})
+		return h
+	}
+	walk(t.root, interval.Below[T](), interval.Above[T]())
+
+	// Registry consistency.
+	if total != t.marks {
+		fail("marker count mismatch: tree has %d, accounted %d", total, t.marks)
+	}
+	for id, rec := range t.recs {
+		got := seen[id]
+		if len(got) != len(rec.marks) {
+			fail("registry mismatch for id %d: tree has %d marks, registry %d", id, len(got), len(rec.marks))
+			continue
+		}
+		for _, l := range rec.marks {
+			if !l.n.marks[l.s].Has(id) {
+				fail("registry for id %d lists mark %s at %v not present in tree", id, l.s, l.n.value)
+			}
+		}
+		// Registry entries must be distinct locations.
+		for i := 0; i < len(rec.marks); i++ {
+			for j := i + 1; j < len(rec.marks); j++ {
+				if rec.marks[i] == rec.marks[j] {
+					fail("registry for id %d has duplicate location %s at %v", id, rec.marks[i].s, rec.marks[i].n.value)
+				}
+			}
+		}
+		// Every finite endpoint must have a node referencing the interval.
+		if rec.iv.Lo.Kind == interval.Finite {
+			if n := t.find(rec.iv.Lo.Value); n == nil || !n.lo.Has(id) {
+				fail("lower endpoint %v of id %d has no referencing node", rec.iv.Lo.Value, id)
+			}
+		}
+		if rec.iv.Hi.Kind == interval.Finite {
+			if n := t.find(rec.iv.Hi.Value); n == nil || !n.hi.Has(id) {
+				fail("upper endpoint %v of id %d has no referencing node", rec.iv.Hi.Value, id)
+			}
+		}
+	}
+	for id := range seen {
+		if _, ok := t.recs[id]; !ok {
+			fail("tree contains marks for deleted id %d", id)
+		}
+	}
+
+	// Completeness/exactness by structural probing.
+	expectAt := func(v T) map[ID]bool {
+		want := make(map[ID]bool)
+		for id, rec := range t.recs {
+			if rec.iv.Contains(t.cmp, v) {
+				want[id] = true
+			}
+		}
+		return want
+	}
+	expectRange := func(lo, hi interval.Bound[T]) map[ID]bool {
+		want := make(map[ID]bool)
+		for id, rec := range t.recs {
+			if rec.iv.CoversOpenRange(t.cmp, lo, hi) {
+				want[id] = true
+			}
+		}
+		return want
+	}
+	compare := func(where string, got, want map[ID]bool) {
+		for id := range want {
+			if !got[id] {
+				fail("incomplete: id %d missing from stab %s", id, where)
+			}
+		}
+		for id := range got {
+			if !want[id] {
+				fail("unsound: id %d wrongly reported by stab %s", id, where)
+			}
+		}
+	}
+	var probe func(n *node[T], lo, hi interval.Bound[T], collected map[ID]bool)
+	probe = func(n *node[T], lo, hi interval.Bound[T], collected map[ID]bool) {
+		if n == nil {
+			compare(fmt.Sprintf("over gap (%v, %v)", lo, hi), collected, expectRange(lo, hi))
+			return
+		}
+		atValue := copyMap(collected)
+		n.marks[slotEQ].Each(func(id ID) bool { atValue[id] = true; return true })
+		compare(fmt.Sprintf("at %v", n.value), atValue, expectAt(n.value))
+
+		goLeft := copyMap(collected)
+		n.marks[slotLT].Each(func(id ID) bool { goLeft[id] = true; return true })
+		probe(n.left, lo, finiteBound(n.value), goLeft)
+
+		goRight := copyMap(collected)
+		n.marks[slotGT].Each(func(id ID) bool { goRight[id] = true; return true })
+		probe(n.right, finiteBound(n.value), hi, goRight)
+	}
+	seed := make(map[ID]bool, len(t.universal))
+	for id := range t.universal {
+		if _, ok := t.recs[id]; !ok {
+			fail("universal set contains deleted id %d", id)
+		}
+		seed[id] = true
+	}
+	probe(t.root, interval.Below[T](), interval.Above[T](), seed)
+
+	if len(errs) > 0 {
+		return fmt.Errorf("ibs invariants violated:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+func copyMap(m map[ID]bool) map[ID]bool {
+	out := make(map[ID]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Dump renders the tree structure with mark sets, for debugging and for
+// golden tests of small examples (such as the paper's Figure 2 data).
+func (t *Tree[T]) Dump() string {
+	var b strings.Builder
+	var walk func(n *node[T], depth int)
+	walk = func(n *node[T], depth int) {
+		if n == nil {
+			return
+		}
+		walk(n.right, depth+1)
+		fmt.Fprintf(&b, "%s%v  <%v =%v >%v\n",
+			strings.Repeat("    ", depth), n.value,
+			fmtIDs(n.marks[slotLT].IDs()), fmtIDs(n.marks[slotEQ].IDs()), fmtIDs(n.marks[slotGT].IDs()))
+		walk(n.left, depth+1)
+	}
+	walk(t.root, 0)
+	return b.String()
+}
+
+func fmtIDs(ids []ID) string {
+	ss := make([]string, len(ids))
+	for i, id := range ids {
+		ss[i] = fmt.Sprint(id)
+	}
+	sort.Strings(ss)
+	return "{" + strings.Join(ss, ",") + "}"
+}

@@ -1,0 +1,56 @@
+package ibs_test
+
+import (
+	"fmt"
+
+	"predmatch/internal/ibs"
+	"predmatch/internal/interval"
+)
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Example indexes a handful of range predicates and stabs the tree with
+// attribute values, as the paper's rule system does per tuple.
+func Example() {
+	tree := ibs.New(cmpInt)
+	_ = tree.Insert(1, interval.Closed(20000, 30000)) // 20000 <= salary <= 30000
+	_ = tree.Insert(2, interval.Less(20000))          // salary < 20000
+	_ = tree.Insert(3, interval.Point(25000))         // salary = 25000
+
+	fmt.Println(tree.Stab(15000))
+	fmt.Println(tree.Stab(25000))
+	fmt.Println(tree.Stab(20000))
+	// Output:
+	// [2]
+	// [1 3]
+	// [1]
+}
+
+func ExampleTree_Delete() {
+	tree := ibs.New(cmpInt)
+	_ = tree.Insert(1, interval.Closed(0, 10))
+	_ = tree.Insert(2, interval.Closed(5, 15))
+	_ = tree.Delete(1)
+	fmt.Println(tree.Stab(7), tree.Len())
+	// Output: [2] 1
+}
+
+func ExampleTree_Overlapping() {
+	tree := ibs.New(cmpInt)
+	_ = tree.Insert(1, interval.ClosedOpen(9, 12))  // meeting 9:00-12:00
+	_ = tree.Insert(2, interval.ClosedOpen(13, 14)) // meeting 13:00-14:00
+	fmt.Println(tree.Overlapping(interval.ClosedOpen(11, 13)))
+	fmt.Println(tree.Overlapping(interval.ClosedOpen(12, 13)))
+	// Output:
+	// [1]
+	// []
+}

@@ -1,0 +1,174 @@
+package ibs
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"predmatch/internal/interval"
+)
+
+// opInterpreter drives a tree and the naive reference from a byte/word
+// stream, shared by the fuzz target and the quick property. Each opcode
+// is decoded into insert (with a shape and two bounds), delete (of a
+// live interval picked by index), or a full-tree verification.
+type opInterpreter struct {
+	tr    *Tree[int]
+	ref   *naiveIndex
+	live  []ID
+	next  ID
+	fatal func(format string, args ...any)
+}
+
+func newOpInterpreter(balanced bool, fatal func(string, ...any)) *opInterpreter {
+	return &opInterpreter{
+		tr:    New(intCmp, Balanced(balanced)),
+		ref:   newNaive(),
+		fatal: fatal,
+	}
+}
+
+// step consumes one operation descriptor. Values are reduced to a small
+// domain so collisions (shared endpoints, duplicate intervals) are
+// common.
+func (oi *opInterpreter) step(op, rawA, rawB uint8) {
+	a, b := int(rawA%40), int(rawB%40)
+	if a > b {
+		a, b = b, a
+	}
+	switch op % 8 {
+	case 0, 1, 2, 3: // insert
+		var iv interval.Interval[int]
+		switch op % 4 {
+		case 0:
+			iv = interval.Point(a)
+		case 1:
+			iv = interval.Closed(a, b)
+		case 2:
+			if a == b {
+				iv = interval.Point(a)
+			} else {
+				iv = interval.Open(a, b)
+			}
+		default:
+			switch b % 3 {
+			case 0:
+				iv = interval.AtLeast(a)
+			case 1:
+				iv = interval.AtMost(a)
+			default:
+				iv = interval.All[int]()
+			}
+		}
+		id := oi.next
+		oi.next++
+		if err := oi.tr.Insert(id, iv); err != nil {
+			oi.fatal("Insert(%d, %v): %v", id, iv, err)
+			return
+		}
+		oi.ref.insert(id, iv)
+		oi.live = append(oi.live, id)
+	case 4, 5: // delete
+		if len(oi.live) == 0 {
+			return
+		}
+		i := (int(rawA)*37 + int(rawB)) % len(oi.live)
+		id := oi.live[i]
+		oi.live = append(oi.live[:i], oi.live[i+1:]...)
+		if err := oi.tr.Delete(id); err != nil {
+			oi.fatal("Delete(%d): %v", id, err)
+			return
+		}
+		oi.ref.delete(id)
+	default: // stab probes
+		for _, x := range []int{a - 1, a, a + 1, b, 45} {
+			got := oi.tr.Stab(x)
+			want := oi.ref.stab(x)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				oi.fatal("Stab(%d) = %v, want %v", x, got, want)
+				return
+			}
+		}
+	}
+}
+
+func (oi *opInterpreter) verify() {
+	if err := oi.tr.CheckInvariants(); err != nil {
+		oi.fatal("invariants: %v", err)
+	}
+}
+
+// FuzzOps feeds arbitrary operation streams through both tree variants.
+// Run with `go test -fuzz FuzzOps ./internal/ibs` for open-ended
+// exploration; the seed corpus below runs as part of the normal suite.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 5, 9, 1, 3, 30, 4, 0, 0, 6, 5, 5})
+	f.Add([]byte{3, 0, 0, 3, 1, 1, 3, 2, 2, 4, 9, 9, 6, 1, 2})
+	f.Add([]byte{1, 10, 20, 1, 15, 25, 1, 5, 30, 4, 1, 1, 6, 18, 22})
+	f.Add([]byte{2, 7, 7, 0, 7, 7, 4, 0, 0, 4, 0, 0, 6, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, balanced := range []bool{true, false} {
+			fatal := func(format string, args ...any) { t.Fatalf(format, args...) }
+			oi := newOpInterpreter(balanced, fatal)
+			for i := 0; i+2 < len(data) && i < 3*200; i += 3 {
+				oi.step(data[i], data[i+1], data[i+2])
+			}
+			oi.verify()
+		}
+	})
+}
+
+// TestQuickOpSequences is the same interpreter under testing/quick:
+// random op streams must keep the tree equivalent to the reference and
+// structurally sound.
+func TestQuickOpSequences(t *testing.T) {
+	for _, balanced := range []bool{true, false} {
+		balanced := balanced
+		check := func(ops []uint8) bool {
+			good := true
+			fatal := func(format string, args ...any) {
+				t.Logf(format, args...)
+				good = false
+			}
+			oi := newOpInterpreter(balanced, fatal)
+			for i := 0; i+2 < len(ops) && good; i += 3 {
+				oi.step(ops[i], ops[i+1], ops[i+2])
+			}
+			if good {
+				oi.verify()
+			}
+			return good
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("balanced=%v: %v", balanced, err)
+		}
+	}
+}
+
+// TestStabSortedUnique asserts the documented Stab contract directly:
+// results are ascending and duplicate-free even after heavy rotation
+// traffic.
+func TestStabSortedUnique(t *testing.T) {
+	tr := New(intCmp, Balanced(true))
+	for i := 0; i < 200; i++ {
+		iv := interval.Closed(i%20, i%20+10)
+		if err := tr.Insert(ID(i), iv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for x := -2; x < 35; x++ {
+		got := tr.Stab(x)
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("Stab(%d) not sorted: %v", x, got)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Fatalf("Stab(%d) has duplicate %d", x, got[i])
+			}
+		}
+	}
+}

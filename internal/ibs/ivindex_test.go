@@ -1,0 +1,29 @@
+package ibs_test
+
+import (
+	"testing"
+
+	"predmatch/internal/ibs"
+	"predmatch/internal/ivindex"
+)
+
+// adapters run the IBS-tree through the same conformance harness as the
+// comparator interval indexes (augtree, pst, rtree-1d).
+type adapter struct {
+	*ibs.Tree[int64]
+	name string
+}
+
+func (a adapter) Name() string { return a.name }
+
+func TestIvindexConformanceBalanced(t *testing.T) {
+	ivindex.Run(t, func() ivindex.Index {
+		return adapter{ibs.New(ivindex.Int64Cmp, ibs.Balanced(true)), "ibs"}
+	}, true)
+}
+
+func TestIvindexConformanceUnbalanced(t *testing.T) {
+	ivindex.Run(t, func() ivindex.Index {
+		return adapter{ibs.New(ivindex.Int64Cmp, ibs.Balanced(false)), "ibs-unbalanced"}
+	}, true)
+}

@@ -1,0 +1,144 @@
+package ibs
+
+import "predmatch/internal/interval"
+
+// This file implements mark placement and removal: the paper's addLeft
+// (Figure 3) and its mirror addRight, plus the mark registry that lets
+// deletion remove exactly the marks an interval owns even after rotations
+// have moved them off the canonical insertion paths.
+//
+// Instead of the paper's rightUp/leftUp parent traversals, the routing
+// bound of the current subtree is threaded down the recursion: when the
+// walk turns left at a node, the node's value becomes the right routing
+// bound of the subtree below (i.e. the value of rightUp for every node on
+// that side), and symmetrically for left bounds.
+
+// mark places id in slot s of n and records the location in the registry.
+func (t *Tree[T]) mark(n *node[T], s slot, id ID) {
+	if !n.marks[s].Add(id) {
+		return
+	}
+	rec := t.recs[id]
+	rec.marks = append(rec.marks, markLoc[T]{n: n, s: s})
+	t.marks++
+}
+
+// unmark removes id from slot s of n and from the registry.
+func (t *Tree[T]) unmark(n *node[T], s slot, id ID) {
+	if !n.marks[s].Remove(id) {
+		return
+	}
+	t.marks--
+	rec := t.recs[id]
+	for i := range rec.marks {
+		if rec.marks[i].n == n && rec.marks[i].s == s {
+			last := len(rec.marks) - 1
+			rec.marks[i] = rec.marks[last]
+			rec.marks = rec.marks[:last]
+			return
+		}
+	}
+	panic("ibs: mark registry out of sync")
+}
+
+// unmarkAll removes every mark owned by id.
+func (t *Tree[T]) unmarkAll(id ID, rec *record[T]) {
+	for _, loc := range rec.marks {
+		loc.n.marks[loc.s].Remove(id)
+	}
+	t.marks -= len(rec.marks)
+	rec.marks = rec.marks[:0]
+}
+
+// placeMarks runs both endpoint walks for an interval already present in
+// the registry. Endpoint nodes must already exist in the tree.
+func (t *Tree[T]) placeMarks(id ID, rec *record[T]) {
+	t.addLeft(id, rec, t.root, interval.Above[T]())
+	t.addRight(id, rec, t.root, interval.Below[T]())
+}
+
+// finiteBound wraps a routing value as an (exclusive) range bound.
+func finiteBound[T any](v T) interval.Bound[T] {
+	return interval.Bound[T]{Kind: interval.Finite, Value: v}
+}
+
+// addLeft descends toward the interval's lower endpoint, placing marks
+// (paper Figure 3). rhi is the right routing bound of the subtree rooted
+// at n — the value of the paper's rightUp(n), so the routing range of n's
+// right subtree is the open range (n.value, rhi).
+//
+// An unbounded lower end compares below every node value, so the walk
+// follows the left spine and terminates at nil without creating a node.
+func (t *Tree[T]) addLeft(id ID, rec *record[T], n *node[T], rhi interval.Bound[T]) {
+	iv := rec.iv
+	for n != nil {
+		c := -1
+		if iv.Lo.Kind == interval.Finite {
+			c = t.cmp(iv.Lo.Value, n.value)
+		}
+		switch {
+		case c == 0:
+			// Node value equals the lower endpoint. If the entire right
+			// subtree routing range (n.value, rhi) lies within the
+			// interval, one '>' mark covers it.
+			if iv.CoversOpenRange(t.cmp, finiteBound(n.value), rhi) {
+				t.mark(n, slotGT, id)
+			}
+			if iv.Lo.Closed {
+				t.mark(n, slotEQ, id)
+			}
+			return
+		case c > 0:
+			// Node value below the lower endpoint: continue right. The
+			// right routing bound is unchanged.
+			n = n.right
+		default:
+			// Node value above the lower endpoint: mark and continue left.
+			if iv.Contains(t.cmp, n.value) {
+				t.mark(n, slotEQ, id)
+			}
+			if iv.CoversOpenRange(t.cmp, finiteBound(n.value), rhi) {
+				t.mark(n, slotGT, id)
+			}
+			rhi = finiteBound(n.value)
+			n = n.left
+		}
+	}
+}
+
+// addRight is the mirror of addLeft: it descends toward the interval's
+// upper endpoint. rlo is the left routing bound of the subtree rooted at
+// n (the paper's leftUp(n)), so n's left subtree routing range is the
+// open range (rlo, n.value).
+func (t *Tree[T]) addRight(id ID, rec *record[T], n *node[T], rlo interval.Bound[T]) {
+	iv := rec.iv
+	for n != nil {
+		c := 1
+		if iv.Hi.Kind == interval.Finite {
+			c = t.cmp(iv.Hi.Value, n.value)
+		}
+		switch {
+		case c == 0:
+			if iv.CoversOpenRange(t.cmp, rlo, finiteBound(n.value)) {
+				t.mark(n, slotLT, id)
+			}
+			if iv.Hi.Closed {
+				t.mark(n, slotEQ, id)
+			}
+			return
+		case c < 0:
+			// Node value above the upper endpoint: continue left.
+			n = n.left
+		default:
+			// Node value below the upper endpoint: mark and continue right.
+			if iv.Contains(t.cmp, n.value) {
+				t.mark(n, slotEQ, id)
+			}
+			if iv.CoversOpenRange(t.cmp, rlo, finiteBound(n.value)) {
+				t.mark(n, slotLT, id)
+			}
+			rlo = finiteBound(n.value)
+			n = n.right
+		}
+	}
+}

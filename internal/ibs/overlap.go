@@ -1,0 +1,80 @@
+package ibs
+
+import "predmatch/internal/interval"
+
+// This file extends the IBS-tree with interval-overlap queries: find all
+// stored intervals sharing at least one point with a query interval.
+// The paper only needs point stabbing (a tuple's attribute value), but a
+// range query falls out naturally and is what several of the conclusion's
+// proposed applications (VLSI CAD, geographic data) actually want.
+//
+// Candidate generation is exact-superset: any stored interval I
+// overlapping query Q either contains one of Q's finite boundary values
+// (found by point stabs) or has a finite endpoint inside Q's closed value
+// hull (found by walking the tree's nodes within the hull and collecting
+// their endpoint-reference sets); intervals unbounded on both sides
+// always overlap. Candidates are then filtered with the exact Overlaps
+// test, so boundary-closedness corner cases cannot produce false
+// positives.
+
+// Overlapping returns the ids of all stored intervals that overlap q,
+// in ascending order.
+func (t *Tree[T]) Overlapping(q interval.Interval[T]) []ID {
+	return t.OverlappingAppend(q, nil)
+}
+
+// OverlappingAppend appends the ids of all stored intervals overlapping
+// q to dst; the appended region is sorted and duplicate-free. The cost is
+// O(log N + K + M) where K is the number of endpoint nodes inside q's
+// hull and M the number of results.
+func (t *Tree[T]) OverlappingAppend(q interval.Interval[T], dst []ID) []ID {
+	if err := q.Validate(t.cmp); err != nil {
+		return dst
+	}
+	start := len(dst)
+
+	// Universal intervals overlap everything.
+	for id := range t.universal {
+		dst = append(dst, id)
+	}
+	// Boundary stabs.
+	if q.Lo.Kind == interval.Finite {
+		dst = t.StabAppend(q.Lo.Value, dst)
+	}
+	if q.Hi.Kind == interval.Finite {
+		dst = t.StabAppend(q.Hi.Value, dst)
+	}
+	// Endpoint-reference walk over the closed hull [q.Lo.Value,
+	// q.Hi.Value] (unbounded sides extend to the tree's ends).
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		// Prune subtrees entirely outside the hull.
+		aboveLo := q.Lo.Kind == interval.NegInf || t.cmp(n.value, q.Lo.Value) >= 0
+		belowHi := q.Hi.Kind == interval.PosInf || t.cmp(n.value, q.Hi.Value) <= 0
+		if aboveLo {
+			walk(n.left)
+		}
+		if aboveLo && belowHi {
+			n.lo.Each(func(id ID) bool { dst = append(dst, id); return true })
+			n.hi.Each(func(id ID) bool { dst = append(dst, id); return true })
+		}
+		if belowHi {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+
+	// Exact filter + dedupe.
+	dst = dedupeSorted(dst, start)
+	w := start
+	for _, id := range dst[start:] {
+		if rec, ok := t.recs[id]; ok && rec.iv.Overlaps(t.cmp, q) {
+			dst[w] = id
+			w++
+		}
+	}
+	return dst[:w]
+}

@@ -1,0 +1,114 @@
+package ibs
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/interval"
+)
+
+func TestOverlappingBasic(t *testing.T) {
+	tr := New(intCmp)
+	mustInsert(t, tr, 1, interval.Closed(0, 10))
+	mustInsert(t, tr, 2, interval.Closed(20, 30))
+	mustInsert(t, tr, 3, interval.Point(15))
+	mustInsert(t, tr, 4, interval.AtLeast(25))
+	mustInsert(t, tr, 5, interval.All[int]())
+
+	cases := []struct {
+		q    interval.Interval[int]
+		want []ID
+	}{
+		{interval.Closed(5, 16), []ID{1, 3, 5}},
+		{interval.Closed(11, 14), []ID{5}},
+		{interval.Point(10), []ID{1, 5}},
+		{interval.Open(10, 15), []ID{5}},
+		{interval.OpenClosed(10, 15), []ID{3, 5}},
+		{interval.AtLeast(31), []ID{4, 5}},
+		{interval.Less(0), []ID{5}},
+		{interval.AtMost(0), []ID{1, 5}},
+		{interval.All[int](), []ID{1, 2, 3, 4, 5}},
+	}
+	for _, tc := range cases {
+		got := tr.Overlapping(tc.q)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Overlapping(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Malformed queries return nothing.
+	if got := tr.Overlapping(interval.Closed(5, 1)); len(got) != 0 {
+		t.Errorf("malformed query returned %v", got)
+	}
+}
+
+// TestOverlappingBoundaryClosedness exercises the touching-end corner
+// cases the exact filter must decide.
+func TestOverlappingBoundaryClosedness(t *testing.T) {
+	tr := New(intCmp)
+	mustInsert(t, tr, 1, interval.ClosedOpen(0, 10)) // [0, 10)
+	mustInsert(t, tr, 2, interval.OpenClosed(10, 20))
+
+	if got := tr.Overlapping(interval.Point(10)); len(got) != 0 {
+		t.Errorf("Point(10) = %v; neither interval contains 10", got)
+	}
+	if got := tr.Overlapping(interval.Closed(10, 10)); len(got) != 0 {
+		t.Errorf("[10,10] = %v", got)
+	}
+	if got := tr.Overlapping(interval.Closed(9, 11)); !reflect.DeepEqual(got, []ID{1, 2}) {
+		t.Errorf("[9,11] = %v", got)
+	}
+	// Touching closed ends share the point 20; open ends do not.
+	if got := tr.Overlapping(interval.ClosedOpen(20, 30)); !reflect.DeepEqual(got, []ID{2}) {
+		t.Errorf("[20,30) = %v; (10,20] shares 20", got)
+	}
+	if got := tr.Overlapping(interval.OpenClosed(20, 30)); len(got) != 0 {
+		t.Errorf("(20,30] = %v; nothing shares a point above 20", got)
+	}
+}
+
+// TestOverlappingRandomized cross-checks against brute force, including
+// after deletions.
+func TestOverlappingRandomized(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(intCmp, Balanced(seed%2 == 0))
+		ref := newNaive()
+		for i := 0; i < 150; i++ {
+			iv := randomInterval(rng, 60)
+			mustInsert(t, tr, ID(i), iv)
+			ref.insert(ID(i), iv)
+		}
+		for i := 0; i < 150; i += 3 {
+			if err := tr.Delete(ID(i)); err != nil {
+				t.Fatal(err)
+			}
+			ref.delete(ID(i))
+		}
+		for trial := 0; trial < 300; trial++ {
+			q := randomInterval(rng, 60)
+			got := tr.Overlapping(q)
+			var want []ID
+			for id, iv := range ref.ivs {
+				if iv.Overlaps(intCmp, q) {
+					want = append(want, id)
+				}
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: Overlapping(%v) = %v, want %v", seed, q, got, want)
+			}
+		}
+	}
+}
+
+func TestOverlappingEmptyTree(t *testing.T) {
+	tr := New(intCmp)
+	if got := tr.Overlapping(interval.Closed(1, 5)); len(got) != 0 {
+		t.Fatalf("empty tree returned %v", got)
+	}
+}

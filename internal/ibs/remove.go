@@ -1,0 +1,130 @@
+package ibs
+
+// This file implements structural removal of an endpoint node, the
+// delicate part of interval deletion (paper Section 4.2). The paper's
+// procedure swaps the node's value with its predecessor's and reinstalls
+// the markers of intervals sharing the predecessor endpoint. With
+// balancing enabled, marks can sit away from the canonical insertion
+// paths, so this implementation is more conservative: it unmarks every
+// interval whose marks the structural change could invalidate, performs a
+// plain (rebalancing) BST deletion, and re-marks those intervals in the
+// new shape. The affected set is:
+//
+//   - intervals with marks on the removed node x (its slots stop existing);
+//   - when x has two children: intervals with marks on the predecessor y
+//     and intervals having y's value as an endpoint (the value moves to
+//     x's position, changing the search paths that reach it);
+//   - intervals with '<' marks on the left spine of x.right and '>' marks
+//     on the right spine of x.left: those marks describe routing ranges
+//     bounded by x's value, which disappears (or becomes y's value).
+//
+// Everything else keeps its meaning: routing ranges are defined by
+// ancestor values, and no other range mentions the removed value. The
+// invariant checker (check.go) verifies the result node by node, and
+// randomized property tests cross-check deletion against a naive matcher.
+
+// removeValueIfUnused structurally deletes the node holding v when no
+// remaining interval uses v as an endpoint.
+func (t *Tree[T]) removeValueIfUnused(v T) {
+	x := t.find(v)
+	if x == nil || x.lo.Len() > 0 || x.hi.Len() > 0 {
+		return
+	}
+
+	// Collect the affected interval set.
+	affected := make(map[ID]*record[T])
+	collect := func(s slot, n *node[T]) {
+		n.marks[s].Each(func(id ID) bool {
+			if rec, ok := t.recs[id]; ok {
+				affected[id] = rec
+			}
+			return true
+		})
+	}
+	collect(slotLT, x)
+	collect(slotEQ, x)
+	collect(slotGT, x)
+	if x.left != nil && x.right != nil {
+		y := x.left
+		for y.right != nil {
+			y = y.right
+		}
+		collect(slotLT, y)
+		collect(slotEQ, y)
+		collect(slotGT, y)
+		for _, s := range []interface{ Each(func(ID) bool) }{y.lo, y.hi} {
+			s.Each(func(id ID) bool {
+				if rec, ok := t.recs[id]; ok {
+					affected[id] = rec
+				}
+				return true
+			})
+		}
+	}
+	for m := x.right; m != nil; m = m.left {
+		collect(slotLT, m)
+	}
+	for m := x.left; m != nil; m = m.right {
+		collect(slotGT, m)
+	}
+
+	for id, rec := range affected {
+		t.unmarkAll(id, rec)
+	}
+
+	t.root = t.removeNode(t.root, v)
+
+	for id, rec := range affected {
+		t.placeMarks(id, rec)
+	}
+}
+
+// removeNode deletes the node holding value v from the subtree rooted at
+// n using standard BST deletion, rebalancing on the way back up when
+// balancing is enabled. The caller has already emptied the mark slots of
+// the node being removed and of the spliced predecessor.
+func (t *Tree[T]) removeNode(n *node[T], v T) *node[T] {
+	if n == nil {
+		return nil
+	}
+	c := t.cmp(v, n.value)
+	switch {
+	case c < 0:
+		n.left = t.removeNode(n.left, v)
+	case c > 0:
+		n.right = t.removeNode(n.right, v)
+	default:
+		t.nodes--
+		if n.left == nil {
+			return n.right
+		}
+		if n.right == nil {
+			return n.left
+		}
+		// Two children: splice out the predecessor and adopt its value
+		// and endpoint-reference sets (the paper's value swap).
+		var y *node[T]
+		n.left, y = t.spliceMax(n.left)
+		n.value = y.value
+		n.lo, n.hi = y.lo, y.hi
+	}
+	if t.balanced {
+		return t.rebalance(n)
+	}
+	n.fixHeight()
+	return n
+}
+
+// spliceMax removes and returns the maximum node of the subtree rooted at
+// n, rebalancing on unwind when balancing is enabled.
+func (t *Tree[T]) spliceMax(n *node[T]) (root, max *node[T]) {
+	if n.right == nil {
+		return n.left, n
+	}
+	n.right, max = t.spliceMax(n.right)
+	if t.balanced {
+		return t.rebalance(n), max
+	}
+	n.fixHeight()
+	return n, max
+}

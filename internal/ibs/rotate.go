@@ -1,0 +1,114 @@
+package ibs
+
+// This file implements AVL rebalancing with the mark adjustments of the
+// paper's Section 4.3 (Figures 5 and 6). A rotation changes which subtree
+// ranges the '<' and '>' slots of the two pivot nodes describe, so marks
+// must be copied, moved or dropped to keep every stabbing query's result
+// unchanged.
+//
+// For a single right rotation about z (y = z.left; subtrees A = y.left,
+// B = y.right, C = z.right):
+//
+//	     z                 y
+//	    / \               / \
+//	   y   C    ==>      A   z
+//	  / \                   / \
+//	 A   B                 B   C
+//
+//	1. Every mark in '<' of z (it covered A ∪ {y} ∪ B) is copied to '<'
+//	   and '=' of y: after the rotation y's left subtree is A and queries
+//	   for y's own value no longer pass through z.
+//	2. A mark in '>' of y but not in '>' of z covered only B; B becomes
+//	   z's left subtree, so the mark moves to '<' of z.
+//	3. A mark in both '>' of y and '>' of z covers B, z's value and C —
+//	   exactly y's new right subtree — so it stays in '>' of y and the
+//	   now-redundant copies in '=' and '>' of z are dropped.
+//
+// These transformations preserve soundness (a mark never claims more
+// coverage than its interval has: rule 1's additions cover A and y by the
+// pre-rotation meaning of '<' of z; rule 2's moved marks cover B) and
+// completeness (the union of slots collected along any query path is
+// unchanged or grows only by identifiers whose intervals do contain the
+// query point). They do not require marks to sit on the canonical
+// insertion paths, which is why deletion uses the mark registry rather
+// than re-walking paths.
+
+// rotateRight rotates right about z and returns the new subtree root.
+func (t *Tree[T]) rotateRight(z *node[T]) *node[T] {
+	y := z.left
+
+	// Snapshot the slots the rules read before mutating anything.
+	zLT := z.marks[slotLT].IDs()
+	yGT := y.marks[slotGT].IDs()
+
+	// Rule 1: copy '<' of z into '<' and '=' of y (and keep it in '<' of
+	// z, which afterwards describes only B — still covered).
+	for _, id := range zLT {
+		t.mark(y, slotLT, id)
+		t.mark(y, slotEQ, id)
+	}
+	for _, id := range yGT {
+		if z.marks[slotGT].Has(id) {
+			// Rule 3: stays in '>' of y; drop redundant copies on z.
+			t.unmark(z, slotEQ, id)
+			t.unmark(z, slotGT, id)
+		} else {
+			// Rule 2: move from '>' of y to '<' of z.
+			t.unmark(y, slotGT, id)
+			t.mark(z, slotLT, id)
+		}
+	}
+
+	z.left = y.right
+	y.right = z
+	z.fixHeight()
+	y.fixHeight()
+	return y
+}
+
+// rotateLeft is the mirror image of rotateRight, about z with y = z.right.
+func (t *Tree[T]) rotateLeft(z *node[T]) *node[T] {
+	y := z.right
+
+	zGT := z.marks[slotGT].IDs()
+	yLT := y.marks[slotLT].IDs()
+
+	for _, id := range zGT {
+		t.mark(y, slotGT, id)
+		t.mark(y, slotEQ, id)
+	}
+	for _, id := range yLT {
+		if z.marks[slotLT].Has(id) {
+			t.unmark(z, slotEQ, id)
+			t.unmark(z, slotLT, id)
+		} else {
+			t.unmark(y, slotLT, id)
+			t.mark(z, slotGT, id)
+		}
+	}
+
+	z.right = y.left
+	y.left = z
+	z.fixHeight()
+	y.fixHeight()
+	return y
+}
+
+// rebalance restores the AVL balance condition at n, applying single or
+// double rotations (a double rotation is two singles, as in the paper).
+func (t *Tree[T]) rebalance(n *node[T]) *node[T] {
+	n.fixHeight()
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = t.rotateLeft(n.left)
+		}
+		return t.rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = t.rotateRight(n.right)
+		}
+		return t.rotateLeft(n)
+	}
+	return n
+}

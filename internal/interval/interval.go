@@ -1,0 +1,274 @@
+// Package interval provides generic one-dimensional intervals over any
+// totally ordered domain.
+//
+// The package is the vocabulary shared by every interval index in this
+// repository (the IBS-tree of Hanson et al., the priority-search-tree
+// comparator, segment and interval trees, and the R-tree baseline).
+// Intervals carry explicit bound kinds so that the open-ended predicates
+// of the paper ("EMP.age > 50", i.e. (50, +inf)) are first-class values
+// rather than sentinel encodings.
+//
+// All operations take an explicit comparator func(a, b T) int so that the
+// structures built on top work, per the paper's claim for IBS-trees, "on
+// any totally ordered domain for which the comparison operators {<, =, >}
+// are defined" with no additional code per domain.
+package interval
+
+import "fmt"
+
+// Cmp is a three-way comparator: negative when a < b, zero when a == b,
+// positive when a > b. It must define a total order.
+type Cmp[T any] func(a, b T) int
+
+// BoundKind classifies one end of an interval.
+type BoundKind uint8
+
+const (
+	// NegInf is an unbounded lower end (the paper's const1 = -infinity).
+	NegInf BoundKind = iota
+	// Finite is a concrete endpoint value.
+	Finite
+	// PosInf is an unbounded upper end (the paper's const2 = +infinity).
+	PosInf
+)
+
+// String returns a readable name for the bound kind.
+func (k BoundKind) String() string {
+	switch k {
+	case NegInf:
+		return "-inf"
+	case Finite:
+		return "finite"
+	case PosInf:
+		return "+inf"
+	default:
+		return fmt.Sprintf("BoundKind(%d)", uint8(k))
+	}
+}
+
+// Bound is one end of an interval. Value and Closed are meaningful only
+// when Kind is Finite; an infinite bound is always exclusive (no value
+// equals an infinity).
+type Bound[T any] struct {
+	Kind   BoundKind
+	Value  T
+	Closed bool
+}
+
+// FiniteBound returns a finite bound at v, inclusive when closed is true.
+func FiniteBound[T any](v T, closed bool) Bound[T] {
+	return Bound[T]{Kind: Finite, Value: v, Closed: closed}
+}
+
+// Below returns an unbounded lower end.
+func Below[T any]() Bound[T] { return Bound[T]{Kind: NegInf} }
+
+// Above returns an unbounded upper end.
+func Above[T any]() Bound[T] { return Bound[T]{Kind: PosInf} }
+
+// Interval is a contiguous range over a totally ordered domain T.
+// The zero value is not meaningful; construct intervals with the
+// constructors below and validate foreign ones with Validate.
+type Interval[T any] struct {
+	Lo, Hi Bound[T]
+}
+
+// Point returns the degenerate closed interval [v, v], the representation
+// of an equality predicate ("t.attribute = const").
+func Point[T any](v T) Interval[T] {
+	return Interval[T]{Lo: FiniteBound(v, true), Hi: FiniteBound(v, true)}
+}
+
+// Closed returns [lo, hi].
+func Closed[T any](lo, hi T) Interval[T] {
+	return Interval[T]{Lo: FiniteBound(lo, true), Hi: FiniteBound(hi, true)}
+}
+
+// Open returns (lo, hi).
+func Open[T any](lo, hi T) Interval[T] {
+	return Interval[T]{Lo: FiniteBound(lo, false), Hi: FiniteBound(hi, false)}
+}
+
+// ClosedOpen returns [lo, hi).
+func ClosedOpen[T any](lo, hi T) Interval[T] {
+	return Interval[T]{Lo: FiniteBound(lo, true), Hi: FiniteBound(hi, false)}
+}
+
+// OpenClosed returns (lo, hi].
+func OpenClosed[T any](lo, hi T) Interval[T] {
+	return Interval[T]{Lo: FiniteBound(lo, false), Hi: FiniteBound(hi, true)}
+}
+
+// AtLeast returns [v, +inf), the representation of "t.attribute >= v".
+func AtLeast[T any](v T) Interval[T] {
+	return Interval[T]{Lo: FiniteBound(v, true), Hi: Above[T]()}
+}
+
+// Greater returns (v, +inf), the representation of "t.attribute > v".
+func Greater[T any](v T) Interval[T] {
+	return Interval[T]{Lo: FiniteBound(v, false), Hi: Above[T]()}
+}
+
+// AtMost returns (-inf, v], the representation of "t.attribute <= v".
+func AtMost[T any](v T) Interval[T] {
+	return Interval[T]{Lo: Below[T](), Hi: FiniteBound(v, true)}
+}
+
+// Less returns (-inf, v), the representation of "t.attribute < v".
+func Less[T any](v T) Interval[T] {
+	return Interval[T]{Lo: Below[T](), Hi: FiniteBound(v, false)}
+}
+
+// All returns (-inf, +inf), matching every value of the domain.
+func All[T any]() Interval[T] {
+	return Interval[T]{Lo: Below[T](), Hi: Above[T]()}
+}
+
+// Validate reports whether the interval is well formed and non-empty:
+// bound kinds are legal for their side, lo <= hi, and when lo == hi both
+// bounds are closed (so the interval is the point [v, v], never the empty
+// set (v, v] or [v, v)).
+func (iv Interval[T]) Validate(cmp Cmp[T]) error {
+	if iv.Lo.Kind == PosInf {
+		return fmt.Errorf("interval: lower bound may not be +inf")
+	}
+	if iv.Hi.Kind == NegInf {
+		return fmt.Errorf("interval: upper bound may not be -inf")
+	}
+	if iv.Lo.Kind == Finite && iv.Hi.Kind == Finite {
+		switch c := cmp(iv.Lo.Value, iv.Hi.Value); {
+		case c > 0:
+			return fmt.Errorf("interval: lower bound exceeds upper bound")
+		case c == 0 && !(iv.Lo.Closed && iv.Hi.Closed):
+			return fmt.Errorf("interval: equal bounds require both ends closed")
+		}
+	}
+	return nil
+}
+
+// AboveLo reports whether x is above the lower bound (x belongs to the
+// interval as far as the lower end is concerned).
+func (iv Interval[T]) AboveLo(cmp Cmp[T], x T) bool {
+	switch iv.Lo.Kind {
+	case NegInf:
+		return true
+	case PosInf:
+		return false
+	}
+	c := cmp(x, iv.Lo.Value)
+	if c == 0 {
+		return iv.Lo.Closed
+	}
+	return c > 0
+}
+
+// BelowHi reports whether x is below the upper bound.
+func (iv Interval[T]) BelowHi(cmp Cmp[T], x T) bool {
+	switch iv.Hi.Kind {
+	case PosInf:
+		return true
+	case NegInf:
+		return false
+	}
+	c := cmp(x, iv.Hi.Value)
+	if c == 0 {
+		return iv.Hi.Closed
+	}
+	return c < 0
+}
+
+// Contains reports whether x lies inside the interval. This is the point
+// membership test a stabbing query must agree with.
+func (iv Interval[T]) Contains(cmp Cmp[T], x T) bool {
+	return iv.AboveLo(cmp, x) && iv.BelowHi(cmp, x)
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (iv Interval[T]) Overlaps(cmp Cmp[T], other Interval[T]) bool {
+	// iv and other overlap unless one ends strictly before the other starts.
+	return !iv.endsBefore(cmp, other) && !other.endsBefore(cmp, iv)
+}
+
+// endsBefore reports whether iv lies entirely below other: every point of
+// iv is strictly less than every point of other.
+func (iv Interval[T]) endsBefore(cmp Cmp[T], other Interval[T]) bool {
+	if iv.Hi.Kind == PosInf || other.Lo.Kind == NegInf {
+		return false
+	}
+	c := cmp(iv.Hi.Value, other.Lo.Value)
+	if c != 0 {
+		return c < 0
+	}
+	// Touching endpoints share a point only when both ends are closed.
+	return !(iv.Hi.Closed && other.Lo.Closed)
+}
+
+// CoversOpenRange reports whether every point of the open range (lo, hi)
+// lies inside the interval. Either range end may be infinite (Kind NegInf
+// or PosInf); an infinite range end is covered only by a matching infinite
+// interval bound. This is the test the IBS-tree uses to decide whether an
+// entire subtree's routing range falls inside an interval (the paper's
+// "everything in the right subtree of R will lie within P").
+//
+// The range is assumed non-empty (lo < hi); callers pass routing ranges of
+// binary-search-tree subtrees, which are non-empty by construction.
+func (iv Interval[T]) CoversOpenRange(cmp Cmp[T], lo, hi Bound[T]) bool {
+	// Lower side: need iv to include values arbitrarily close above lo.
+	switch {
+	case iv.Lo.Kind == NegInf:
+		// Covers any lower range end.
+	case lo.Kind == NegInf:
+		return false // finite interval bound cannot cover an unbounded range
+	default:
+		// Values in the range are strictly greater than lo.Value, so the
+		// interval's lower bound may sit at lo.Value regardless of closedness.
+		if cmp(iv.Lo.Value, lo.Value) > 0 {
+			return false
+		}
+	}
+	// Upper side, symmetric.
+	switch {
+	case iv.Hi.Kind == PosInf:
+	case hi.Kind == PosInf:
+		return false
+	default:
+		if cmp(iv.Hi.Value, hi.Value) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPoint reports whether the interval is a degenerate single value, the
+// encoding of an equality predicate.
+func (iv Interval[T]) IsPoint(cmp Cmp[T]) bool {
+	return iv.Lo.Kind == Finite && iv.Hi.Kind == Finite &&
+		cmp(iv.Lo.Value, iv.Hi.Value) == 0
+}
+
+// String renders the interval in conventional mathematical notation,
+// e.g. "[3, 7)", "(-inf, 50]".
+func (iv Interval[T]) String() string {
+	var lo, hi string
+	switch iv.Lo.Kind {
+	case NegInf:
+		lo = "(-inf"
+	default:
+		if iv.Lo.Closed {
+			lo = fmt.Sprintf("[%v", iv.Lo.Value)
+		} else {
+			lo = fmt.Sprintf("(%v", iv.Lo.Value)
+		}
+	}
+	switch iv.Hi.Kind {
+	case PosInf:
+		hi = "+inf)"
+	default:
+		if iv.Hi.Closed {
+			hi = fmt.Sprintf("%v]", iv.Hi.Value)
+		} else {
+			hi = fmt.Sprintf("%v)", iv.Hi.Value)
+		}
+	}
+	return lo + ", " + hi
+}

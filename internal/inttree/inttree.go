@@ -1,0 +1,237 @@
+// Package inttree implements a static centered interval tree
+// (Edelsbrunner/McCreight; surveyed in Samet 1988/1990, the references
+// the paper cites for static interval indexing). Like the segment tree,
+// it is build-once — the IBS-tree's reason for existing is that these
+// classic structures "do not allow dynamic insertion and deletion of
+// predicates".
+//
+// Each node holds a center value, the intervals overlapping the center
+// (stored twice: sorted by ascending lower bound and by descending upper
+// bound), and subtrees for the intervals lying entirely below and above
+// the center. A stabbing query at x descends from the root: at each node
+// it scans the appropriate sorted list, stopping at the first interval
+// that can no longer contain x, giving O(log N + L).
+package inttree
+
+import (
+	"sort"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+)
+
+// ID identifies an interval.
+type ID = markset.ID
+
+// Item is one input interval.
+type Item[T any] struct {
+	ID ID
+	Iv interval.Interval[T]
+}
+
+// Tree is an immutable centered interval tree.
+type Tree[T any] struct {
+	cmp  interval.Cmp[T]
+	root *node[T]
+	n    int
+}
+
+type node[T any] struct {
+	center      T
+	byLo        []Item[T] // overlapping center, ascending lower bound
+	byHi        []Item[T] // overlapping center, descending upper bound
+	left, right *node[T]
+}
+
+// Build constructs the tree over items. Intervals failing validation are
+// skipped.
+func Build[T any](cmp interval.Cmp[T], items []Item[T]) *Tree[T] {
+	t := &Tree[T]{cmp: cmp}
+	valid := items[:0:0]
+	for _, it := range items {
+		if it.Iv.Validate(cmp) == nil {
+			valid = append(valid, it)
+		}
+	}
+	t.n = len(valid)
+	t.root = t.build(valid)
+	return t
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree[T]) Len() int { return t.n }
+
+// build recursively constructs a subtree over items.
+func (t *Tree[T]) build(items []Item[T]) *node[T] {
+	if len(items) == 0 {
+		return nil
+	}
+	// Center: median of all finite endpoints. Intervals unbounded on both
+	// sides overlap any center.
+	var pts []T
+	for _, it := range items {
+		if it.Iv.Lo.Kind == interval.Finite {
+			pts = append(pts, it.Iv.Lo.Value)
+		}
+		if it.Iv.Hi.Kind == interval.Finite {
+			pts = append(pts, it.Iv.Hi.Value)
+		}
+	}
+	var center T
+	if len(pts) > 0 {
+		sort.Slice(pts, func(i, j int) bool { return t.cmp(pts[i], pts[j]) < 0 })
+		center = pts[len(pts)/2]
+	}
+	n := &node[T]{center: center}
+	var below, above []Item[T]
+	for _, it := range items {
+		switch {
+		case strictlyBelow(t.cmp, it.Iv, center):
+			below = append(below, it)
+		case strictlyAbove(t.cmp, it.Iv, center):
+			above = append(above, it)
+		default:
+			n.byLo = append(n.byLo, it)
+		}
+	}
+	n.byHi = append(n.byHi, n.byLo...)
+	sort.SliceStable(n.byLo, func(i, j int) bool {
+		return cmpLo(t.cmp, n.byLo[i].Iv.Lo, n.byLo[j].Iv.Lo) < 0
+	})
+	sort.SliceStable(n.byHi, func(i, j int) bool {
+		return cmpHi(t.cmp, n.byHi[i].Iv.Hi, n.byHi[j].Iv.Hi) > 0
+	})
+	// Guard against degenerate non-progress (all items stuck at a node is
+	// fine; recursion only continues on strictly smaller partitions).
+	n.left = t.build(below)
+	n.right = t.build(above)
+	return n
+}
+
+// strictlyBelow reports that the interval's upper endpoint value lies
+// below center. Intervals merely touching the center with an open bound
+// (e.g. [1,5) at center 5) deliberately stay at the node: that keeps the
+// recursion strictly shrinking (the median endpoint value is always some
+// stored item's endpoint) and remains correct for the scan order, since
+// for any query x < center such an interval still satisfies x < hi.
+func strictlyBelow[T any](cmp interval.Cmp[T], iv interval.Interval[T], center T) bool {
+	return iv.Hi.Kind == interval.Finite && cmp(iv.Hi.Value, center) < 0
+}
+
+// strictlyAbove is the mirror of strictlyBelow.
+func strictlyAbove[T any](cmp interval.Cmp[T], iv interval.Interval[T], center T) bool {
+	return iv.Lo.Kind == interval.Finite && cmp(iv.Lo.Value, center) > 0
+}
+
+// cmpLo orders lower bounds ascending (-inf first).
+func cmpLo[T any](cmp interval.Cmp[T], a, b interval.Bound[T]) int {
+	ai, bi := a.Kind == interval.NegInf, b.Kind == interval.NegInf
+	switch {
+	case ai && bi:
+		return 0
+	case ai:
+		return -1
+	case bi:
+		return 1
+	}
+	if c := cmp(a.Value, b.Value); c != 0 {
+		return c
+	}
+	switch {
+	case a.Closed == b.Closed:
+		return 0
+	case a.Closed:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// cmpHi orders upper bounds ascending (+inf last).
+func cmpHi[T any](cmp interval.Cmp[T], a, b interval.Bound[T]) int {
+	ai, bi := a.Kind == interval.PosInf, b.Kind == interval.PosInf
+	switch {
+	case ai && bi:
+		return 0
+	case ai:
+		return 1
+	case bi:
+		return -1
+	}
+	if c := cmp(a.Value, b.Value); c != 0 {
+		return c
+	}
+	switch {
+	case a.Closed == b.Closed:
+		return 0
+	case a.Closed:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Stab returns the ids of all intervals containing x.
+func (t *Tree[T]) Stab(x T) []ID { return t.StabAppend(x, nil) }
+
+// StabAppend appends the ids of all intervals containing x to dst.
+func (t *Tree[T]) StabAppend(x T, dst []ID) []ID {
+	n := t.root
+	for n != nil {
+		c := t.cmp(x, n.center)
+		switch {
+		case c < 0:
+			// Only intervals whose lower bound admits x can contain it;
+			// byLo is sorted ascending, so stop at the first failure.
+			for _, it := range n.byLo {
+				if loAbove(t.cmp, it.Iv.Lo, x) {
+					break
+				}
+				dst = append(dst, it.ID)
+			}
+			n = n.left
+		case c > 0:
+			for _, it := range n.byHi {
+				if !hiReaches(t.cmp, it.Iv.Hi, x) {
+					break
+				}
+				dst = append(dst, it.ID)
+			}
+			n = n.right
+		default:
+			// x is the center: every stored interval overlaps it, except
+			// those touching it with an open bound.
+			for _, it := range n.byLo {
+				if it.Iv.Contains(t.cmp, x) {
+					dst = append(dst, it.ID)
+				}
+			}
+			return dst
+		}
+	}
+	return dst
+}
+
+// hiReaches reports x <= hi.
+func hiReaches[T any](cmp interval.Cmp[T], hi interval.Bound[T], x T) bool {
+	if hi.Kind == interval.PosInf {
+		return true
+	}
+	c := cmp(x, hi.Value)
+	if c == 0 {
+		return hi.Closed
+	}
+	return c < 0
+}
+
+// loAbove reports lo > x.
+func loAbove[T any](cmp interval.Cmp[T], lo interval.Bound[T], x T) bool {
+	if lo.Kind == interval.NegInf {
+		return false
+	}
+	c := cmp(lo.Value, x)
+	if c == 0 {
+		return !lo.Closed
+	}
+	return c > 0
+}

@@ -1,0 +1,116 @@
+package inttree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+)
+
+func TestStabAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ref := map[markset.ID]interval.Interval[int64]{}
+		var items []Item[int64]
+		for i := 0; i < 120; i++ {
+			iv := ivindex.RandomInterval(rng, 100, true)
+			items = append(items, Item[int64]{ID: markset.ID(i), Iv: iv})
+			ref[markset.ID(i)] = iv
+		}
+		tr := Build(ivindex.Int64Cmp, items)
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		for x := int64(-5); x <= 105; x++ {
+			got := tr.Stab(x)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			var want []markset.ID
+			for id, iv := range ref {
+				if iv.Contains(ivindex.Int64Cmp, x) {
+					want = append(want, id)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: Stab(%d) = %v, want %v", seed, x, got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := Build[int64](ivindex.Int64Cmp, nil).Stab(5); len(got) != 0 {
+		t.Fatalf("empty Stab = %v", got)
+	}
+	tr := Build(ivindex.Int64Cmp, []Item[int64]{{ID: 9, Iv: interval.OpenClosed[int64](3, 9)}})
+	cases := map[int64]int{3: 0, 4: 1, 9: 1, 10: 0}
+	for x, n := range cases {
+		if got := tr.Stab(x); len(got) != n {
+			t.Errorf("Stab(%d) = %v, want %d ids", x, got, n)
+		}
+	}
+}
+
+// TestOpenBoundTouchingCenter covers the construction subtlety: an
+// interval touching the median endpoint with an open bound must still be
+// stored and must terminate construction (the [1,5) at center 5 case).
+func TestOpenBoundTouchingCenter(t *testing.T) {
+	tr := Build(ivindex.Int64Cmp, []Item[int64]{{ID: 1, Iv: interval.ClosedOpen[int64](1, 5)}})
+	if got := tr.Stab(4); len(got) != 1 {
+		t.Fatalf("Stab(4) = %v", got)
+	}
+	if got := tr.Stab(5); len(got) != 0 {
+		t.Fatalf("Stab(5) = %v", got)
+	}
+	// Nested open-bound pile-up.
+	var items []Item[int64]
+	for i := int64(0); i < 20; i++ {
+		items = append(items, Item[int64]{ID: markset.ID(i), Iv: interval.Open(i, 40-i)})
+	}
+	tr = Build(ivindex.Int64Cmp, items)
+	got := tr.Stab(20)
+	if len(got) != 20 {
+		t.Fatalf("Stab(20) found %d of 20 nested intervals", len(got))
+	}
+}
+
+func TestUnboundedEverywhere(t *testing.T) {
+	tr := Build(ivindex.Int64Cmp, []Item[int64]{
+		{ID: 1, Iv: interval.All[int64]()},
+		{ID: 2, Iv: interval.AtLeast[int64](50)},
+		{ID: 3, Iv: interval.Less[int64](10)},
+	})
+	check := func(x int64, want []markset.ID) {
+		t.Helper()
+		got := tr.Stab(x)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Stab(%d) = %v, want %v", x, got, want)
+		}
+	}
+	check(-100, []markset.ID{1, 3})
+	check(9, []markset.ID{1, 3})
+	check(10, []markset.ID{1})
+	check(50, []markset.ID{1, 2})
+	check(1000, []markset.ID{1, 2})
+}
+
+func TestSkipsInvalid(t *testing.T) {
+	tr := Build(ivindex.Int64Cmp, []Item[int64]{
+		{ID: 1, Iv: interval.Closed[int64](5, 1)},
+		{ID: 2, Iv: interval.Point[int64](3)},
+	})
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Stab(3); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Stab(3) = %v", got)
+	}
+}

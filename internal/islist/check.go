@@ -1,0 +1,224 @@
+package islist
+
+import (
+	"fmt"
+	"strings"
+
+	"predmatch/internal/interval"
+)
+
+// CheckInvariants exhaustively verifies the list; exported for tests.
+//
+//  1. Level-0 order is strictly ascending and higher levels are
+//     sublists of level 0.
+//  2. Marker soundness: a marker on the level-l edge leaving n implies
+//     the interval covers the edge's open span; an eqMarker implies the
+//     interval contains the node's value.
+//  3. Registry consistency: each interval's recorded marker locations
+//     are exactly the markers present, and the global count matches.
+//  4. Endpoint references: lo/hi sets name exactly the intervals with
+//     that finite endpoint, and every finite endpoint has a node.
+//  5. Completeness/exactness: for every node value, a stab returns
+//     exactly the containing intervals; for every level-0 gap, a
+//     simulated stab strictly inside the gap returns exactly the
+//     intervals covering the whole gap. (Endpoints are node values, so
+//     an interval covers a gap entirely or not at all.)
+func (l *List[T]) CheckInvariants() error {
+	var errs []string
+	fail := func(format string, args ...any) {
+		if len(errs) < 20 {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// (1) structure.
+	count := 0
+	for n := l.head.forward[0]; n != nil; n = n.forward[0] {
+		count++
+		if n.forward[0] != nil && l.cmp(n.value, n.forward[0].value) >= 0 {
+			fail("level-0 order violated at %v", n.value)
+		}
+	}
+	if count != l.nodes {
+		fail("node count %d, counted %d", l.nodes, count)
+	}
+	for lv := 1; lv < l.level; lv++ {
+		// Every node at level lv must appear at level lv-1 in order.
+		prev := l.head
+		for n := l.head.forward[lv]; n != nil; n = n.forward[lv] {
+			if len(n.forward) <= lv {
+				fail("node %v linked at level %d above its height", n.value, lv)
+				break
+			}
+			// n must be reachable from prev at level lv-1.
+			m := prev.forward[lv-1]
+			for m != nil && m != n {
+				m = m.forward[lv-1]
+			}
+			if m != n {
+				fail("node %v at level %d not on level %d", n.value, lv, lv-1)
+			}
+			prev = n
+		}
+	}
+
+	// (2)+(3) soundness and registry.
+	type loc struct {
+		n     *node[T]
+		level int
+	}
+	seen := make(map[ID][]loc)
+	total := 0
+	visit := func(n *node[T]) {
+		for lv := 0; lv < len(n.markers); lv++ {
+			lo, hi := headBound(n), tailBound(n.forward[lv])
+			n.markers[lv].Each(func(id ID) bool {
+				rec, ok := l.recs[id]
+				if !ok {
+					fail("edge marker for unknown id %d", id)
+				} else if !rec.iv.CoversOpenRange(l.cmp, lo, hi) {
+					fail("unsound edge marker: id %d %v does not cover (%v, %v)", id, rec.iv, lo, hi)
+				}
+				seen[id] = append(seen[id], loc{n, lv})
+				total++
+				return true
+			})
+		}
+		n.eq.Each(func(id ID) bool {
+			rec, ok := l.recs[id]
+			if !ok {
+				fail("eq marker for unknown id %d", id)
+			} else if n.isHeader {
+				fail("eq marker on header for id %d", id)
+			} else if !rec.iv.Contains(l.cmp, n.value) {
+				fail("unsound eq marker: id %d %v does not contain %v", id, rec.iv, n.value)
+			}
+			seen[id] = append(seen[id], loc{n, -1})
+			total++
+			return true
+		})
+	}
+	visit(l.head)
+	for n := l.head.forward[0]; n != nil; n = n.forward[0] {
+		visit(n)
+	}
+	if total != l.marks {
+		fail("marker count mismatch: present %d, accounted %d", total, l.marks)
+	}
+	for id, rec := range l.recs {
+		if len(seen[id]) != len(rec.marks) {
+			fail("registry mismatch for id %d: present %d, registry %d", id, len(seen[id]), len(rec.marks))
+		}
+	}
+	for id := range seen {
+		if _, ok := l.recs[id]; !ok {
+			fail("markers remain for deleted id %d", id)
+		}
+	}
+
+	// (4) endpoint references.
+	for n := l.head.forward[0]; n != nil; n = n.forward[0] {
+		n.lo.Each(func(id ID) bool {
+			rec, ok := l.recs[id]
+			if !ok || rec.iv.Lo.Kind != interval.Finite || l.cmp(rec.iv.Lo.Value, n.value) != 0 {
+				fail("bogus lo endpoint ref %d at %v", id, n.value)
+			}
+			return true
+		})
+		n.hi.Each(func(id ID) bool {
+			rec, ok := l.recs[id]
+			if !ok || rec.iv.Hi.Kind != interval.Finite || l.cmp(rec.iv.Hi.Value, n.value) != 0 {
+				fail("bogus hi endpoint ref %d at %v", id, n.value)
+			}
+			return true
+		})
+	}
+	for id, rec := range l.recs {
+		if rec.iv.Lo.Kind == interval.Finite {
+			if n := l.findNode(rec.iv.Lo.Value); n == nil || !n.lo.Has(id) {
+				fail("lower endpoint %v of id %d unreferenced", rec.iv.Lo.Value, id)
+			}
+		}
+		if rec.iv.Hi.Kind == interval.Finite {
+			if n := l.findNode(rec.iv.Hi.Value); n == nil || !n.hi.Has(id) {
+				fail("upper endpoint %v of id %d unreferenced", rec.iv.Hi.Value, id)
+			}
+		}
+	}
+
+	// (5) completeness via node-value stabs and gap stabs.
+	for n := l.head.forward[0]; n != nil; n = n.forward[0] {
+		got := map[ID]bool{}
+		for _, id := range l.Stab(n.value) {
+			got[id] = true
+		}
+		for id, rec := range l.recs {
+			want := rec.iv.Contains(l.cmp, n.value)
+			if want && !got[id] {
+				fail("incomplete: id %d missing from stab at %v", id, n.value)
+			}
+			if !want && got[id] {
+				fail("unsound: id %d wrongly in stab at %v", id, n.value)
+			}
+		}
+	}
+	// Gap stabs: simulate a query strictly inside each level-0 gap
+	// (including the unbounded outer gaps).
+	prev := l.head
+	for {
+		next := prev.forward[0]
+		got := map[ID]bool{}
+		for id := range l.universal {
+			got[id] = true
+		}
+		l.stabGap(prev, next, got)
+		lo, hi := headBound(prev), tailBound(next)
+		for id, rec := range l.recs {
+			if l.universal[id] {
+				continue
+			}
+			want := rec.iv.CoversOpenRange(l.cmp, lo, hi)
+			if want && !got[id] {
+				fail("incomplete: id %d missing from gap (%v, %v)", id, lo, hi)
+			}
+			if !want && got[id] {
+				fail("unsound: id %d wrongly in gap (%v, %v)", id, lo, hi)
+			}
+		}
+		if next == nil {
+			break
+		}
+		prev = next
+	}
+
+	if len(errs) > 0 {
+		return fmt.Errorf("islist invariants violated:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// stabGap runs the stab descent for a virtual query point lying strictly
+// between nodes a (possibly the header) and b (possibly nil), collecting
+// into got. Comparisons: every node with value <= a.value is "less", and
+// every node with value >= b.value is "greater"; no node value equals the
+// virtual point.
+func (l *List[T]) stabGap(a, b *node[T], got map[ID]bool) {
+	less := func(n *node[T]) bool {
+		if a.isHeader {
+			return false // nothing is below a point in the leftmost gap
+		}
+		return l.cmp(n.value, a.value) <= 0
+	}
+	n := l.head
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for n.forward[lv] != nil && less(n.forward[lv]) {
+			n = n.forward[lv]
+		}
+		// forward is nil or >= b: the edge spans the virtual point.
+		n.markers[lv].Each(func(id ID) bool {
+			got[id] = true
+			return true
+		})
+	}
+	_ = b
+}

@@ -1,0 +1,337 @@
+package islist
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+)
+
+type adapter struct{ *List[int64] }
+
+func (adapter) Name() string { return "islist" }
+
+func TestConformance(t *testing.T) {
+	ivindex.Run(t, func() ivindex.Index {
+		return adapter{New(ivindex.Int64Cmp)}
+	}, true)
+}
+
+func TestInvariantsUnderChurn(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := New(ivindex.Int64Cmp, Seed(seed+100))
+		var live []ID
+		next := ID(0)
+		for op := 0; op < 400; op++ {
+			if len(live) == 0 || rng.Intn(3) != 0 {
+				iv := ivindex.RandomInterval(rng, 60, true)
+				if err := l.Insert(next, iv); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+				live = append(live, next)
+				next++
+			} else {
+				i := rng.Intn(len(live))
+				if err := l.Delete(live[i]); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if op%20 == 0 {
+				if err := l.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			}
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+		for _, id := range live {
+			if err := l.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if l.Len() != 0 || l.NodeCount() != 0 || l.MarkerCount() != 0 {
+			t.Fatalf("seed %d: not empty after drain: %d/%d/%d",
+				seed, l.Len(), l.NodeCount(), l.MarkerCount())
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPaperFigure2Intervals(t *testing.T) {
+	l := New(ivindex.Int64Cmp)
+	ivs := map[ID]interval.Interval[int64]{
+		1: interval.Closed[int64](9, 19),
+		2: interval.Closed[int64](2, 7),
+		3: interval.ClosedOpen[int64](1, 3),
+		4: interval.OpenClosed[int64](17, 20),
+		5: interval.Closed[int64](7, 12),
+		6: interval.Point[int64](18),
+		7: interval.AtMost[int64](17),
+	}
+	for id := ID(1); id <= 7; id++ {
+		if err := l.Insert(id, ivs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(-5); x <= 25; x++ {
+		got := l.Stab(x)
+		var want []ID
+		for id, iv := range ivs {
+			if iv.Contains(ivindex.Int64Cmp, x) {
+				want = append(want, id)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Stab(%d) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// TestExpectedLogarithmicMarkers checks the space behavior matches the
+// structure's design: markers per interval grow logarithmically with N
+// (the absolute constant is ~(2/p)·log_{1/p}N edge markers plus as many
+// eqMarkers; what must not happen is linear growth).
+func TestExpectedLogarithmicMarkers(t *testing.T) {
+	perInterval := func(n int) float64 {
+		rng := rand.New(rand.NewSource(3))
+		l := New(ivindex.Int64Cmp)
+		for i := 0; i < n; i++ {
+			iv := ivindex.RandomInterval(rng, 1_000_000, false)
+			if err := l.Insert(ID(i), iv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if l.Levels() < 2 {
+			t.Errorf("levels = %d for %d nodes", l.Levels(), l.NodeCount())
+		}
+		return float64(l.MarkerCount()) / float64(n)
+	}
+	small, large := perInterval(200), perInterval(3200)
+	// A 16x size increase must grow per-interval markers by roughly
+	// log(3200)/log(200) ~ 1.5; linear growth would be 16x.
+	if ratio := large / small; ratio > 3 {
+		t.Errorf("markers/interval grew %.1fx for 16x data (%.1f -> %.1f); expected logarithmic", ratio, small, large)
+	}
+}
+
+func TestMarkSetOptionAndSeed(t *testing.T) {
+	a := New(ivindex.Int64Cmp, MarkSets(markset.NewAVL), Seed(42))
+	b := New(ivindex.Int64Cmp, MarkSets(markset.NewAVL), Seed(42))
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		iv := ivindex.RandomInterval(rng, 100, true)
+		if err := a.Insert(ID(i), iv); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Insert(ID(i), iv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same seed, same inserts: identical structure statistics.
+	if a.NodeCount() != b.NodeCount() || a.MarkerCount() != b.MarkerCount() || a.Levels() != b.Levels() {
+		t.Fatalf("same-seed lists differ: %d/%d/%d vs %d/%d/%d",
+			a.NodeCount(), a.MarkerCount(), a.Levels(),
+			b.NodeCount(), b.MarkerCount(), b.Levels())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGet(t *testing.T) {
+	l := New(ivindex.Int64Cmp)
+	want := interval.Closed[int64](3, 9)
+	if err := l.Insert(5, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := l.Get(5)
+	if !ok || got != want {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := l.Get(6); ok {
+		t.Fatal("Get found missing id")
+	}
+}
+
+func TestManySharedEndpoints(t *testing.T) {
+	l := New(ivindex.Int64Cmp)
+	// 50 intervals all starting at 10, nested ends.
+	for i := int64(0); i < 50; i++ {
+		if err := l.Insert(ID(i), interval.Closed[int64](10, 11+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := l.Stab(10)
+	if len(got) != 50 {
+		t.Fatalf("Stab(10) = %d ids, want 50", len(got))
+	}
+	got = l.Stab(40)
+	if len(got) != 21 { // ends 40..60 -> i >= 29
+		t.Fatalf("Stab(40) = %d ids, want 21", len(got))
+	}
+	for i := int64(0); i < 50; i += 2 {
+		if err := l.Delete(ID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStabEmptyAndSingle(t *testing.T) {
+	l := New(ivindex.Int64Cmp)
+	if got := l.Stab(5); len(got) != 0 {
+		t.Fatalf("empty Stab = %v", got)
+	}
+	if err := l.Insert(1, interval.All[int64]()); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stab(5); !reflect.DeepEqual(got, []ID{1}) {
+		t.Fatalf("Stab = %v", got)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stab(5); len(got) != 0 {
+		t.Fatalf("Stab after delete = %v", got)
+	}
+}
+
+// TestDeterministicStress exercises larger volumes for marker-copy paths
+// (node inserts splitting heavily marked edges).
+func TestDeterministicStress(t *testing.T) {
+	l := New(ivindex.Int64Cmp)
+	rng := rand.New(rand.NewSource(9))
+	ref := map[ID]interval.Interval[int64]{}
+	for i := 0; i < 800; i++ {
+		iv := ivindex.RandomInterval(rng, 200, true) // dense: many shared endpoints
+		if err := l.Insert(ID(i), iv); err != nil {
+			t.Fatal(err)
+		}
+		ref[ID(i)] = iv
+	}
+	for x := int64(-2); x <= 202; x++ {
+		got := l.Stab(x)
+		var want []ID
+		for id, iv := range ref {
+			if iv.Contains(ivindex.Int64Cmp, x) {
+				want = append(want, id)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Stab(%d): got %d ids, want %d", x, len(got), len(want))
+		}
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	l := New(ivindex.Int64Cmp)
+	if err := l.Insert(1, interval.Closed[int64](5, 1)); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if err := l.Insert(1, interval.Point[int64](1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Insert(1, interval.Point[int64](2)); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := l.Delete(9); err == nil {
+		t.Error("unknown delete accepted")
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption corrupts lists in targeted ways
+// and requires the checker to object.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	build := func() *List[int64] {
+		l := New(ivindex.Int64Cmp)
+		if err := l.Insert(1, interval.Closed[int64](5, 15)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Insert(2, interval.Point[int64](10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Insert(3, interval.AtLeast[int64](12)); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	if err := build().CheckInvariants(); err != nil {
+		t.Fatalf("clean list flagged: %v", err)
+	}
+	// Foreign edge marker.
+	l := build()
+	l.head.forward[0].markers[0].Add(99)
+	if err := l.CheckInvariants(); err == nil {
+		t.Error("foreign edge marker not detected")
+	}
+	// Foreign eq marker.
+	l = build()
+	l.head.forward[0].eq.Add(99)
+	if err := l.CheckInvariants(); err == nil {
+		t.Error("foreign eq marker not detected")
+	}
+	// Bogus endpoint reference.
+	l = build()
+	l.head.forward[0].lo.Add(77)
+	if err := l.CheckInvariants(); err == nil {
+		t.Error("bogus endpoint ref not detected")
+	}
+	// Marker count drift.
+	l = build()
+	l.marks += 3
+	if err := l.CheckInvariants(); err == nil {
+		t.Error("marker count drift not detected")
+	}
+	// Dropped marker (incompleteness).
+	l = build()
+	dropped := false
+	for n := l.head; n != nil && !dropped; n = n.forward[0] {
+		for lv := range n.markers {
+			if n.markers[lv].Len() > 0 {
+				n.markers[lv].Remove(n.markers[lv].IDs()[0])
+				dropped = true
+				break
+			}
+		}
+	}
+	if !dropped {
+		t.Fatal("no marker to drop")
+	}
+	if err := l.CheckInvariants(); err == nil {
+		t.Error("dropped marker not detected")
+	}
+	// Node count drift.
+	l = build()
+	l.nodes++
+	if err := l.CheckInvariants(); err == nil {
+		t.Error("node count drift not detected")
+	}
+}

@@ -1,0 +1,192 @@
+package ivindex
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+)
+
+// Factory builds an empty index under test.
+type Factory func() Index
+
+// RandomInterval draws the mixed interval shapes used by the conformance
+// harness and the workload generators: points, bounded intervals of all
+// closedness combinations, and open-ended intervals. allowOpenEnded
+// disables ±inf bounds for structures that cannot represent them
+// (the paper notes "R-trees cannot accommodate open intervals").
+func RandomInterval(rng *rand.Rand, maxVal int64, allowOpenEnded bool) interval.Interval[int64] {
+	a := rng.Int63n(maxVal)
+	b := rng.Int63n(maxVal)
+	if a > b {
+		a, b = b, a
+	}
+	n := 8
+	if allowOpenEnded {
+		n = 12
+	}
+	switch rng.Intn(n) {
+	case 0, 1:
+		return interval.Point(a)
+	case 2:
+		if a == b {
+			return interval.Point(a)
+		}
+		return interval.Open(a, b)
+	case 3:
+		if a == b {
+			return interval.Point(a)
+		}
+		return interval.ClosedOpen(a, b)
+	case 4:
+		if a == b {
+			return interval.Point(a)
+		}
+		return interval.OpenClosed(a, b)
+	case 5, 6, 7:
+		return interval.Closed(a, b)
+	case 8:
+		return interval.AtLeast(a)
+	case 9:
+		return interval.AtMost(b)
+	case 10:
+		return interval.Greater(a)
+	default:
+		return interval.Less(b + 1)
+	}
+}
+
+// Run drives the conformance suite: randomized insert/delete/stab
+// cross-checked against brute force, duplicate/malformed error handling,
+// and drain-to-empty.
+func Run(t *testing.T, factory Factory, allowOpenEnded bool) {
+	t.Helper()
+	t.Run("randomized", func(t *testing.T) {
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			ix := factory()
+			ref := map[markset.ID]interval.Interval[int64]{}
+			nextID := markset.ID(0)
+			var live []markset.ID
+			const maxVal = 80
+			ops := 400
+			if testing.Short() {
+				ops = 100
+			}
+			for op := 0; op < ops; op++ {
+				switch {
+				case len(live) == 0 || rng.Intn(3) != 0:
+					iv := RandomInterval(rng, maxVal, allowOpenEnded)
+					id := nextID
+					nextID++
+					if err := ix.Insert(id, iv); err != nil {
+						t.Fatalf("seed %d op %d: Insert(%d, %v): %v", seed, op, id, iv, err)
+					}
+					ref[id] = iv
+					live = append(live, id)
+				default:
+					i := rng.Intn(len(live))
+					id := live[i]
+					live = append(live[:i], live[i+1:]...)
+					if err := ix.Delete(id); err != nil {
+						t.Fatalf("seed %d op %d: Delete(%d): %v", seed, op, id, err)
+					}
+					delete(ref, id)
+				}
+				if ix.Len() != len(ref) {
+					t.Fatalf("seed %d op %d: Len = %d, want %d", seed, op, ix.Len(), len(ref))
+				}
+				for i := 0; i < 5; i++ {
+					x := rng.Int63n(maxVal+10) - 5
+					got := ix.StabAppend(x, nil)
+					sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+					var want []markset.ID
+					for id, iv := range ref {
+						if iv.Contains(Int64Cmp, x) {
+							want = append(want, id)
+						}
+					}
+					sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+					if len(got) == 0 && len(want) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d op %d: Stab(%d) = %v, want %v", seed, op, x, got, want)
+					}
+				}
+			}
+			// Drain.
+			for _, id := range live {
+				if err := ix.Delete(id); err != nil {
+					t.Fatalf("drain Delete(%d): %v", id, err)
+				}
+			}
+			if ix.Len() != 0 {
+				t.Fatalf("Len = %d after drain", ix.Len())
+			}
+			if got := ix.StabAppend(10, nil); len(got) != 0 {
+				t.Fatalf("Stab on empty = %v", got)
+			}
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		ix := factory()
+		if err := ix.Insert(1, interval.Closed[int64](1, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Insert(1, interval.Closed[int64](2, 3)); err == nil {
+			t.Error("duplicate id accepted")
+		}
+		if err := ix.Insert(2, interval.Closed[int64](5, 1)); err == nil {
+			t.Error("inverted interval accepted")
+		}
+		if err := ix.Delete(99); err == nil {
+			t.Error("unknown delete accepted")
+		}
+	})
+	t.Run("sharedEndpoints", func(t *testing.T) {
+		// Many intervals with the same lower bound — the case the paper
+		// calls out as requiring a transformation for priority search
+		// trees.
+		ix := factory()
+		for i := int64(0); i < 20; i++ {
+			if err := ix.Insert(markset.ID(i), interval.Closed[int64](100, 100+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := ix.StabAppend(110, nil)
+		if len(got) != 10 { // intervals with i >= 10
+			t.Fatalf("Stab(110) found %d, want 10", len(got))
+		}
+		for i := int64(0); i < 20; i += 2 {
+			if err := ix.Delete(markset.ID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got = ix.StabAppend(110, nil)
+		if len(got) != 5 {
+			t.Fatalf("Stab(110) after deletes found %d, want 5", len(got))
+		}
+	})
+	t.Run("stress", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(99))
+		ix := factory()
+		const n = 500
+		for i := 0; i < n; i++ {
+			iv := RandomInterval(rng, 10000, allowOpenEnded)
+			if err := ix.Insert(markset.ID(i), iv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ix.Len() != n {
+			t.Fatalf("Len = %d", ix.Len())
+		}
+		var buf []markset.ID
+		for q := 0; q < 200; q++ {
+			buf = ix.StabAppend(rng.Int63n(10000), buf[:0])
+		}
+	})
+}

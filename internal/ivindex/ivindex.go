@@ -1,0 +1,42 @@
+// Package ivindex defines the common interface of dynamic interval
+// indexes (stabbing-query structures) and a conformance harness that
+// cross-checks any implementation against brute force. The paper's
+// Section 6 proposes implementing "several different techniques for
+// dynamically indexing intervals, including 1-dimensional R-trees,
+// IBS-trees, and priority search trees" and comparing them; this
+// interface is what that comparison sweeps over.
+package ivindex
+
+import (
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+)
+
+// Index is a dynamic set of identified intervals answering stabbing
+// queries.
+type Index interface {
+	// Name identifies the structure in benchmark output.
+	Name() string
+	// Insert adds iv under id; duplicate ids and malformed intervals are
+	// errors.
+	Insert(id markset.ID, iv interval.Interval[int64]) error
+	// Delete removes the interval stored under id.
+	Delete(id markset.ID) error
+	// StabAppend appends the ids of all intervals containing x to dst.
+	// Each matching id appears exactly once; order is unspecified.
+	StabAppend(x int64, dst []markset.ID) []markset.ID
+	// Len returns the number of stored intervals.
+	Len() int
+}
+
+// Int64Cmp is the comparator for the experiment domain.
+func Int64Cmp(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,45 @@
+package join_test
+
+import (
+	"fmt"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/join"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Example wires a two-relation rule — emp.salary > 50000 AND
+// emp.dept = dept.dname AND dept.budget < 100000 — through the
+// two-layer network and feeds it tuples.
+func Example() {
+	cat := schema.NewCatalog()
+	_ = cat.Add(schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "dept", Type: value.KindString},
+		schema.Attribute{Name: "salary", Type: value.KindInt}))
+	_ = cat.Add(schema.MustRelation("dept",
+		schema.Attribute{Name: "dname", Type: value.KindString},
+		schema.Attribute{Name: "budget", Type: value.KindInt}))
+
+	net := join.New(cat, pred.NewRegistry(), func(a join.Activation) {
+		fmt.Printf("%v joins %v\n", a.Tuples[0][0], a.Tuples[1][0])
+	})
+	_ = net.AddRule(&join.Rule{
+		ID: 1,
+		Sides: []join.Side{
+			{Rel: "emp", Pred: pred.New(0, "emp",
+				pred.IvClause("salary", interval.Greater(value.Int(50000))))},
+			{Rel: "dept", Pred: pred.New(0, "dept",
+				pred.IvClause("budget", interval.Less(value.Int(100000))))},
+		},
+		Conditions: []join.Condition{{Left: 0, LeftAttr: "dept", Right: 1, RightAttr: "dname"}},
+	})
+
+	_ = net.Insert("dept", 1, tuple.New(value.String_("shoe"), value.Int(60000)))
+	_ = net.Insert("emp", 2, tuple.New(value.String_("ada"), value.String_("shoe"), value.Int(80000)))
+	_ = net.Insert("emp", 3, tuple.New(value.String_("bob"), value.String_("shoe"), value.Int(10000)))
+	// Output: 'ada' joins 'shoe'
+}

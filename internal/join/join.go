@@ -1,0 +1,449 @@
+// Package join implements the second layer of the two-layer
+// discrimination network the paper's conclusion describes: "The
+// discrimination network described in this paper will be used as the
+// first layer of a two-layer network which will test both the selection
+// and the join conditions of rules. This two-layer approach is being
+// implemented in the rule processing engine of the Ariel database
+// system."
+//
+// The first layer is the IBS-tree predicate index (internal/core): each
+// side of a join rule carries a single-relation selection predicate, and
+// a new tuple is routed to the sides whose selection it satisfies. The
+// second layer follows TREAT (Miranker 1987, cited by the paper): each
+// rule side keeps an alpha memory of the tuples currently satisfying its
+// selection, with hash indexes on its equi-join attributes; when a tuple
+// enters a side, the network enumerates the combinations of tuples from
+// the other sides that satisfy every join condition and reports one
+// activation per combination. No beta memories are kept — joins are
+// recomputed per insertion, TREAT's defining trade-off.
+package join
+
+import (
+	"fmt"
+
+	"predmatch/internal/core"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// RuleID identifies a join rule.
+type RuleID int64
+
+// Side is one relation binding of a join rule: tuples of Rel satisfying
+// Pred populate the side's alpha memory. Pred may be nil (every tuple of
+// Rel qualifies); when non-nil its Rel must equal the side's.
+type Side struct {
+	Rel  string
+	Pred *pred.Predicate
+}
+
+// Condition is an equi-join between attributes of two sides:
+// sides[Left].LeftAttr == sides[Right].RightAttr.
+type Condition struct {
+	Left      int
+	LeftAttr  string
+	Right     int
+	RightAttr string
+}
+
+// Rule is a multi-relation rule condition: a conjunction of per-side
+// selections plus equi-join conditions.
+type Rule struct {
+	ID         RuleID
+	Sides      []Side
+	Conditions []Condition
+}
+
+// Activation reports one satisfied rule instantiation: Tuples[i] is the
+// tuple bound to side i (with its storage ID in IDs[i]).
+type Activation struct {
+	Rule   RuleID
+	IDs    []tuple.ID
+	Tuples []tuple.Tuple
+}
+
+// sideKey addresses one side of one rule.
+type sideKey struct {
+	rule RuleID
+	side int
+}
+
+// memory is a side's alpha memory.
+type memory struct {
+	rows map[tuple.ID]tuple.Tuple
+	// hash indexes the memory on each join attribute position used by
+	// any condition touching this side: attrPos -> value -> tuple ids.
+	hash map[int]map[value.Value]map[tuple.ID]struct{}
+}
+
+func newMemory(joinAttrs []int) *memory {
+	m := &memory{
+		rows: make(map[tuple.ID]tuple.Tuple),
+		hash: make(map[int]map[value.Value]map[tuple.ID]struct{}, len(joinAttrs)),
+	}
+	for _, pos := range joinAttrs {
+		m.hash[pos] = make(map[value.Value]map[tuple.ID]struct{})
+	}
+	return m
+}
+
+func (m *memory) add(id tuple.ID, t tuple.Tuple) {
+	m.rows[id] = t
+	for pos, idx := range m.hash {
+		v := t[pos]
+		set, ok := idx[v]
+		if !ok {
+			set = make(map[tuple.ID]struct{}, 1)
+			idx[v] = set
+		}
+		set[id] = struct{}{}
+	}
+}
+
+func (m *memory) remove(id tuple.ID) {
+	t, ok := m.rows[id]
+	if !ok {
+		return
+	}
+	delete(m.rows, id)
+	for pos, idx := range m.hash {
+		v := t[pos]
+		if set, ok := idx[v]; ok {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(idx, v)
+			}
+		}
+	}
+}
+
+// compiledRule resolves a rule against the catalog.
+type compiledRule struct {
+	rule *Rule
+	// mems[i] is side i's alpha memory.
+	mems []*memory
+	// conds[i] lists, for side i, the conditions touching it, with the
+	// local and remote attribute positions resolved.
+	conds [][]resolvedCond
+}
+
+// resolvedCond is a condition seen from one side.
+type resolvedCond struct {
+	localPos int
+	other    int
+	otherPos int
+}
+
+// Network is the two-layer discrimination network.
+type Network struct {
+	catalog *schema.Catalog
+	funcs   *pred.Registry
+	sel     *core.Index // layer 1: selection predicates
+	rules   map[RuleID]*compiledRule
+	// predSide maps a layer-1 predicate id to the rule side it feeds.
+	predSide map[pred.ID]sideKey
+	nextPred pred.ID
+	// relSides lists the sides bound to each relation, for deletion.
+	relSides map[string][]sideKey
+	onAct    func(Activation)
+	scratch  []pred.ID
+}
+
+// New builds an empty network; onActivate receives every rule
+// activation (it must not mutate the network reentrantly).
+func New(catalog *schema.Catalog, funcs *pred.Registry, onActivate func(Activation), opts ...core.Option) *Network {
+	return &Network{
+		catalog:  catalog,
+		funcs:    funcs,
+		sel:      core.New(catalog, funcs, opts...),
+		rules:    make(map[RuleID]*compiledRule),
+		predSide: make(map[pred.ID]sideKey),
+		nextPred: 1,
+		relSides: make(map[string][]sideKey),
+		onAct:    onActivate,
+	}
+}
+
+// SelectionIndex exposes the layer-1 predicate index (for statistics).
+func (n *Network) SelectionIndex() *core.Index { return n.sel }
+
+// AddRule validates, compiles and registers a join rule.
+func (n *Network) AddRule(r *Rule) error {
+	if _, dup := n.rules[r.ID]; dup {
+		return fmt.Errorf("join: duplicate rule id %d", r.ID)
+	}
+	if len(r.Sides) < 2 {
+		return fmt.Errorf("join: rule %d needs at least two sides (use internal/core for single-relation rules)", r.ID)
+	}
+	// Resolve sides and conditions.
+	rels := make([]*schema.Relation, len(r.Sides))
+	for i, s := range r.Sides {
+		rel, ok := n.catalog.Get(s.Rel)
+		if !ok {
+			return fmt.Errorf("join: rule %d side %d: unknown relation %q", r.ID, i, s.Rel)
+		}
+		rels[i] = rel
+		if s.Pred != nil && s.Pred.Rel != s.Rel {
+			return fmt.Errorf("join: rule %d side %d: predicate on %q bound to relation %q",
+				r.ID, i, s.Pred.Rel, s.Rel)
+		}
+	}
+	if len(r.Conditions) == 0 {
+		return fmt.Errorf("join: rule %d has no join conditions (cross products are not supported)", r.ID)
+	}
+	cr := &compiledRule{
+		rule:  r,
+		conds: make([][]resolvedCond, len(r.Sides)),
+	}
+	joinAttrs := make([][]int, len(r.Sides))
+	for _, c := range r.Conditions {
+		if c.Left < 0 || c.Left >= len(r.Sides) || c.Right < 0 || c.Right >= len(r.Sides) {
+			return fmt.Errorf("join: rule %d condition references side out of range", r.ID)
+		}
+		if c.Left == c.Right {
+			return fmt.Errorf("join: rule %d has a self-join condition on one side; fold it into the side's selection", r.ID)
+		}
+		lp, ok := rels[c.Left].AttrIndex(c.LeftAttr)
+		if !ok {
+			return fmt.Errorf("join: rule %d: relation %s has no attribute %s", r.ID, r.Sides[c.Left].Rel, c.LeftAttr)
+		}
+		rp, ok := rels[c.Right].AttrIndex(c.RightAttr)
+		if !ok {
+			return fmt.Errorf("join: rule %d: relation %s has no attribute %s", r.ID, r.Sides[c.Right].Rel, c.RightAttr)
+		}
+		lk, _ := rels[c.Left].AttrType(c.LeftAttr)
+		rk, _ := rels[c.Right].AttrType(c.RightAttr)
+		if lk != rk {
+			return fmt.Errorf("join: rule %d joins %s attribute with %s attribute", r.ID, lk, rk)
+		}
+		cr.conds[c.Left] = append(cr.conds[c.Left], resolvedCond{localPos: lp, other: c.Right, otherPos: rp})
+		cr.conds[c.Right] = append(cr.conds[c.Right], resolvedCond{localPos: rp, other: c.Left, otherPos: lp})
+		joinAttrs[c.Left] = append(joinAttrs[c.Left], lp)
+		joinAttrs[c.Right] = append(joinAttrs[c.Right], rp)
+	}
+
+	// Register layer-1 selection predicates (one per side). A nil side
+	// predicate becomes an always-true predicate on the relation.
+	var registered []pred.ID
+	rollback := func() {
+		for _, id := range registered {
+			_ = n.sel.Remove(id)
+			delete(n.predSide, id)
+		}
+	}
+	for i, s := range r.Sides {
+		var p *pred.Predicate
+		if s.Pred != nil {
+			clauses := make([]pred.Clause, len(s.Pred.Clauses))
+			copy(clauses, s.Pred.Clauses)
+			p = pred.New(n.nextPred, s.Rel, clauses...)
+		} else {
+			p = pred.New(n.nextPred, s.Rel)
+		}
+		if err := n.sel.Add(p); err != nil {
+			rollback()
+			return fmt.Errorf("join: rule %d side %d selection: %w", r.ID, i, err)
+		}
+		n.predSide[p.ID] = sideKey{rule: r.ID, side: i}
+		registered = append(registered, p.ID)
+		n.nextPred++
+		cr.mems = append(cr.mems, newMemory(joinAttrs[i]))
+		n.relSides[s.Rel] = append(n.relSides[s.Rel], sideKey{rule: r.ID, side: i})
+	}
+	n.rules[r.ID] = cr
+	return nil
+}
+
+// RemoveRule unregisters a rule and drops its memories.
+func (n *Network) RemoveRule(id RuleID) error {
+	cr, ok := n.rules[id]
+	if !ok {
+		return fmt.Errorf("join: unknown rule id %d", id)
+	}
+	delete(n.rules, id)
+	for pid, sk := range n.predSide {
+		if sk.rule == id {
+			if err := n.sel.Remove(pid); err != nil {
+				return err
+			}
+			delete(n.predSide, pid)
+		}
+	}
+	for i, s := range cr.rule.Sides {
+		list := n.relSides[s.Rel]
+		for j, sk := range list {
+			if sk.rule == id && sk.side == i {
+				n.relSides[s.Rel] = append(list[:j], list[j+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Insert routes a stored tuple through both layers: the selection layer
+// finds the rule sides it satisfies; each satisfied side's memory is
+// updated and the join layer enumerates newly satisfied combinations,
+// invoking the activation callback for each.
+func (n *Network) Insert(rel string, id tuple.ID, t tuple.Tuple) error {
+	matched, err := n.sel.Match(rel, t, n.scratch[:0])
+	n.scratch = matched
+	if err != nil {
+		return err
+	}
+	for _, pid := range matched {
+		sk := n.predSide[pid]
+		cr := n.rules[sk.rule]
+		cr.mems[sk.side].add(id, t)
+		n.enumerate(cr, sk.side, id, t)
+	}
+	return nil
+}
+
+// Seed adds an already-stored tuple to the alpha memories of one rule
+// without producing activations — used to backfill a newly defined rule
+// from existing data so that future events join against the full
+// database state. (Whether pre-existing combinations should fire at rule
+// definition time is a policy choice; Ariel treats rules as reacting to
+// subsequent events, which Seed preserves.)
+func (n *Network) Seed(rule RuleID, rel string, id tuple.ID, t tuple.Tuple) error {
+	cr, ok := n.rules[rule]
+	if !ok {
+		return fmt.Errorf("join: unknown rule id %d", rule)
+	}
+	matched, err := n.sel.Match(rel, t, nil)
+	if err != nil {
+		return err
+	}
+	for _, pid := range matched {
+		if sk := n.predSide[pid]; sk.rule == rule {
+			cr.mems[sk.side].add(id, t)
+		}
+	}
+	return nil
+}
+
+// Delete removes a stored tuple from every memory holding it. No
+// deactivations are reported (TREAT semantics for monotonic actions).
+func (n *Network) Delete(rel string, id tuple.ID) {
+	for _, sk := range n.relSides[rel] {
+		n.rules[sk.rule].mems[sk.side].remove(id)
+	}
+}
+
+// Update is Delete followed by Insert with the new image.
+func (n *Network) Update(rel string, id tuple.ID, t tuple.Tuple) error {
+	n.Delete(rel, id)
+	return n.Insert(rel, id, t)
+}
+
+// MemorySize reports the alpha-memory population of one rule side.
+func (n *Network) MemorySize(rule RuleID, side int) int {
+	cr, ok := n.rules[rule]
+	if !ok || side < 0 || side >= len(cr.mems) {
+		return 0
+	}
+	return len(cr.mems[side].rows)
+}
+
+// enumerate finds all combinations completing a new tuple on side
+// `seed`. Bindings are extended side by side; each unbound side is
+// probed through its hash index on a condition against an already-bound
+// side when one exists, else scanned.
+func (n *Network) enumerate(cr *compiledRule, seed int, seedID tuple.ID, seedT tuple.Tuple) {
+	k := len(cr.rule.Sides)
+	ids := make([]tuple.ID, k)
+	tuples := make([]tuple.Tuple, k)
+	bound := make([]bool, k)
+	ids[seed], tuples[seed], bound[seed] = seedID, seedT, true
+
+	// Order the remaining sides so that each is (when possible) probed
+	// via a condition touching an already-bound side.
+	order := make([]int, 0, k-1)
+	added := make([]bool, k)
+	added[seed] = true
+	for len(order) < k-1 {
+		progressed := false
+		for s := 0; s < k; s++ {
+			if added[s] {
+				continue
+			}
+			for _, rc := range cr.conds[s] {
+				if added[rc.other] {
+					order = append(order, s)
+					added[s] = true
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed {
+			// Disconnected component (unreachable: AddRule requires at
+			// least one condition per rule, but a rule could have
+			// disconnected side groups) — bind by scan.
+			for s := 0; s < k; s++ {
+				if !added[s] {
+					order = append(order, s)
+					added[s] = true
+					break
+				}
+			}
+		}
+	}
+
+	var extend func(step int)
+	extend = func(step int) {
+		if step == len(order) {
+			act := Activation{
+				Rule:   cr.rule.ID,
+				IDs:    append([]tuple.ID(nil), ids...),
+				Tuples: make([]tuple.Tuple, k),
+			}
+			copy(act.Tuples, tuples)
+			if n.onAct != nil {
+				n.onAct(act)
+			}
+			return
+		}
+		s := order[step]
+		mem := cr.mems[s]
+
+		// Choose a probe: a condition between s and a bound side.
+		var probe *resolvedCond
+		for i := range cr.conds[s] {
+			if bound[cr.conds[s][i].other] {
+				probe = &cr.conds[s][i]
+				break
+			}
+		}
+
+		tryCandidate := func(cid tuple.ID, ct tuple.Tuple) {
+			// Verify every condition between s and bound sides.
+			for _, rc := range cr.conds[s] {
+				if !bound[rc.other] {
+					continue
+				}
+				if !value.Equal(ct[rc.localPos], tuples[rc.other][rc.otherPos]) {
+					return
+				}
+			}
+			ids[s], tuples[s], bound[s] = cid, ct, true
+			extend(step + 1)
+			bound[s] = false
+		}
+
+		if probe != nil {
+			want := tuples[probe.other][probe.otherPos]
+			for cid := range mem.hash[probe.localPos][want] {
+				tryCandidate(cid, mem.rows[cid])
+			}
+			return
+		}
+		for cid, ct := range mem.rows {
+			tryCandidate(cid, ct)
+		}
+	}
+	extend(0)
+}

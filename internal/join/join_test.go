@@ -1,0 +1,373 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func testCatalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	for _, r := range []*schema.Relation{
+		schema.MustRelation("emp",
+			schema.Attribute{Name: "name", Type: value.KindString},
+			schema.Attribute{Name: "dept", Type: value.KindString},
+			schema.Attribute{Name: "salary", Type: value.KindInt},
+		),
+		schema.MustRelation("dept",
+			schema.Attribute{Name: "dname", Type: value.KindString},
+			schema.Attribute{Name: "budget", Type: value.KindInt},
+			schema.Attribute{Name: "floor", Type: value.KindInt},
+		),
+		schema.MustRelation("building",
+			schema.Attribute{Name: "floor", Type: value.KindInt},
+			schema.Attribute{Name: "zone", Type: value.KindString},
+		),
+	} {
+		if err := cat.Add(r); err != nil {
+			panic(err)
+		}
+	}
+	return cat
+}
+
+type collector struct {
+	acts []Activation
+}
+
+func (c *collector) cb(a Activation) { c.acts = append(c.acts, a) }
+
+func empT(name, dept string, salary int64) tuple.Tuple {
+	return tuple.New(value.String_(name), value.String_(dept), value.Int(salary))
+}
+
+func deptT(dname string, budget, floor int64) tuple.Tuple {
+	return tuple.New(value.String_(dname), value.Int(budget), value.Int(floor))
+}
+
+// binaryRule builds "emp.salary > 50000 AND emp.dept = dept.dname AND
+// dept.budget < 100000" — high earner in an underfunded department.
+func binaryRule(id RuleID) *Rule {
+	return &Rule{
+		ID: id,
+		Sides: []Side{
+			{Rel: "emp", Pred: pred.New(0, "emp",
+				pred.IvClause("salary", interval.Greater(value.Int(50000))))},
+			{Rel: "dept", Pred: pred.New(0, "dept",
+				pred.IvClause("budget", interval.Less(value.Int(100000))))},
+		},
+		Conditions: []Condition{{Left: 0, LeftAttr: "dept", Right: 1, RightAttr: "dname"}},
+	}
+}
+
+func TestBinaryJoinActivation(t *testing.T) {
+	cat := testCatalog()
+	col := &collector{}
+	net := New(cat, pred.NewRegistry(), col.cb)
+	if err := net.AddRule(binaryRule(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Department first, then matching employee.
+	if err := net.Insert("dept", 1, deptT("shoe", 50000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.acts) != 0 {
+		t.Fatalf("premature activation: %+v", col.acts)
+	}
+	if err := net.Insert("emp", 10, empT("ada", "shoe", 60000)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.acts) != 1 {
+		t.Fatalf("activations = %d, want 1", len(col.acts))
+	}
+	a := col.acts[0]
+	if a.Rule != 1 || a.IDs[0] != 10 || a.IDs[1] != 1 {
+		t.Fatalf("activation = %+v", a)
+	}
+
+	// Non-matching inserts: wrong dept, low salary, rich dept.
+	checkNoNew := func(what string) {
+		t.Helper()
+		if len(col.acts) != 1 {
+			t.Fatalf("%s caused activation: %+v", what, col.acts)
+		}
+	}
+	_ = net.Insert("emp", 11, empT("bob", "toy", 70000))
+	checkNoNew("wrong dept")
+	_ = net.Insert("emp", 12, empT("cyd", "shoe", 40000))
+	checkNoNew("low salary")
+	_ = net.Insert("dept", 2, deptT("gold", 900000, 3))
+	checkNoNew("rich dept")
+	_ = net.Insert("emp", 13, empT("dee", "gold", 80000))
+	checkNoNew("emp in rich dept")
+
+	// A second matching employee joins the same department.
+	_ = net.Insert("emp", 14, empT("eve", "shoe", 99000))
+	if len(col.acts) != 2 {
+		t.Fatalf("activations = %d, want 2", len(col.acts))
+	}
+
+	// Memory sizes reflect the selections.
+	if got := net.MemorySize(1, 0); got != 4 { // ada, bob, dee, eve (salary > 50000)
+		t.Fatalf("emp memory = %d, want 4", got)
+	}
+	if got := net.MemorySize(1, 1); got != 1 { // shoe
+		t.Fatalf("dept memory = %d, want 1", got)
+	}
+}
+
+func TestDeleteRemovesFromMemories(t *testing.T) {
+	cat := testCatalog()
+	col := &collector{}
+	net := New(cat, pred.NewRegistry(), col.cb)
+	if err := net.AddRule(binaryRule(1)); err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Insert("dept", 1, deptT("shoe", 50000, 2))
+	net.Delete("dept", 1)
+	_ = net.Insert("emp", 10, empT("ada", "shoe", 60000))
+	if len(col.acts) != 0 {
+		t.Fatalf("deleted department still joined: %+v", col.acts)
+	}
+	if net.MemorySize(1, 1) != 0 {
+		t.Fatal("memory not emptied")
+	}
+}
+
+func TestUpdateMovesTupleAcrossMemories(t *testing.T) {
+	cat := testCatalog()
+	col := &collector{}
+	net := New(cat, pred.NewRegistry(), col.cb)
+	if err := net.AddRule(binaryRule(1)); err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Insert("dept", 1, deptT("shoe", 500000, 2)) // too rich: not stored
+	if net.MemorySize(1, 1) != 0 {
+		t.Fatal("rich department stored")
+	}
+	_ = net.Insert("emp", 10, empT("ada", "shoe", 60000))
+	if len(col.acts) != 0 {
+		t.Fatal("premature activation")
+	}
+	// Budget cut: the department now qualifies and the join fires.
+	if err := net.Update("dept", 1, deptT("shoe", 80000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.acts) != 1 {
+		t.Fatalf("activations = %d, want 1 after update", len(col.acts))
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	cat := testCatalog()
+	col := &collector{}
+	net := New(cat, pred.NewRegistry(), col.cb)
+	// emp -> dept -> building chain.
+	r := &Rule{
+		ID: 7,
+		Sides: []Side{
+			{Rel: "emp"},
+			{Rel: "dept"},
+			{Rel: "building", Pred: pred.New(0, "building",
+				pred.EqClause("zone", value.String_("red")))},
+		},
+		Conditions: []Condition{
+			{Left: 0, LeftAttr: "dept", Right: 1, RightAttr: "dname"},
+			{Left: 1, LeftAttr: "floor", Right: 2, RightAttr: "floor"},
+		},
+	}
+	if err := net.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Insert("building", 1, tuple.New(value.Int(2), value.String_("red")))
+	_ = net.Insert("building", 2, tuple.New(value.Int(3), value.String_("blue")))
+	_ = net.Insert("dept", 1, deptT("shoe", 1, 2)) // floor 2 -> red zone
+	_ = net.Insert("dept", 2, deptT("toy", 1, 3))  // floor 3 -> blue zone (filtered)
+	if len(col.acts) != 0 {
+		t.Fatal("premature activation")
+	}
+	_ = net.Insert("emp", 10, empT("ada", "shoe", 1))
+	if len(col.acts) != 1 {
+		t.Fatalf("activations = %d, want 1", len(col.acts))
+	}
+	if got := col.acts[0].IDs; !reflect.DeepEqual(got, []tuple.ID{10, 1, 1}) {
+		t.Fatalf("activation ids = %v", got)
+	}
+	_ = net.Insert("emp", 11, empT("bob", "toy", 1)) // blue zone building filtered out
+	if len(col.acts) != 1 {
+		t.Fatalf("blue-zone emp activated: %d", len(col.acts))
+	}
+}
+
+func TestSelfJoinAcrossSides(t *testing.T) {
+	cat := testCatalog()
+	col := &collector{}
+	net := New(cat, pred.NewRegistry(), col.cb)
+	// Same relation on both sides: well-paid and badly-paid employee in
+	// the same department.
+	r := &Rule{
+		ID: 3,
+		Sides: []Side{
+			{Rel: "emp", Pred: pred.New(0, "emp",
+				pred.IvClause("salary", interval.AtLeast(value.Int(100))))},
+			{Rel: "emp", Pred: pred.New(0, "emp",
+				pred.IvClause("salary", interval.Less(value.Int(50))))},
+		},
+		Conditions: []Condition{{Left: 0, LeftAttr: "dept", Right: 1, RightAttr: "dept"}},
+	}
+	if err := net.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Insert("emp", 1, empT("rich", "shoe", 200))
+	_ = net.Insert("emp", 2, empT("poor", "shoe", 20))
+	if len(col.acts) != 1 {
+		t.Fatalf("activations = %d, want 1", len(col.acts))
+	}
+	if ids := col.acts[0].IDs; !reflect.DeepEqual(ids, []tuple.ID{1, 2}) {
+		t.Fatalf("ids = %v", ids)
+	}
+	// A mid-salary tuple lands in neither memory.
+	_ = net.Insert("emp", 3, empT("mid", "shoe", 75))
+	if len(col.acts) != 1 {
+		t.Fatal("mid-salary tuple activated")
+	}
+}
+
+func TestRemoveRule(t *testing.T) {
+	cat := testCatalog()
+	col := &collector{}
+	net := New(cat, pred.NewRegistry(), col.cb)
+	if err := net.AddRule(binaryRule(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RemoveRule(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RemoveRule(1); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	_ = net.Insert("dept", 1, deptT("shoe", 50000, 2))
+	_ = net.Insert("emp", 10, empT("ada", "shoe", 60000))
+	if len(col.acts) != 0 {
+		t.Fatalf("removed rule fired: %+v", col.acts)
+	}
+	if net.SelectionIndex().Len() != 0 {
+		t.Fatal("selection predicates leaked")
+	}
+}
+
+func TestAddRuleErrors(t *testing.T) {
+	cat := testCatalog()
+	net := New(cat, pred.NewRegistry(), nil)
+	ok := binaryRule(1)
+	if err := net.AddRule(ok); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Rule{
+		ok, // duplicate id
+		{ID: 2, Sides: []Side{{Rel: "emp"}}, Conditions: []Condition{{Left: 0, Right: 0}}},
+		{ID: 3, Sides: []Side{{Rel: "emp"}, {Rel: "nosuch"}},
+			Conditions: []Condition{{Left: 0, LeftAttr: "dept", Right: 1, RightAttr: "x"}}},
+		{ID: 4, Sides: []Side{{Rel: "emp"}, {Rel: "dept"}}}, // no conditions
+		{ID: 5, Sides: []Side{{Rel: "emp"}, {Rel: "dept"}},
+			Conditions: []Condition{{Left: 0, LeftAttr: "nosuch", Right: 1, RightAttr: "dname"}}},
+		{ID: 6, Sides: []Side{{Rel: "emp"}, {Rel: "dept"}},
+			Conditions: []Condition{{Left: 0, LeftAttr: "dept", Right: 1, RightAttr: "nosuch"}}},
+		{ID: 7, Sides: []Side{{Rel: "emp"}, {Rel: "dept"}},
+			Conditions: []Condition{{Left: 0, LeftAttr: "salary", Right: 1, RightAttr: "dname"}}}, // type clash
+		{ID: 8, Sides: []Side{{Rel: "emp"}, {Rel: "dept"}},
+			Conditions: []Condition{{Left: 0, LeftAttr: "dept", Right: 5, RightAttr: "dname"}}}, // out of range
+		{ID: 9, Sides: []Side{{Rel: "emp"}, {Rel: "dept"}},
+			Conditions: []Condition{{Left: 0, LeftAttr: "dept", Right: 0, RightAttr: "dept"}}}, // self-side
+		{ID: 10, Sides: []Side{
+			{Rel: "emp", Pred: pred.New(0, "dept", pred.EqClause("dname", value.String_("x")))},
+			{Rel: "dept"}},
+			Conditions: []Condition{{Left: 0, LeftAttr: "dept", Right: 1, RightAttr: "dname"}}}, // pred/side rel mismatch
+	}
+	for _, r := range cases {
+		if err := net.AddRule(r); err == nil {
+			t.Errorf("AddRule(%d) accepted", r.ID)
+		}
+	}
+}
+
+// TestRandomizedAgainstNestedLoop cross-checks activations against a
+// brute-force nested-loop join over the full history.
+func TestRandomizedAgainstNestedLoop(t *testing.T) {
+	cat := testCatalog()
+	rng := rand.New(rand.NewSource(8))
+	col := &collector{}
+	net := New(cat, pred.NewRegistry(), col.cb)
+	if err := net.AddRule(binaryRule(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	type row struct {
+		id tuple.ID
+		t  tuple.Tuple
+	}
+	var emps, depts []row
+	depNames := []string{"a", "b", "c", "d"}
+	nextID := tuple.ID(1)
+
+	for op := 0; op < 400; op++ {
+		if rng.Intn(2) == 0 {
+			r := row{nextID, empT("e", depNames[rng.Intn(len(depNames))], int64(rng.Intn(100000)))}
+			nextID++
+			emps = append(emps, r)
+			if err := net.Insert("emp", r.id, r.t); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			r := row{nextID, deptT(depNames[rng.Intn(len(depNames))], int64(rng.Intn(200000)), 1)}
+			nextID++
+			depts = append(depts, r)
+			if err := net.Insert("dept", r.id, r.t); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Expected: every (emp, dept) pair satisfying all conditions fires
+	// exactly once (when the later of the two was inserted).
+	var want []string
+	for _, e := range emps {
+		if e.t[2].AsInt() <= 50000 {
+			continue
+		}
+		for _, d := range depts {
+			if d.t[1].AsInt() >= 100000 {
+				continue
+			}
+			if e.t[1].AsString() != d.t[0].AsString() {
+				continue
+			}
+			want = append(want, fmt.Sprintf("%d/%d", e.id, d.id))
+		}
+	}
+	var got []string
+	for _, a := range col.acts {
+		got = append(got, fmt.Sprintf("%d/%d", a.IDs[0], a.IDs[1]))
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("activations mismatch: got %d, want %d pairs", len(got), len(want))
+	}
+}
+
+func TestMemorySizeUnknown(t *testing.T) {
+	net := New(testCatalog(), pred.NewRegistry(), nil)
+	if net.MemorySize(99, 0) != 0 || net.MemorySize(0, -1) != 0 {
+		t.Fatal("MemorySize on unknown rule/side non-zero")
+	}
+}

@@ -1,0 +1,33 @@
+// Package matcher defines the interface every predicate-matching
+// strategy implements, so the strategies of the paper's Section 2
+// (sequential search, hash + sequential, physical locking,
+// multi-dimensional indexing) and Section 4 (the IBS-tree scheme) can be
+// driven and benchmarked interchangeably.
+package matcher
+
+import (
+	"predmatch/internal/pred"
+	"predmatch/internal/tuple"
+)
+
+// Matcher answers the paper's predicate testing problem: given a tuple t
+// of relation R, return exactly the predicates that match t.
+type Matcher interface {
+	// Name identifies the strategy in benchmark output.
+	Name() string
+
+	// Add registers a disjunction-free predicate. The predicate ID must
+	// be unique across the matcher.
+	Add(p *pred.Predicate) error
+
+	// Remove unregisters a predicate by ID.
+	Remove(id pred.ID) error
+
+	// Match returns the IDs of all predicates matching the tuple,
+	// appended to dst (which may be nil). Order is unspecified; each
+	// matching ID appears exactly once.
+	Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error)
+
+	// Len returns the number of registered predicates.
+	Len() int
+}

@@ -1,0 +1,145 @@
+package parser
+
+import (
+	"fmt"
+
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// ValueExpr is a small arithmetic expression over the triggering tuple,
+// used by set actions: a literal, an attribute reference, or a binary
+// +, -, * over two terms of the same numeric kind. This is what lets a
+// rule maintain a derived column ("set deficit = stock - threshold"),
+// the pattern the paper's Section 3 recommends for folding per-entity
+// rules into data.
+type ValueExpr interface {
+	// Kind returns the expression's statically inferred kind.
+	Kind() value.Kind
+	// Eval computes the expression against a tuple of rel.
+	Eval(rel *schema.Relation, t tuple.Tuple) (value.Value, error)
+}
+
+// LitExpr is a constant.
+type LitExpr struct{ V value.Value }
+
+// Kind implements ValueExpr.
+func (e LitExpr) Kind() value.Kind { return e.V.Kind() }
+
+// Eval implements ValueExpr.
+func (e LitExpr) Eval(*schema.Relation, tuple.Tuple) (value.Value, error) { return e.V, nil }
+
+// AttrExpr reads an attribute of the triggering tuple.
+type AttrExpr struct {
+	Attr string
+	kind value.Kind
+}
+
+// Kind implements ValueExpr.
+func (e AttrExpr) Kind() value.Kind { return e.kind }
+
+// Eval implements ValueExpr.
+func (e AttrExpr) Eval(rel *schema.Relation, t tuple.Tuple) (value.Value, error) {
+	pos, ok := rel.AttrIndex(e.Attr)
+	if !ok {
+		return value.Value{}, fmt.Errorf("parser: relation %s lost attribute %s", rel.Name(), e.Attr)
+	}
+	return t[pos], nil
+}
+
+// BinExpr combines two numeric terms.
+type BinExpr struct {
+	L, R ValueExpr
+	Op   byte // '+', '-' or '*'
+}
+
+// Kind implements ValueExpr.
+func (e BinExpr) Kind() value.Kind { return e.L.Kind() }
+
+// Eval implements ValueExpr.
+func (e BinExpr) Eval(rel *schema.Relation, t tuple.Tuple) (value.Value, error) {
+	l, err := e.L.Eval(rel, t)
+	if err != nil {
+		return value.Value{}, err
+	}
+	r, err := e.R.Eval(rel, t)
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch l.Kind() {
+	case value.KindInt:
+		a, b := l.AsInt(), r.AsInt()
+		switch e.Op {
+		case '+':
+			return value.Int(a + b), nil
+		case '-':
+			return value.Int(a - b), nil
+		case '*':
+			return value.Int(a * b), nil
+		}
+	case value.KindFloat:
+		a, b := l.AsFloat(), r.AsFloat()
+		switch e.Op {
+		case '+':
+			return value.Float(a + b), nil
+		case '-':
+			return value.Float(a - b), nil
+		case '*':
+			return value.Float(a * b), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("parser: unsupported arithmetic on %s", l.Kind())
+}
+
+// parseValueExpr parses "term [op term]" where both terms have the
+// expected kind; arithmetic requires a numeric kind.
+func (p *parser) parseValueExpr(rel string, kind value.Kind) (ValueExpr, error) {
+	left, err := p.parseValueTerm(rel, kind)
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	var op byte
+	switch {
+	case t.kind == tokPunct && (t.text == "+" || t.text == "-" || t.text == "*"):
+		op = t.text[0]
+		p.adv()
+	case t.kind == tokNumber && len(t.text) > 1 && t.text[0] == '-':
+		// "stock -5" lexes the minus into the number; treat it as
+		// subtraction of the positive part.
+		op = '-'
+		p.toks[p.i].text = t.text[1:]
+	default:
+		return left, nil
+	}
+	if kind != value.KindInt && kind != value.KindFloat {
+		return nil, fmt.Errorf("parser: arithmetic requires a numeric attribute, have %s", kind)
+	}
+	right, err := p.parseValueTerm(rel, kind)
+	if err != nil {
+		return nil, err
+	}
+	return BinExpr{L: left, R: right, Op: op}, nil
+}
+
+// parseValueTerm parses one attribute reference or literal of the
+// expected kind.
+func (p *parser) parseValueTerm(rel string, kind value.Kind) (ValueExpr, error) {
+	t := p.peek()
+	if t.kind == tokIdent && t.text != "true" && t.text != "false" {
+		attr, k, err := p.attrRef(rel)
+		if err != nil {
+			return nil, err
+		}
+		if k != kind {
+			return nil, fmt.Errorf("parser: attribute %s is %s, expected %s", attr, k, kind)
+		}
+		return AttrExpr{Attr: attr, kind: k}, nil
+	}
+	v, err := p.literal(kind)
+	if err != nil {
+		return nil, err
+	}
+	return LitExpr{V: v}, nil
+}

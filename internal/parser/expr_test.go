@@ -1,0 +1,127 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func exprCatalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	rel := schema.MustRelation("items",
+		schema.Attribute{Name: "stock", Type: value.KindInt},
+		schema.Attribute{Name: "threshold", Type: value.KindInt},
+		schema.Attribute{Name: "deficit", Type: value.KindInt},
+		schema.Attribute{Name: "price", Type: value.KindFloat},
+		schema.Attribute{Name: "label", Type: value.KindString},
+	)
+	if err := cat.Add(rel); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+func parseSet(t *testing.T, body string) Action {
+	t.Helper()
+	cat := exprCatalog()
+	ast, err := ParseRule("rule r on insert to items do set "+body, cat, pred.NewRegistry())
+	if err != nil {
+		t.Fatalf("set %q: %v", body, err)
+	}
+	return ast.Actions[0]
+}
+
+func evalSet(t *testing.T, a Action, tp tuple.Tuple) value.Value {
+	t.Helper()
+	cat := exprCatalog()
+	rel, _ := cat.Get("items")
+	v, err := a.Expr.Eval(rel, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func itemT(stock, threshold, deficit int64, price float64, label string) tuple.Tuple {
+	return tuple.New(value.Int(stock), value.Int(threshold), value.Int(deficit),
+		value.Float(price), value.String_(label))
+}
+
+func TestSetExpressionArithmetic(t *testing.T) {
+	tp := itemT(40, 25, 0, 2.5, "x")
+	cases := []struct {
+		body string
+		want value.Value
+	}{
+		{"deficit = stock - threshold", value.Int(15)},
+		{"deficit = stock + threshold", value.Int(65)},
+		{"deficit = stock * 2", value.Int(80)},
+		{"deficit = 100 - stock", value.Int(60)},
+		{"deficit = 7", value.Int(7)},
+		{"deficit = stock", value.Int(40)},
+		{"price = price * 1.5", value.Float(3.75)},
+		{"price = price + 0.5", value.Float(3.0)},
+		{"label = 'fixed'", value.String_("fixed")},
+	}
+	for _, tc := range cases {
+		a := parseSet(t, tc.body)
+		got := evalSet(t, a, tp)
+		if !value.Equal(got, tc.want) {
+			t.Errorf("%q = %v, want %v", tc.body, got, tc.want)
+		}
+		if a.Expr.Kind() != tc.want.Kind() {
+			t.Errorf("%q inferred kind %v, want %v", tc.body, a.Expr.Kind(), tc.want.Kind())
+		}
+	}
+}
+
+func TestSetExpressionNoSpaceMinus(t *testing.T) {
+	// "stock -5" lexes the minus into the number; the parser must still
+	// read it as subtraction.
+	a := parseSet(t, "deficit = stock -5")
+	got := evalSet(t, a, itemT(40, 0, 0, 0, ""))
+	if got.AsInt() != 35 {
+		t.Fatalf("stock -5 = %v", got)
+	}
+}
+
+func TestSetExpressionErrors(t *testing.T) {
+	cat := exprCatalog()
+	bad := []string{
+		"set deficit = label",         // kind mismatch attr
+		"set deficit = 'x'",           // kind mismatch literal
+		"set deficit = stock - label", // mixed kinds
+		"set deficit = stock - 'x'",   // literal kind
+		"set label = label + 'x'",     // arithmetic on strings
+		"set deficit = nosuch",        // unknown attribute
+		"set deficit =",               // missing expr
+		"set deficit = stock -",       // dangling op
+	}
+	for _, body := range bad {
+		src := "rule r on insert to items do " + body
+		if _, err := ParseRule(src, cat, pred.NewRegistry()); err == nil {
+			t.Errorf("%q accepted", body)
+		}
+	}
+}
+
+func TestSetExpressionRuleSourceRoundTrip(t *testing.T) {
+	cat := exprCatalog()
+	src := `rule maintain on insert, update to items
+	        do set deficit = stock - threshold`
+	ast, err := ParseRule(src, cat, pred.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ast.Source, "deficit = stock - threshold") {
+		t.Fatal("source not preserved")
+	}
+	be, ok := ast.Actions[0].Expr.(BinExpr)
+	if !ok || be.Op != '-' {
+		t.Fatalf("expr = %#v", ast.Actions[0].Expr)
+	}
+}

@@ -1,0 +1,308 @@
+package parser
+
+import (
+	"fmt"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/value"
+)
+
+// JoinRuleAST is a parsed multi-relation rule for the two-layer
+// discrimination network (internal/join):
+//
+//	joinrule NAME on REL1, REL2 [, ...]
+//	  when CONDITION
+//	  do ACTIONS
+//
+// The condition is a conjunction mixing single-relation selection
+// clauses (qualified comparisons against literals, function clauses,
+// between) and equi-join terms "rel1.attr = rel2.attr". Attribute
+// references may omit the relation qualifier when the attribute name is
+// unique across the rule's relations. Actions are limited to log and
+// raise (a join activation has no single triggering tuple to set or
+// delete).
+type JoinRuleAST struct {
+	Name string
+	// Rels lists the rule's relations in declaration order; Sel[i] holds
+	// the selection clauses for Rels[i].
+	Rels []string
+	Sel  [][]pred.Clause
+	// Joins are equi-join conditions as (side, attr) pairs.
+	Joins   []JoinTerm
+	Actions []Action
+	Source  string
+}
+
+// JoinTerm is one equi-join condition between two sides.
+type JoinTerm struct {
+	LeftSide  int
+	LeftAttr  string
+	RightSide int
+	RightAttr string
+}
+
+// ParseJoinRule parses a joinrule definition.
+func ParseJoinRule(src string, catalog *schema.Catalog, funcs *pred.Registry) (*JoinRuleAST, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, catalog: catalog, funcs: funcs}
+	ast := &JoinRuleAST{Source: src}
+
+	if err := p.expectIdent("joinrule"); err != nil {
+		return nil, err
+	}
+	if ast.Name, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("on"); err != nil {
+		return nil, err
+	}
+	sideOf := map[string]int{}
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := catalog.Get(rel); !ok {
+			return nil, fmt.Errorf("parser: unknown relation %q", rel)
+		}
+		if _, dup := sideOf[rel]; dup {
+			return nil, fmt.Errorf("parser: relation %q listed twice; self-joins need distinct rule sides, which the joinrule syntax does not express", rel)
+		}
+		sideOf[rel] = len(ast.Rels)
+		ast.Rels = append(ast.Rels, rel)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.adv()
+			continue
+		}
+		break
+	}
+	if len(ast.Rels) < 2 {
+		return nil, fmt.Errorf("parser: joinrule needs at least two relations")
+	}
+	ast.Sel = make([][]pred.Clause, len(ast.Rels))
+
+	if err := p.expectIdent("when"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.parseJoinTerm(ast, sideOf); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokIdent && p.peek().text == "and" {
+			p.adv()
+			continue
+		}
+		break
+	}
+	if len(ast.Joins) == 0 {
+		return nil, fmt.Errorf("parser: joinrule condition needs at least one join term (rel1.attr = rel2.attr)")
+	}
+
+	if err := p.expectIdent("do"); err != nil {
+		return nil, err
+	}
+	for {
+		kw := p.peek()
+		if kw.kind != tokIdent || (kw.text != "log" && kw.text != "raise") {
+			return nil, fmt.Errorf("parser: joinrule actions are limited to log and raise, got %q", kw.text)
+		}
+		a, err := p.parseAction(ast.Rels[0])
+		if err != nil {
+			return nil, err
+		}
+		ast.Actions = append(ast.Actions, a)
+		if p.peek().kind == tokPunct && p.peek().text == ";" {
+			p.adv()
+			continue
+		}
+		break
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return ast, nil
+}
+
+// joinAttrRef resolves an optionally qualified attribute against the
+// rule's relations, returning the side index, attribute name and kind.
+func (p *parser) joinAttrRef(ast *JoinRuleAST, sideOf map[string]int) (int, string, value.Kind, error) {
+	name, err := p.ident()
+	if err != nil {
+		return 0, "", 0, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == "." {
+		// Qualified: name is the relation.
+		p.adv()
+		side, ok := sideOf[name]
+		if !ok {
+			return 0, "", 0, fmt.Errorf("parser: relation %q is not part of this joinrule", name)
+		}
+		attr, err := p.ident()
+		if err != nil {
+			return 0, "", 0, err
+		}
+		rel, _ := p.catalog.Get(ast.Rels[side])
+		kind, ok := rel.AttrType(attr)
+		if !ok {
+			return 0, "", 0, fmt.Errorf("parser: relation %q has no attribute %q", name, attr)
+		}
+		return side, attr, kind, nil
+	}
+	// Unqualified: the attribute must be unique across relations.
+	found := -1
+	var kind value.Kind
+	for i, relName := range ast.Rels {
+		rel, _ := p.catalog.Get(relName)
+		if k, ok := rel.AttrType(name); ok {
+			if found >= 0 {
+				return 0, "", 0, fmt.Errorf("parser: attribute %q is ambiguous; qualify it", name)
+			}
+			found, kind = i, k
+		}
+	}
+	if found < 0 {
+		return 0, "", 0, fmt.Errorf("parser: no relation in this joinrule has attribute %q", name)
+	}
+	return found, name, kind, nil
+}
+
+// parseJoinTerm consumes one conjunct: a selection clause or a join term.
+func (p *parser) parseJoinTerm(ast *JoinRuleAST, sideOf map[string]int) error {
+	// Function clause: fn(attr).
+	if p.peek().kind == tokIdent {
+		if _, registered := p.funcs.Get(p.peek().text); registered &&
+			p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+			fn := p.adv().text
+			if err := p.expectPunct("("); err != nil {
+				return err
+			}
+			side, attr, _, err := p.joinAttrRef(ast, sideOf)
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			ast.Sel[side] = append(ast.Sel[side], pred.FnClause(attr, fn))
+			return nil
+		}
+	}
+	// Reversed comparison: literal op attr.
+	if p.isLiteralStart() {
+		save := p.i
+		p.adv()
+		op := p.adv()
+		if op.kind != tokPunct {
+			return fmt.Errorf("parser: expected comparison operator at offset %d", op.pos)
+		}
+		side, attr, kind, err := p.joinAttrRef(ast, sideOf)
+		if err != nil {
+			return err
+		}
+		end := p.i
+		p.i = save
+		lit, err := p.literal(kind)
+		if err != nil {
+			return err
+		}
+		p.i = end
+		return appendSelection(ast, side, attr, reverseOp(op.text), lit)
+	}
+
+	side, attr, kind, err := p.joinAttrRef(ast, sideOf)
+	if err != nil {
+		return err
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "between" {
+		p.adv()
+		lo, err := p.literal(kind)
+		if err != nil {
+			return err
+		}
+		if err := p.expectIdent("and"); err != nil {
+			return err
+		}
+		hi, err := p.literal(kind)
+		if err != nil {
+			return err
+		}
+		ast.Sel[side] = append(ast.Sel[side], pred.IvClause(attr, interval.Closed(lo, hi)))
+		return nil
+	}
+	op := p.adv()
+	if op.kind != tokPunct {
+		return fmt.Errorf("parser: expected comparison operator at offset %d, got %q", op.pos, op.text)
+	}
+	if p.isLiteralStart() {
+		lit, err := p.literal(kind)
+		if err != nil {
+			return err
+		}
+		return appendSelection(ast, side, attr, op.text, lit)
+	}
+	// attr op attr: only equi-joins are supported across sides.
+	side2, attr2, kind2, err := p.joinAttrRef(ast, sideOf)
+	if err != nil {
+		return err
+	}
+	if op.text != "=" && op.text != "==" {
+		return fmt.Errorf("parser: only equi-join conditions are supported between relations, got %q", op.text)
+	}
+	if side == side2 {
+		return fmt.Errorf("parser: attribute comparison within one relation is not supported; use literals")
+	}
+	if kind != kind2 {
+		return fmt.Errorf("parser: join compares %s attribute with %s attribute", kind, kind2)
+	}
+	ast.Joins = append(ast.Joins, JoinTerm{
+		LeftSide: side, LeftAttr: attr,
+		RightSide: side2, RightAttr: attr2,
+	})
+	return nil
+}
+
+// reverseOp mirrors a comparison for "literal op attr".
+func reverseOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// appendSelection converts a comparison into a selection clause.
+// "!=" is rejected here: selection disjunctions are not representable in
+// a conjunctive joinrule condition.
+func appendSelection(ast *JoinRuleAST, side int, attr, op string, lit value.Value) error {
+	var iv interval.Interval[value.Value]
+	switch op {
+	case "=", "==":
+		iv = interval.Point(lit)
+	case "<":
+		iv = interval.Less(lit)
+	case "<=":
+		iv = interval.AtMost(lit)
+	case ">":
+		iv = interval.Greater(lit)
+	case ">=":
+		iv = interval.AtLeast(lit)
+	case "!=", "<>":
+		return fmt.Errorf("parser: != is not supported in joinrule conditions (no disjunctions)")
+	default:
+		return fmt.Errorf("parser: unknown comparison operator %q", op)
+	}
+	ast.Sel[side] = append(ast.Sel[side], pred.IvClause(attr, iv))
+	return nil
+}

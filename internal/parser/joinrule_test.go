@@ -1,0 +1,140 @@
+package parser
+
+import (
+	"testing"
+
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/value"
+)
+
+func joinCatalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	for _, r := range []*schema.Relation{
+		schema.MustRelation("emp",
+			schema.Attribute{Name: "name", Type: value.KindString},
+			schema.Attribute{Name: "dept", Type: value.KindString},
+			schema.Attribute{Name: "salary", Type: value.KindInt},
+		),
+		schema.MustRelation("dept",
+			schema.Attribute{Name: "dname", Type: value.KindString},
+			schema.Attribute{Name: "budget", Type: value.KindInt},
+		),
+		schema.MustRelation("site",
+			schema.Attribute{Name: "sname", Type: value.KindString},
+			schema.Attribute{Name: "budget", Type: value.KindInt}, // ambiguous with dept.budget
+		),
+	} {
+		if err := cat.Add(r); err != nil {
+			panic(err)
+		}
+	}
+	return cat
+}
+
+func TestParseJoinRuleFull(t *testing.T) {
+	cat := joinCatalog()
+	funcs := pred.NewRegistry()
+	src := `joinrule audit on emp, dept
+	  when salary > 50000 and isodd(salary) and emp.dept = dname
+	       and budget between 0 and 100000
+	  do log 'flag'; raise 'abort'`
+	ast, err := ParseJoinRule(src, cat, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Name != "audit" || len(ast.Rels) != 2 {
+		t.Fatalf("ast = %+v", ast)
+	}
+	if len(ast.Sel[0]) != 2 { // salary > 50000, isodd(salary)
+		t.Fatalf("emp selections = %v", ast.Sel[0])
+	}
+	if len(ast.Sel[1]) != 1 { // budget between
+		t.Fatalf("dept selections = %v", ast.Sel[1])
+	}
+	if len(ast.Joins) != 1 {
+		t.Fatalf("joins = %v", ast.Joins)
+	}
+	j := ast.Joins[0]
+	if j.LeftSide != 0 || j.LeftAttr != "dept" || j.RightSide != 1 || j.RightAttr != "dname" {
+		t.Fatalf("join = %+v", j)
+	}
+	if len(ast.Actions) != 2 || ast.Actions[0].Kind != ActionLog || ast.Actions[1].Kind != ActionRaise {
+		t.Fatalf("actions = %+v", ast.Actions)
+	}
+}
+
+func TestParseJoinRuleReversedLiteral(t *testing.T) {
+	cat := joinCatalog()
+	funcs := pred.NewRegistry()
+	ast, err := ParseJoinRule(
+		"joinrule r on emp, dept when 50000 < salary and emp.dept = dname do log 'x'",
+		cat, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ast.Sel[0]) != 1 {
+		t.Fatalf("selections = %v", ast.Sel[0])
+	}
+	c := ast.Sel[0][0]
+	if c.Attr != "salary" || !c.Iv.AboveLo(value.Compare, value.Int(50001)) ||
+		c.Iv.Contains(value.Compare, value.Int(50000)) {
+		t.Fatalf("clause = %v", c)
+	}
+}
+
+func TestParseJoinRuleUnqualifiedResolution(t *testing.T) {
+	cat := joinCatalog()
+	funcs := pred.NewRegistry()
+	// salary unique to emp; dname unique to dept.
+	ast, err := ParseJoinRule(
+		"joinrule r on emp, dept when salary = 5 and dept.dname = emp.dept do log 'x'",
+		cat, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Joins[0].LeftSide != 1 || ast.Joins[0].RightSide != 0 {
+		t.Fatalf("join sides = %+v", ast.Joins[0])
+	}
+}
+
+func TestParseJoinRuleErrors(t *testing.T) {
+	cat := joinCatalog()
+	funcs := pred.NewRegistry()
+	bad := []string{
+		"",
+		"joinrule",
+		"joinrule r on emp when salary = 1 do log 'x'",                    // one relation
+		"joinrule r on emp, nosuch when salary = 1 do log 'x'",            // unknown rel
+		"joinrule r on emp, emp when salary = 1 do log 'x'",               // duplicate rel
+		"joinrule r on emp, dept do log 'x'",                              // no when
+		"joinrule r on emp, dept when do log 'x'",                         // empty condition
+		"joinrule r on emp, dept when salary = 1 do log 'x'",              // no join term
+		"joinrule r on emp, dept when emp.dept = dname do set salary = 1", // bad action
+		"joinrule r on emp, dept when emp.dept = dname do",                // no action body
+		"joinrule r on emp, dept when emp.dept = dname do log 'x' zz",
+		"joinrule r on emp, dept when nosuch.a = dname do log 'x'",                  // unknown qualifier
+		"joinrule r on emp, dept when emp.nosuch = dname do log 'x'",                // unknown attr
+		"joinrule r on emp, dept when frobnicate = dname do log 'x'",                // unknown unqualified
+		"joinrule r on emp, dept when emp.salary = dname do log 'x'",                // type clash in join
+		"joinrule r on emp, dept when emp.dept != dname do log 'x'",                 // != join
+		"joinrule r on emp, dept when emp.dept < dname do log 'x'",                  // non-equi join
+		"joinrule r on emp, dept when emp.dept = emp.name do log 'x'",               // same-side
+		"joinrule r on emp, dept when salary != 1 and emp.dept = dname do log 'x'",  // != selection
+		"joinrule r on emp, dept when salary = 'x' and emp.dept = dname do log 'x'", // type clash
+		"joinrule r on emp, dept when salary between 1 do log 'x'",                  // bad between
+		"joinrule r on emp, dept when salary ~ 1 do log 'x'",                        // bad op
+		"joinrule r on emp, dept when 5 ~ salary do log 'x'",                        // bad reversed op
+	}
+	for _, src := range bad {
+		if _, err := ParseJoinRule(src, cat, funcs); err == nil {
+			t.Errorf("ParseJoinRule(%q) accepted", src)
+		}
+	}
+	// Ambiguous unqualified attribute across dept and site.
+	if _, err := ParseJoinRule(
+		"joinrule r on dept, site when budget = 1 and dept.dname = site.sname do log 'x'",
+		cat, funcs); err == nil {
+		t.Error("ambiguous attribute accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Package parser implements the small rule and predicate language of the
+// rule-system substrate. Conditions compile to the paper's predicate
+// model: conjunctions of interval clauses (const1 ρ1 attr ρ2 const2,
+// equality, open-ended comparisons), opaque function clauses, with
+// disjunctions (and the derived "!=") split into disjunction-free
+// predicates as the paper prescribes.
+//
+// Grammar (keywords case-insensitive):
+//
+//	rule      = "rule" name "on" events "to" relation
+//	            ["when" condition] "do" actions
+//	events    = event { "," event } ; event = "insert" | "update" | "delete"
+//	condition = or ; or = and { "or" and } ; and = unit { "and" unit }
+//	unit      = "(" or ")" | clause
+//	clause    = attr cmp literal | literal cmp attr
+//	          | attr "between" literal "and" literal
+//	          | ident "(" attr ")"
+//	cmp       = "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//	attr      = [relation "."] ident
+//	actions   = action { ";" action }
+//	action    = "log" string | "raise" string
+//	          | "set" attr "=" literal
+//	          | "insert" "into" relation "(" literal {"," literal} ")"
+//	          | "delete"
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers lowercased; strings unquoted
+	pos  int
+}
+
+// lexer tokenizes rule source.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: strings.ToLower(l.src[start:l.pos]), pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			(l.src[l.pos] == '-' || l.src[l.pos] == '+') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == quote {
+				// Doubled quote is an escaped quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					sb.WriteByte(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("parser: unterminated string at offset %d", start)
+	default:
+		// Multi-character operators first.
+		for _, op := range []string{"<=", ">=", "!=", "<>", "=="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tokPunct, text: op, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("()=<>.,;*+-", rune(c)) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("parser: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

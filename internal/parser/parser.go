@@ -1,0 +1,522 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/storage"
+	"predmatch/internal/value"
+)
+
+// RuleAST is the parsed form of a rule definition, before predicate
+// splitting and registration (which internal/engine performs).
+type RuleAST struct {
+	Name string
+	Rel  string
+	// Priority orders rule firing when several rules match one event:
+	// higher first, ties broken by name (an Ariel feature; default 0).
+	Priority  int
+	Events    []storage.Op
+	Condition pred.Expr // nil means "always"
+	Actions   []Action
+	Source    string
+}
+
+// ActionKind enumerates rule actions.
+type ActionKind uint8
+
+const (
+	// ActionLog emits a message through the engine's logger.
+	ActionLog ActionKind = iota
+	// ActionRaise aborts the triggering mutation with an error.
+	ActionRaise
+	// ActionSet assigns a literal to an attribute of the triggering tuple.
+	ActionSet
+	// ActionInsert inserts a literal tuple into another relation.
+	ActionInsert
+	// ActionDelete deletes the triggering tuple.
+	ActionDelete
+)
+
+// Action is one parsed rule action.
+type Action struct {
+	Kind    ActionKind
+	Message string        // Log, Raise
+	Attr    string        // Set
+	Expr    ValueExpr     // Set: value to assign (may reference attributes)
+	Rel     string        // Insert
+	Values  []value.Value // Insert
+}
+
+// parser consumes a token stream against a catalog (needed to type
+// literals against attribute kinds) and a function registry (to
+// recognize function clauses).
+type parser struct {
+	toks    []token
+	i       int
+	catalog *schema.Catalog
+	funcs   *pred.Registry
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) adv() token  { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// expectIdent consumes a specific keyword.
+func (p *parser) expectIdent(kw string) error {
+	t := p.adv()
+	if t.kind != tokIdent || t.text != kw {
+		return fmt.Errorf("parser: expected %q at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+// expectPunct consumes a specific punctuation token.
+func (p *parser) expectPunct(s string) error {
+	t := p.adv()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("parser: expected %q at offset %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.adv()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("parser: expected identifier at offset %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+// ParseRule parses a full rule definition.
+func ParseRule(src string, catalog *schema.Catalog, funcs *pred.Registry) (*RuleAST, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, catalog: catalog, funcs: funcs}
+	ast := &RuleAST{Source: strings.TrimSpace(src)}
+
+	if err := p.expectIdent("rule"); err != nil {
+		return nil, err
+	}
+	if ast.Name, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "priority" {
+		p.adv()
+		t := p.adv()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("parser: priority needs an integer, got %q", t.text)
+		}
+		prio, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("parser: bad priority %q: %w", t.text, err)
+		}
+		ast.Priority = prio
+	}
+	if err := p.expectIdent("on"); err != nil {
+		return nil, err
+	}
+	for {
+		ev, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch ev {
+		case "insert":
+			ast.Events = append(ast.Events, storage.OpInsert)
+		case "update":
+			ast.Events = append(ast.Events, storage.OpUpdate)
+		case "delete":
+			ast.Events = append(ast.Events, storage.OpDelete)
+		default:
+			return nil, fmt.Errorf("parser: unknown event %q", ev)
+		}
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.adv()
+			continue
+		}
+		break
+	}
+	if err := p.expectIdent("to"); err != nil {
+		return nil, err
+	}
+	if ast.Rel, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if _, ok := catalog.Get(ast.Rel); !ok {
+		return nil, fmt.Errorf("parser: unknown relation %q", ast.Rel)
+	}
+
+	if p.peek().kind == tokIdent && p.peek().text == "when" {
+		p.adv()
+		ast.Condition, err = p.parseOr(ast.Rel)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.expectIdent("do"); err != nil {
+		return nil, err
+	}
+	for {
+		a, err := p.parseAction(ast.Rel)
+		if err != nil {
+			return nil, err
+		}
+		ast.Actions = append(ast.Actions, a)
+		if p.peek().kind == tokPunct && p.peek().text == ";" {
+			p.adv()
+			if p.atEOF() {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return ast, nil
+}
+
+// ParseCondition parses a standalone condition over rel, as used when
+// registering bare predicates (without a rule around them).
+func ParseCondition(src, rel string, catalog *schema.Catalog, funcs *pred.Registry) (pred.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, catalog: catalog, funcs: funcs}
+	if _, ok := catalog.Get(rel); !ok {
+		return nil, fmt.Errorf("parser: unknown relation %q", rel)
+	}
+	e, err := p.parseOr(rel)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return e, nil
+}
+
+func (p *parser) parseOr(rel string) (pred.Expr, error) {
+	left, err := p.parseAnd(rel)
+	if err != nil {
+		return nil, err
+	}
+	exprs := []pred.Expr{left}
+	for p.peek().kind == tokIdent && p.peek().text == "or" {
+		p.adv()
+		e, err := p.parseAnd(rel)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+	}
+	if len(exprs) == 1 {
+		return exprs[0], nil
+	}
+	return pred.Or{Exprs: exprs}, nil
+}
+
+func (p *parser) parseAnd(rel string) (pred.Expr, error) {
+	left, err := p.parseUnit(rel)
+	if err != nil {
+		return nil, err
+	}
+	exprs := []pred.Expr{left}
+	for p.peek().kind == tokIdent && p.peek().text == "and" {
+		p.adv()
+		e, err := p.parseUnit(rel)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+	}
+	if len(exprs) == 1 {
+		return exprs[0], nil
+	}
+	return pred.And{Exprs: exprs}, nil
+}
+
+func (p *parser) parseUnit(rel string) (pred.Expr, error) {
+	if p.peek().kind == tokPunct && p.peek().text == "(" {
+		p.adv()
+		e, err := p.parseOr(rel)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseClause(rel)
+}
+
+// attrRef parses [rel "."] attr and validates it against the relation.
+func (p *parser) attrRef(rel string) (attr string, kind value.Kind, err error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", 0, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == "." {
+		p.adv()
+		if name != rel {
+			return "", 0, fmt.Errorf("parser: attribute qualified with %q, rule relation is %q", name, rel)
+		}
+		if name, err = p.ident(); err != nil {
+			return "", 0, err
+		}
+	}
+	r, _ := p.catalog.Get(rel)
+	kind, ok := r.AttrType(name)
+	if !ok {
+		return "", 0, fmt.Errorf("parser: relation %q has no attribute %q", rel, name)
+	}
+	return name, kind, nil
+}
+
+// literal parses a literal token and types it as kind.
+func (p *parser) literal(kind value.Kind) (value.Value, error) {
+	t := p.adv()
+	switch t.kind {
+	case tokNumber:
+		switch kind {
+		case value.KindFloat:
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return value.Value{}, fmt.Errorf("parser: bad float %q: %w", t.text, err)
+			}
+			return value.Float(f), nil
+		case value.KindInt:
+			i, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return value.Value{}, fmt.Errorf("parser: bad integer %q: %w", t.text, err)
+			}
+			return value.Int(i), nil
+		default:
+			return value.Value{}, fmt.Errorf("parser: numeric literal %q for %s attribute", t.text, kind)
+		}
+	case tokString:
+		if kind != value.KindString {
+			return value.Value{}, fmt.Errorf("parser: string literal %q for %s attribute", t.text, kind)
+		}
+		return value.String_(t.text), nil
+	case tokIdent:
+		if t.text == "true" || t.text == "false" {
+			if kind != value.KindBool {
+				return value.Value{}, fmt.Errorf("parser: boolean literal for %s attribute", kind)
+			}
+			return value.Bool(t.text == "true"), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("parser: expected literal at offset %d, got %q", t.pos, t.text)
+}
+
+// isLiteralStart reports whether the current token can begin a literal.
+func (p *parser) isLiteralStart() bool {
+	t := p.peek()
+	return t.kind == tokNumber || t.kind == tokString ||
+		t.kind == tokIdent && (t.text == "true" || t.text == "false")
+}
+
+// parseClause handles comparisons, between, and function calls.
+func (p *parser) parseClause(rel string) (pred.Expr, error) {
+	if p.isLiteralStart() {
+		return p.parseReversedComparison(rel)
+	}
+	// Function clause: ident "(" attr ")".
+	if p.peek().kind == tokIdent {
+		if _, registered := p.funcs.Get(p.peek().text); registered &&
+			p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+			fn := p.adv().text
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			attr, _, err := p.attrRef(rel)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return pred.Leaf{Clause: pred.FnClause(attr, fn)}, nil
+		}
+	}
+	attr, kind, err := p.attrRef(rel)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "between" {
+		p.adv()
+		lo, err := p.literal(kind)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.literal(kind)
+		if err != nil {
+			return nil, err
+		}
+		return pred.Leaf{Clause: pred.IvClause(attr, interval.Closed(lo, hi))}, nil
+	}
+	op := p.adv()
+	if op.kind != tokPunct {
+		return nil, fmt.Errorf("parser: expected comparison operator at offset %d, got %q", op.pos, op.text)
+	}
+	lit, err := p.literal(kind)
+	if err != nil {
+		return nil, err
+	}
+	return clauseFor(attr, op.text, lit, false)
+}
+
+// parseReversedComparison handles "literal op attr".
+func (p *parser) parseReversedComparison(rel string) (pred.Expr, error) {
+	// The literal's type is unknown until the attribute is seen; re-parse
+	// by snapshotting the position.
+	save := p.i
+	p.adv() // skip literal token for now
+	op := p.adv()
+	if op.kind != tokPunct {
+		return nil, fmt.Errorf("parser: expected comparison operator at offset %d, got %q", op.pos, op.text)
+	}
+	attr, kind, err := p.attrRef(rel)
+	if err != nil {
+		return nil, err
+	}
+	end := p.i
+	p.i = save
+	lit, err := p.literal(kind)
+	if err != nil {
+		return nil, err
+	}
+	p.i = end
+	return clauseFor(attr, op.text, lit, true)
+}
+
+// clauseFor maps a comparison to predicate clauses; reversed indicates
+// "literal op attr". The "!=" operator becomes the disjunction
+// (attr < lit) or (attr > lit), split later by DNF.
+func clauseFor(attr, op string, lit value.Value, reversed bool) (pred.Expr, error) {
+	if reversed {
+		// lit < attr  ==  attr > lit, etc.
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	leaf := func(iv interval.Interval[value.Value]) pred.Expr {
+		return pred.Leaf{Clause: pred.IvClause(attr, iv)}
+	}
+	switch op {
+	case "=", "==":
+		return leaf(interval.Point(lit)), nil
+	case "<":
+		return leaf(interval.Less(lit)), nil
+	case "<=":
+		return leaf(interval.AtMost(lit)), nil
+	case ">":
+		return leaf(interval.Greater(lit)), nil
+	case ">=":
+		return leaf(interval.AtLeast(lit)), nil
+	case "!=", "<>":
+		return pred.Or{Exprs: []pred.Expr{
+			leaf(interval.Less(lit)),
+			leaf(interval.Greater(lit)),
+		}}, nil
+	default:
+		return nil, fmt.Errorf("parser: unknown comparison operator %q", op)
+	}
+}
+
+// parseAction parses one rule action.
+func (p *parser) parseAction(rel string) (Action, error) {
+	kw, err := p.ident()
+	if err != nil {
+		return Action{}, err
+	}
+	switch kw {
+	case "log", "raise":
+		t := p.adv()
+		if t.kind != tokString {
+			return Action{}, fmt.Errorf("parser: %s needs a string message, got %q", kw, t.text)
+		}
+		k := ActionLog
+		if kw == "raise" {
+			k = ActionRaise
+		}
+		return Action{Kind: k, Message: t.text}, nil
+	case "set":
+		attr, kind, err := p.attrRef(rel)
+		if err != nil {
+			return Action{}, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return Action{}, err
+		}
+		e, err := p.parseValueExpr(rel, kind)
+		if err != nil {
+			return Action{}, err
+		}
+		return Action{Kind: ActionSet, Attr: attr, Expr: e}, nil
+	case "insert":
+		if err := p.expectIdent("into"); err != nil {
+			return Action{}, err
+		}
+		target, err := p.ident()
+		if err != nil {
+			return Action{}, err
+		}
+		tr, ok := p.catalog.Get(target)
+		if !ok {
+			return Action{}, fmt.Errorf("parser: unknown relation %q in insert action", target)
+		}
+		if err := p.expectPunct("("); err != nil {
+			return Action{}, err
+		}
+		var vals []value.Value
+		for i := 0; ; i++ {
+			if i >= tr.Arity() {
+				return Action{}, fmt.Errorf("parser: too many values for relation %q", target)
+			}
+			v, err := p.literal(tr.Attrs()[i].Type)
+			if err != nil {
+				return Action{}, err
+			}
+			vals = append(vals, v)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.adv()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return Action{}, err
+		}
+		if len(vals) != tr.Arity() {
+			return Action{}, fmt.Errorf("parser: %d values for relation %q (arity %d)", len(vals), target, tr.Arity())
+		}
+		return Action{Kind: ActionInsert, Rel: target, Values: vals}, nil
+	case "delete":
+		return Action{Kind: ActionDelete}, nil
+	default:
+		return Action{}, fmt.Errorf("parser: unknown action %q", kw)
+	}
+}

@@ -1,0 +1,293 @@
+package parser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func testCatalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	for _, r := range []*schema.Relation{
+		schema.MustRelation("emp",
+			schema.Attribute{Name: "name", Type: value.KindString},
+			schema.Attribute{Name: "age", Type: value.KindInt},
+			schema.Attribute{Name: "salary", Type: value.KindFloat},
+			schema.Attribute{Name: "dept", Type: value.KindString},
+			schema.Attribute{Name: "active", Type: value.KindBool},
+		),
+		schema.MustRelation("alerts",
+			schema.Attribute{Name: "msg", Type: value.KindString},
+			schema.Attribute{Name: "level", Type: value.KindInt},
+		),
+	} {
+		if err := cat.Add(r); err != nil {
+			panic(err)
+		}
+	}
+	return cat
+}
+
+// evalExpr splits an expression to predicates and evaluates the
+// disjunction against a tuple.
+func evalExpr(t *testing.T, e pred.Expr, cat *schema.Catalog, funcs *pred.Registry, tp tuple.Tuple) bool {
+	t.Helper()
+	for _, p := range pred.SplitDNF(1, "emp", e) {
+		b, err := p.Bind(cat, funcs)
+		if err != nil {
+			t.Fatalf("Bind: %v", err)
+		}
+		if b.Match(tp) {
+			return true
+		}
+	}
+	return false
+}
+
+func empT(name string, age int64, salary float64, dept string, active bool) tuple.Tuple {
+	return tuple.New(value.String_(name), value.Int(age), value.Float(salary), value.String_(dept), value.Bool(active))
+}
+
+func TestParseConditionSemantics(t *testing.T) {
+	cat := testCatalog()
+	funcs := pred.NewRegistry()
+	cases := []struct {
+		src   string
+		tup   tuple.Tuple
+		match bool
+	}{
+		{"age = 30", empT("a", 30, 0, "d", true), true},
+		{"age = 30", empT("a", 31, 0, "d", true), false},
+		{"age == 30", empT("a", 30, 0, "d", true), true},
+		{"age < 30", empT("a", 29, 0, "d", true), true},
+		{"age < 30", empT("a", 30, 0, "d", true), false},
+		{"age <= 30", empT("a", 30, 0, "d", true), true},
+		{"age > 30", empT("a", 31, 0, "d", true), true},
+		{"age >= 30", empT("a", 30, 0, "d", true), true},
+		{"age != 30", empT("a", 30, 0, "d", true), false},
+		{"age != 30", empT("a", 29, 0, "d", true), true},
+		{"age <> 30", empT("a", 31, 0, "d", true), true},
+		{"30 < age", empT("a", 31, 0, "d", true), true},
+		{"30 < age", empT("a", 30, 0, "d", true), false},
+		{"30 >= age", empT("a", 30, 0, "d", true), true},
+		{"age between 20 and 30", empT("a", 25, 0, "d", true), true},
+		{"age between 20 and 30", empT("a", 31, 0, "d", true), false},
+		{"salary >= 20000.5", empT("a", 1, 20000.5, "d", true), true},
+		{"salary >= 20000", empT("a", 1, 19999, "d", true), false},
+		{"dept = 'shoe'", empT("a", 1, 0, "shoe", true), true},
+		{"dept = 'shoe'", empT("a", 1, 0, "toy", true), false},
+		{"dept = 'it''s'", empT("a", 1, 0, "it's", true), true},
+		{"active = true", empT("a", 1, 0, "d", true), true},
+		{"active = false", empT("a", 1, 0, "d", true), false},
+		{"isodd(age)", empT("a", 3, 0, "d", true), true},
+		{"isodd(age)", empT("a", 4, 0, "d", true), false},
+		{"emp.age = 5 and emp.dept = 'shoe'", empT("a", 5, 0, "shoe", true), true},
+		{"age = 5 and dept = 'shoe'", empT("a", 5, 0, "toy", true), false},
+		{"age = 5 or age = 7", empT("a", 7, 0, "d", true), true},
+		{"age = 5 or age = 7", empT("a", 6, 0, "d", true), false},
+		{"(age = 5 or age = 7) and dept = 'shoe'", empT("a", 7, 0, "shoe", true), true},
+		{"(age = 5 or age = 7) and dept = 'shoe'", empT("a", 7, 0, "toy", true), false},
+		{"age > 50 and salary < 20000.0", empT("a", 55, 15000, "d", true), true},
+		{"salary between 20000.0 and 30000.0", empT("a", 1, 25000, "d", true), true},
+	}
+	for _, tc := range cases {
+		e, err := ParseCondition(tc.src, "emp", cat, funcs)
+		if err != nil {
+			t.Errorf("ParseCondition(%q): %v", tc.src, err)
+			continue
+		}
+		if got := evalExpr(t, e, cat, funcs, tc.tup); got != tc.match {
+			t.Errorf("%q on %v = %v, want %v", tc.src, tc.tup, got, tc.match)
+		}
+	}
+}
+
+func TestParseConditionErrors(t *testing.T) {
+	cat := testCatalog()
+	funcs := pred.NewRegistry()
+	bad := []string{
+		"",
+		"age",
+		"age =",
+		"age = 'text'",      // type mismatch
+		"dept = 5",          // type mismatch
+		"nosuch = 5",        // unknown attribute
+		"items.age = 5",     // wrong qualifier
+		"age ~ 5",           // bad operator
+		"age = 5 and",       // dangling and
+		"(age = 5",          // unbalanced paren
+		"age = 5 extra",     // trailing tokens
+		"age between 1 and", // incomplete between
+		"nosuchfn(age)",     // unregistered function treated as attr -> error
+		"isodd(nosuch)",     // unknown attribute in function clause
+		"active = 'yes'",    // bool attr, string literal
+		"age = 5 or",        // dangling or
+		"salary = 'x'",      // float attr, string literal
+	}
+	for _, src := range bad {
+		if _, err := ParseCondition(src, "emp", cat, funcs); err == nil {
+			t.Errorf("ParseCondition(%q) accepted", src)
+		}
+	}
+	if _, err := ParseCondition("age = 1", "nosuch", cat, funcs); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	cat := testCatalog()
+	funcs := pred.NewRegistry()
+	src := `rule high_paid on insert, update to emp
+	        when salary > 50000.0 and dept = 'shoe'
+	        do log 'high paid shoe employee'; insert into alerts ('check', 2)`
+	ast, err := ParseRule(src, cat, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Name != "high_paid" || ast.Rel != "emp" {
+		t.Fatalf("name/rel = %s/%s", ast.Name, ast.Rel)
+	}
+	if !reflect.DeepEqual(ast.Events, []storage.Op{storage.OpInsert, storage.OpUpdate}) {
+		t.Fatalf("events = %v", ast.Events)
+	}
+	if ast.Condition == nil {
+		t.Fatal("condition missing")
+	}
+	if len(ast.Actions) != 2 {
+		t.Fatalf("actions = %v", ast.Actions)
+	}
+	if ast.Actions[0].Kind != ActionLog || ast.Actions[0].Message != "high paid shoe employee" {
+		t.Fatalf("action 0 = %+v", ast.Actions[0])
+	}
+	if ast.Actions[1].Kind != ActionInsert || ast.Actions[1].Rel != "alerts" || len(ast.Actions[1].Values) != 2 {
+		t.Fatalf("action 1 = %+v", ast.Actions[1])
+	}
+}
+
+func TestParseRuleNoCondition(t *testing.T) {
+	cat := testCatalog()
+	funcs := pred.NewRegistry()
+	ast, err := ParseRule("rule audit on delete to emp do log 'gone'", cat, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Condition != nil {
+		t.Fatal("expected nil condition")
+	}
+	if len(ast.Events) != 1 || ast.Events[0] != storage.OpDelete {
+		t.Fatalf("events = %v", ast.Events)
+	}
+}
+
+func TestParseRuleActions(t *testing.T) {
+	cat := testCatalog()
+	funcs := pred.NewRegistry()
+	ast, err := ParseRule(
+		"rule r on update to emp when age > 100 do set age = 100; raise 'too old'; delete",
+		cat, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ast.Actions) != 3 {
+		t.Fatalf("actions = %d", len(ast.Actions))
+	}
+	if ast.Actions[0].Kind != ActionSet || ast.Actions[0].Attr != "age" {
+		t.Fatalf("set action = %+v", ast.Actions[0])
+	}
+	if lit, ok := ast.Actions[0].Expr.(LitExpr); !ok || lit.V.AsInt() != 100 {
+		t.Fatalf("set expression = %+v", ast.Actions[0].Expr)
+	}
+	if ast.Actions[1].Kind != ActionRaise {
+		t.Fatalf("raise action = %+v", ast.Actions[1])
+	}
+	if ast.Actions[2].Kind != ActionDelete {
+		t.Fatalf("delete action = %+v", ast.Actions[2])
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	cat := testCatalog()
+	funcs := pred.NewRegistry()
+	bad := []string{
+		"",
+		"rule",
+		"rule r on bogus to emp do log 'x'",
+		"rule r on insert to nosuch do log 'x'",
+		"rule r on insert to emp do",
+		"rule r on insert to emp do frobnicate 'x'",
+		"rule r on insert to emp do log",
+		"rule r on insert to emp do set nosuch = 5",
+		"rule r on insert to emp do insert into nosuch (1)",
+		"rule r on insert to emp do insert into alerts ('m')",       // arity
+		"rule r on insert to emp do insert into alerts ('m', 1, 2)", // arity
+		"rule r on insert to emp do insert into alerts (5, 1)",      // type
+		"rule r on insert to emp when do log 'x'",                   // empty condition
+		"rule r on insert to emp when age = 1 do log 'x' trailing",  // trailing
+		"rule r on insert to emp when age = 'x' do log 'm'",         // type
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src, cat, funcs); err == nil {
+			t.Errorf("ParseRule(%q) accepted", src)
+		}
+	}
+}
+
+func TestLexerStrings(t *testing.T) {
+	toks, err := lex(`"double" 'single' 'esc''aped'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, tk := range toks {
+		if tk.kind == tokString {
+			got = append(got, tk.text)
+		}
+	}
+	if !reflect.DeepEqual(got, []string{"double", "single", "esc'aped"}) {
+		t.Fatalf("strings = %v", got)
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("age @ 5"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks, err := lex("42 -7 2.5 1e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, tk := range toks {
+		if tk.kind == tokNumber {
+			got = append(got, tk.text)
+		}
+	}
+	if !reflect.DeepEqual(got, []string{"42", "-7", "2.5", "1e3"}) {
+		t.Fatalf("numbers = %v", got)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	cat := testCatalog()
+	funcs := pred.NewRegistry()
+	src := "RULE R ON INSERT TO EMP WHEN AGE = 5 DO LOG 'hi'"
+	ast, err := ParseRule(src, cat, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Name != "r" || ast.Rel != "emp" {
+		t.Fatalf("name/rel = %s/%s", ast.Name, ast.Rel)
+	}
+	if !strings.Contains(ast.Source, "RULE R") {
+		t.Fatal("Source not preserved")
+	}
+}

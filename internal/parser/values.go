@@ -1,0 +1,48 @@
+package parser
+
+import (
+	"fmt"
+
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+)
+
+// ParseValues parses a parenthesized tuple literal "(v1, v2, ...)"
+// against a relation schema, typing each literal by position.
+func ParseValues(src string, rel *schema.Relation) (tuple.Tuple, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	attrs := rel.Attrs()
+	t := make(tuple.Tuple, 0, len(attrs))
+	for i := 0; ; i++ {
+		if i >= len(attrs) {
+			return nil, fmt.Errorf("parser: too many values for relation %s (arity %d)", rel.Name(), len(attrs))
+		}
+		v, err := p.literal(attrs[i].Type)
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, v)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.adv()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input after tuple literal")
+	}
+	if len(t) != len(attrs) {
+		return nil, fmt.Errorf("parser: %d values for relation %s (arity %d)", len(t), rel.Name(), len(attrs))
+	}
+	return t, nil
+}

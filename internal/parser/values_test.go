@@ -1,0 +1,80 @@
+package parser
+
+import (
+	"testing"
+
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/value"
+)
+
+func TestParseValues(t *testing.T) {
+	rel := schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "score", Type: value.KindFloat},
+		schema.Attribute{Name: "active", Type: value.KindBool},
+	)
+	tp, err := ParseValues("('ada', 30, 2.5, true)", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp[0].AsString() != "ada" || tp[1].AsInt() != 30 || tp[2].AsFloat() != 2.5 || !tp[3].AsBool() {
+		t.Fatalf("tuple = %v", tp)
+	}
+	bad := []string{
+		"",
+		"'ada', 30, 2.5, true",        // no parens
+		"('ada', 30, 2.5)",            // too few
+		"('ada', 30, 2.5, true, 9)",   // too many
+		"('ada', 'x', 2.5, true)",     // type mismatch
+		"('ada', 30, 2.5, true) junk", // trailing
+		"('ada', 30, 2.5, true",       // unclosed
+		"(@)",                         // lex error
+	}
+	for _, src := range bad {
+		if _, err := ParseValues(src, rel); err == nil {
+			t.Errorf("ParseValues(%q) accepted", src)
+		}
+	}
+}
+
+// TestJoinRuleReversedOps drives every reversed comparison direction.
+func TestJoinRuleReversedOps(t *testing.T) {
+	cat := joinCatalog()
+	funcs := pred.NewRegistry()
+	cases := map[string]func(c pred.Clause) bool{
+		"5 < salary": func(c pred.Clause) bool {
+			return !c.Iv.Contains(value.Compare, value.Int(5)) && c.Iv.Contains(value.Compare, value.Int(6))
+		},
+		"5 <= salary": func(c pred.Clause) bool {
+			return c.Iv.Contains(value.Compare, value.Int(5)) && !c.Iv.Contains(value.Compare, value.Int(4))
+		},
+		"5 > salary": func(c pred.Clause) bool {
+			return !c.Iv.Contains(value.Compare, value.Int(5)) && c.Iv.Contains(value.Compare, value.Int(4))
+		},
+		"5 >= salary": func(c pred.Clause) bool {
+			return c.Iv.Contains(value.Compare, value.Int(5)) && !c.Iv.Contains(value.Compare, value.Int(6))
+		},
+		"5 = salary": func(c pred.Clause) bool {
+			return c.Iv.IsPoint(value.Compare)
+		},
+	}
+	for cond, check := range cases {
+		src := "joinrule r on emp, dept when " + cond + " and emp.dept = dname do log 'x'"
+		ast, err := ParseJoinRule(src, cat, funcs)
+		if err != nil {
+			t.Errorf("%q: %v", cond, err)
+			continue
+		}
+		if len(ast.Sel[0]) != 1 || !check(ast.Sel[0][0]) {
+			t.Errorf("%q produced clause %v", cond, ast.Sel[0])
+		}
+	}
+	// Reversed !=.
+	if _, err := ParseJoinRule(
+		"joinrule r on emp, dept when 5 != salary and emp.dept = dname do log 'x'",
+		cat, funcs); err == nil {
+		t.Error("reversed != accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package phylock_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/matcher"
+	"predmatch/internal/matchertest"
+	"predmatch/internal/phylock"
+	"predmatch/internal/pred"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// dbFromFixture mirrors the fixture schema into a storage engine.
+func dbFromFixture(f *matchertest.Fixture, indexed map[string][]string) *storage.DB {
+	db := storage.NewDB()
+	for _, rel := range f.Rels {
+		tab, err := db.CreateRelation(rel)
+		if err != nil {
+			panic(err)
+		}
+		for _, attr := range indexed[rel.Name()] {
+			if err := tab.CreateIndex(attr); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return db
+}
+
+// TestConformanceNoIndexes runs the degenerate case the paper warns
+// about: with no secondary indexes, every predicate escalates to a
+// relation-level lock, and matching must still be exact.
+func TestConformanceNoIndexes(t *testing.T) {
+	matchertest.Run(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return phylock.New(dbFromFixture(f, nil), f.Funcs)
+	})
+}
+
+// TestConformanceIndexed runs with secondary indexes on the attributes
+// predicates commonly restrict, so most predicates get interval locks.
+func TestConformanceIndexed(t *testing.T) {
+	indexed := map[string][]string{
+		"emp":    {"age", "salary", "dept", "name"},
+		"items":  {"stock", "price", "sku", "threshold"},
+		"events": {"severity", "kind", "open"},
+	}
+	matchertest.Run(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return phylock.New(dbFromFixture(f, indexed), f.Funcs)
+	})
+}
+
+func empRelDB() (*storage.DB, *storage.Table) {
+	f := matchertest.NewFixture()
+	db := dbFromFixture(f, map[string][]string{"emp": {"salary"}})
+	tab, _ := db.Table("emp")
+	return db, tab
+}
+
+func empT(name string, age, salary int64, dept string) tuple.Tuple {
+	return tuple.New(value.String_(name), value.Int(age), value.Int(salary), value.String_(dept))
+}
+
+func TestLockEscalation(t *testing.T) {
+	db, _ := empRelDB()
+	m := phylock.New(db, pred.NewRegistry())
+
+	// salary has an index -> interval lock; age does not -> escalation.
+	if err := m.Add(pred.New(1, "emp", pred.IvClause("salary", interval.AtLeast(value.Int(100))))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(pred.New(2, "emp", pred.IvClause("age", interval.AtLeast(value.Int(30))))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(pred.New(3, "emp", pred.FnClause("age", "isodd"))); err != nil {
+		t.Fatal(err)
+	}
+	rel, ivl, _ := m.LockCounts("emp")
+	if rel != 2 || ivl != 1 {
+		t.Fatalf("LockCounts = %d relation, %d interval; want 2, 1", rel, ivl)
+	}
+
+	got, err := m.Match("emp", empT("a", 31, 150, "x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []pred.ID{1, 2, 3}) {
+		t.Fatalf("Match = %v", got)
+	}
+}
+
+func TestTupleLocksFromScanAndMaintain(t *testing.T) {
+	db, tab := empRelDB()
+	m := phylock.New(db, pred.NewRegistry())
+	db.Observe(m.Maintain)
+
+	// Pre-existing data gets tuple locks at predicate definition time.
+	id1, _ := tab.Insert(empT("a", 30, 150, "x"))
+	_, _ = tab.Insert(empT("b", 40, 50, "y"))
+
+	if err := m.Add(pred.New(1, "emp", pred.IvClause("salary", interval.AtLeast(value.Int(100))))); err != nil {
+		t.Fatal(err)
+	}
+	_, _, tl := m.LockCounts("emp")
+	if tl != 1 {
+		t.Fatalf("tuple locks after Add = %d, want 1 (only the qualifying tuple)", tl)
+	}
+
+	// New inserts under the interval acquire tuple locks via Maintain.
+	id3, _ := tab.Insert(empT("c", 25, 200, "z"))
+	_, _, tl = m.LockCounts("emp")
+	if tl != 2 {
+		t.Fatalf("tuple locks after insert = %d, want 2", tl)
+	}
+
+	// Updates that leave the range release the lock.
+	if err := tab.Update(id3, empT("c", 25, 10, "z")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, tl = m.LockCounts("emp")
+	if tl != 1 {
+		t.Fatalf("tuple locks after update-out = %d, want 1", tl)
+	}
+
+	// MatchStored consults tuple locks; result equals plain Match.
+	got, err := m.MatchStored("emp", id1, empT("a", 30, 150, "x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []pred.ID{1}) {
+		t.Fatalf("MatchStored = %v", got)
+	}
+
+	// Deletes release tuple locks.
+	if err := tab.Delete(id1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, tl = m.LockCounts("emp")
+	if tl != 0 {
+		t.Fatalf("tuple locks after delete = %d, want 0", tl)
+	}
+
+	// Removing the predicate clears its interval lock.
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	relc, ivl, _ := m.LockCounts("emp")
+	if relc != 0 || ivl != 0 {
+		t.Fatalf("locks remain after Remove: %d/%d", relc, ivl)
+	}
+}
+
+func TestPlanPrefersMoreSelectiveIndex(t *testing.T) {
+	f := matchertest.NewFixture()
+	db := dbFromFixture(f, map[string][]string{"emp": {"age", "dept"}})
+	tab, _ := db.Table("emp")
+	// 100 distinct ages, 2 departments: age is far more selective.
+	for i := int64(0); i < 100; i++ {
+		d := "a"
+		if i%2 == 0 {
+			d = "b"
+		}
+		if _, err := tab.Insert(empT("e", i, i*10, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := phylock.New(db, f.Funcs)
+	p := pred.New(1, "emp",
+		pred.EqClause("dept", value.String_("a")),
+		pred.EqClause("age", value.Int(33)),
+	)
+	if err := m.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	// The age clause (selectivity 0.01) should carry the interval lock;
+	// the scan should have locked exactly the one tuple with age 33.
+	_, ivl, tl := m.LockCounts("emp")
+	if ivl != 1 || tl != 1 {
+		t.Fatalf("LockCounts interval=%d tuples=%d; want 1, 1", ivl, tl)
+	}
+}
+
+func TestLockCountsUnknownRelation(t *testing.T) {
+	db := storage.NewDB()
+	m := phylock.New(db, pred.NewRegistry())
+	if r, i, tl := m.LockCounts("nosuch"); r != 0 || i != 0 || tl != 0 {
+		t.Fatal("LockCounts on unknown relation non-zero")
+	}
+}
+
+func TestName(t *testing.T) {
+	m := phylock.New(storage.NewDB(), pred.NewRegistry())
+	if m.Name() != "phylock" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}

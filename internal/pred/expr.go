@@ -1,0 +1,72 @@
+package pred
+
+// This file implements the paper's disjunction handling: "We assume that
+// any predicate containing a disjunction is broken up into two or more
+// predicates that do not have disjunction, and these predicates are
+// treated separately." Conditions are built as and/or trees of clauses
+// and flattened into disjunctive normal form; each conjunct becomes one
+// indexable Predicate.
+
+// Expr is a boolean combination of clauses.
+type Expr interface {
+	// dnf returns the expression as a disjunction of conjunctions.
+	dnf() [][]Clause
+}
+
+// Leaf wraps a single clause as an expression.
+type Leaf struct{ Clause Clause }
+
+func (l Leaf) dnf() [][]Clause { return [][]Clause{{l.Clause}} }
+
+// And is the conjunction of subexpressions.
+type And struct{ Exprs []Expr }
+
+func (a And) dnf() [][]Clause {
+	result := [][]Clause{{}}
+	for _, e := range a.Exprs {
+		sub := e.dnf()
+		next := make([][]Clause, 0, len(result)*len(sub))
+		for _, conj := range result {
+			for _, s := range sub {
+				merged := make([]Clause, 0, len(conj)+len(s))
+				merged = append(merged, conj...)
+				merged = append(merged, s...)
+				next = append(next, merged)
+			}
+		}
+		result = next
+	}
+	return result
+}
+
+// Or is the disjunction of subexpressions.
+type Or struct{ Exprs []Expr }
+
+func (o Or) dnf() [][]Clause {
+	var result [][]Clause
+	for _, e := range o.Exprs {
+		result = append(result, e.dnf()...)
+	}
+	return result
+}
+
+// Conj builds an And of leaf clauses.
+func Conj(clauses ...Clause) Expr {
+	exprs := make([]Expr, len(clauses))
+	for i, c := range clauses {
+		exprs[i] = Leaf{c}
+	}
+	return And{Exprs: exprs}
+}
+
+// SplitDNF converts a condition over rel into disjunction-free
+// predicates, assigning consecutive IDs starting at firstID. This is the
+// preprocessing step the paper applies before predicates reach the index.
+func SplitDNF(firstID ID, rel string, e Expr) []*Predicate {
+	conjs := e.dnf()
+	out := make([]*Predicate, len(conjs))
+	for i, clauses := range conjs {
+		out[i] = New(firstID+ID(i), rel, clauses...)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package pred
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func testCatalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	emp := schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "salary", Type: value.KindInt},
+		schema.Attribute{Name: "dept", Type: value.KindString},
+	)
+	if err := cat.Add(emp); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+func empTuple(name string, age, salary int64, dept string) tuple.Tuple {
+	return tuple.New(value.String_(name), value.Int(age), value.Int(salary), value.String_(dept))
+}
+
+// TestPaperExamples encodes the four example predicates from the paper's
+// introduction and checks their matching behavior.
+func TestPaperExamples(t *testing.T) {
+	cat := testCatalog()
+	reg := NewRegistry()
+
+	// EMP.salary < 20000 and EMP.age > 50
+	p1 := New(1, "emp",
+		IvClause("salary", interval.Less(value.Int(20000))),
+		IvClause("age", interval.Greater(value.Int(50))),
+	)
+	// 20000 <= EMP.salary <= 30000
+	p2 := New(2, "emp",
+		IvClause("salary", interval.Closed(value.Int(20000), value.Int(30000))),
+	)
+	// EMP.dept = "Salesperson" (the paper says Job; dept in our schema)
+	p3 := New(3, "emp", EqClause("dept", value.String_("sales")))
+	// IsOdd(EMP.age) and EMP.dept = "Shoe"
+	p4 := New(4, "emp",
+		FnClause("age", "isodd"),
+		EqClause("dept", value.String_("shoe")),
+	)
+
+	bind := func(p *Predicate) *Bound {
+		t.Helper()
+		b, err := p.Bind(cat, reg)
+		if err != nil {
+			t.Fatalf("Bind(%v): %v", p, err)
+		}
+		return b
+	}
+	b1, b2, b3, b4 := bind(p1), bind(p2), bind(p3), bind(p4)
+
+	cases := []struct {
+		tup  tuple.Tuple
+		want []bool // p1..p4
+	}{
+		{empTuple("a", 55, 15000, "shoe"), []bool{true, false, false, true}},
+		{empTuple("b", 55, 15000, "toy"), []bool{true, false, false, false}},
+		{empTuple("c", 40, 25000, "sales"), []bool{false, true, true, false}},
+		{empTuple("d", 50, 19999, "shoe"), []bool{false, false, false, false}}, // age not > 50, even
+		{empTuple("e", 51, 20000, "x"), []bool{false, true, false, false}},     // salary not < 20000
+	}
+	for _, tc := range cases {
+		got := []bool{b1.Match(tc.tup), b2.Match(tc.tup), b3.Match(tc.tup), b4.Match(tc.tup)}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("tuple %v: matches = %v, want %v", tc.tup, got, tc.want)
+		}
+	}
+}
+
+func TestMatchSkipping(t *testing.T) {
+	cat := testCatalog()
+	reg := NewRegistry()
+	p := New(1, "emp",
+		IvClause("salary", interval.AtLeast(value.Int(100))), // clause 0
+		EqClause("dept", value.String_("shoe")),              // clause 1
+	)
+	b, err := p.Bind(cat, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple fails clause 0 but passes clause 1: skipping clause 0 must match.
+	tp := empTuple("a", 30, 50, "shoe")
+	if b.Match(tp) {
+		t.Fatal("full Match should fail")
+	}
+	if !b.MatchSkipping(tp, 0) {
+		t.Fatal("MatchSkipping(0) should pass")
+	}
+	if b.MatchSkipping(tp, 1) {
+		t.Fatal("MatchSkipping(1) should fail on clause 0")
+	}
+	// Skipping -1 (nothing) equals Match.
+	if b.MatchSkipping(tp, -1) {
+		t.Fatal("MatchSkipping(-1) should equal Match")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cat := testCatalog()
+	reg := NewRegistry()
+	cases := []*Predicate{
+		New(1, "nosuch", EqClause("age", value.Int(1))),
+		New(2, "emp", EqClause("nosuch", value.Int(1))),
+		New(3, "emp", EqClause("age", value.String_("x"))),
+		New(4, "emp", IvClause("age", interval.Closed(value.Int(5), value.Int(1)))),
+		New(5, "emp", FnClause("age", "nosuchfn")),
+		New(6, "emp", IvClause("age",
+			interval.Interval[value.Value]{
+				Lo: interval.FiniteBound(value.Int(1), true),
+				Hi: interval.FiniteBound(value.String_("x"), true),
+			})),
+	}
+	for _, p := range cases {
+		if err := p.Validate(cat, reg); err == nil {
+			t.Errorf("Validate accepted %v", p)
+		}
+		if _, err := p.Bind(cat, reg); err == nil {
+			t.Errorf("Bind accepted %v", p)
+		}
+	}
+	good := New(7, "emp", IvClause("age", interval.AtLeast(value.Int(18))), FnClause("name", "isempty"))
+	if err := good.Validate(cat, reg); err != nil {
+		t.Errorf("Validate rejected good predicate: %v", err)
+	}
+}
+
+func TestClauseStringAndIndexable(t *testing.T) {
+	eq := EqClause("age", value.Int(44))
+	if !eq.Indexable() {
+		t.Error("equality clause not indexable")
+	}
+	if got := eq.String(); got != "age = 44" {
+		t.Errorf("String = %q", got)
+	}
+	fn := FnClause("age", "isodd")
+	if fn.Indexable() {
+		t.Error("function clause indexable")
+	}
+	if got := fn.String(); got != "isodd(age)" {
+		t.Errorf("String = %q", got)
+	}
+	iv := IvClause("salary", interval.Closed(value.Int(1), value.Int(2)))
+	if got := iv.String(); !strings.Contains(got, "salary in [1, 2]") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := New(9, "emp", EqClause("dept", value.String_("shoe")), FnClause("age", "isodd"))
+	s := p.String()
+	for _, want := range []string{"P9", "emp", "dept = 'shoe'", "isodd(age)", " and "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"isodd", "iseven", "ispositive", "isnegative", "iszero", "isempty", "isupper", "islower"} {
+		if _, ok := reg.Get(name); !ok {
+			t.Errorf("builtin %s missing", name)
+		}
+	}
+	// Case-insensitive lookup and registration.
+	if _, ok := reg.Get("IsOdd"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if err := reg.Register("custom", func(v value.Value) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("CUSTOM", nil); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := reg.Register("", nil); err == nil {
+		t.Error("empty name accepted")
+	}
+
+	// Builtin behavior.
+	isodd, _ := reg.Get("isodd")
+	if !isodd(value.Int(3)) || isodd(value.Int(4)) || isodd(value.String_("3")) {
+		t.Error("isodd wrong")
+	}
+	ispos, _ := reg.Get("ispositive")
+	if !ispos(value.Float(0.5)) || ispos(value.Int(0)) || ispos(value.String_("x")) {
+		t.Error("ispositive wrong")
+	}
+	isupper, _ := reg.Get("isupper")
+	if !isupper(value.String_("ABC")) || isupper(value.String_("AbC")) || isupper(value.String_("")) {
+		t.Error("isupper wrong")
+	}
+}
+
+func TestSplitDNF(t *testing.T) {
+	// (a=1 or a=2) and (b=3 or isodd(b)) -> 4 conjunctive predicates.
+	e := And{Exprs: []Expr{
+		Or{Exprs: []Expr{Leaf{EqClause("age", value.Int(1))}, Leaf{EqClause("age", value.Int(2))}}},
+		Or{Exprs: []Expr{Leaf{EqClause("salary", value.Int(3))}, Leaf{FnClause("salary", "isodd")}}},
+	}}
+	preds := SplitDNF(10, "emp", e)
+	if len(preds) != 4 {
+		t.Fatalf("SplitDNF produced %d predicates, want 4", len(preds))
+	}
+	var ids []ID
+	for _, p := range preds {
+		ids = append(ids, p.ID)
+		if p.Rel != "emp" || len(p.Clauses) != 2 {
+			t.Errorf("bad predicate %v", p)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if !reflect.DeepEqual(ids, []ID{10, 11, 12, 13}) {
+		t.Fatalf("ids = %v", ids)
+	}
+
+	// Pure conjunction stays one predicate.
+	one := SplitDNF(1, "emp", Conj(EqClause("age", value.Int(1)), EqClause("salary", value.Int(2))))
+	if len(one) != 1 || len(one[0].Clauses) != 2 {
+		t.Fatalf("Conj split = %v", one)
+	}
+
+	// Pure disjunction of three leaves -> three single-clause predicates.
+	three := SplitDNF(1, "emp", Or{Exprs: []Expr{
+		Leaf{EqClause("age", value.Int(1))},
+		Leaf{EqClause("age", value.Int(2))},
+		Leaf{EqClause("age", value.Int(3))},
+	}})
+	if len(three) != 3 {
+		t.Fatalf("Or split = %d predicates", len(three))
+	}
+
+	// DNF equivalence: for sample tuples, the original expression's truth
+	// equals "any conjunct matches".
+	cat := testCatalog()
+	reg := NewRegistry()
+	for _, age := range []int64{1, 2, 5} {
+		for _, sal := range []int64{3, 4, 7} {
+			tp := empTuple("x", age, sal, "d")
+			orig := (age == 1 || age == 2) && (sal == 3 || sal%2 != 0)
+			var anyMatch bool
+			for _, p := range preds {
+				b, err := p.Bind(cat, reg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b.Match(tp) {
+					anyMatch = true
+				}
+			}
+			if anyMatch != orig {
+				t.Errorf("age=%d sal=%d: DNF match %v, original %v", age, sal, anyMatch, orig)
+			}
+		}
+	}
+}

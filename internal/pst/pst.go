@@ -1,0 +1,318 @@
+// Package pst implements a dynamic priority search tree (McCreight,
+// SIAM J. Computing 1985) specialized to interval stabbing, the paper's
+// main comparator for dynamic interval indexing (Section 4.1).
+//
+// An interval [lo, hi] is the point (lo, hi); "find all intervals
+// containing x" is the classic PST query "all points with lo <= x and
+// hi >= x". Each tree node carries a routing key (a lower bound) and one
+// item placed by the tournament rule: the item with the maximum upper
+// bound among those routed through the node sits at the node (a max-heap
+// on upper bounds laid over a binary search tree on lower bounds).
+//
+// The paper observes that priority search trees need lower bounds to be
+// unique and that a transformation from non-unique to unique lower
+// bounds "is not trivial, and it must be created for each different data
+// type to be indexed". Here the transformation is the composite key
+// (lower bound, interval id), implemented once for the generic domain.
+//
+// As with the paper's own IBS-tree prototype, this implementation does
+// not rebalance: under random insertion orders the expected depth is
+// logarithmic. Deletion uses the standard pull-up: the hole left by a
+// removed item is filled by the child item with the larger upper bound,
+// cascading down; emptied leaves are excised, so the node count equals
+// the live item count.
+package pst
+
+import (
+	"fmt"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+)
+
+// ID identifies an interval.
+type ID = markset.ID
+
+// item is one stored interval.
+type item[T any] struct {
+	id ID
+	iv interval.Interval[T]
+}
+
+// key is the unique lower-bound routing key of an item.
+type key[T any] struct {
+	lo interval.Bound[T]
+	id ID
+}
+
+type node[T any] struct {
+	split       key[T] // routing key; left subtree keys < split, right > split
+	it          *item[T]
+	left, right *node[T]
+}
+
+// Tree is a dynamic priority search tree over domain T.
+type Tree[T any] struct {
+	cmp  interval.Cmp[T]
+	root *node[T]
+	ivs  map[ID]interval.Interval[T]
+}
+
+// New returns an empty tree ordered by cmp.
+func New[T any](cmp interval.Cmp[T]) *Tree[T] {
+	return &Tree[T]{cmp: cmp, ivs: make(map[ID]interval.Interval[T])}
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree[T]) Len() int { return len(t.ivs) }
+
+// cmpLo orders lower bounds (-inf first, closed before open at a value).
+func (t *Tree[T]) cmpLo(a, b interval.Bound[T]) int {
+	ai, bi := a.Kind == interval.NegInf, b.Kind == interval.NegInf
+	switch {
+	case ai && bi:
+		return 0
+	case ai:
+		return -1
+	case bi:
+		return 1
+	}
+	if c := t.cmp(a.Value, b.Value); c != 0 {
+		return c
+	}
+	switch {
+	case a.Closed == b.Closed:
+		return 0
+	case a.Closed:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// cmpHi orders upper bounds (+inf last, closed after open at a value).
+func (t *Tree[T]) cmpHi(a, b interval.Bound[T]) int {
+	ai, bi := a.Kind == interval.PosInf, b.Kind == interval.PosInf
+	switch {
+	case ai && bi:
+		return 0
+	case ai:
+		return 1
+	case bi:
+		return -1
+	}
+	if c := t.cmp(a.Value, b.Value); c != 0 {
+		return c
+	}
+	switch {
+	case a.Closed == b.Closed:
+		return 0
+	case a.Closed:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// cmpKey orders composite routing keys.
+func (t *Tree[T]) cmpKey(a, b key[T]) int {
+	if c := t.cmpLo(a.lo, b.lo); c != 0 {
+		return c
+	}
+	switch {
+	case a.id < b.id:
+		return -1
+	case a.id > b.id:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Insert adds iv under id.
+func (t *Tree[T]) Insert(id ID, iv interval.Interval[T]) error {
+	if err := iv.Validate(t.cmp); err != nil {
+		return err
+	}
+	if _, dup := t.ivs[id]; dup {
+		return fmt.Errorf("pst: duplicate interval id %d", id)
+	}
+	t.ivs[id] = iv
+	it := &item[T]{id: id, iv: iv}
+	n := &t.root
+	for *n != nil {
+		cur := *n
+		// Tournament: the item with the larger upper bound stays up; the
+		// displaced one keeps sinking, routed by its own key.
+		if cur.it == nil || t.cmpHi(it.iv.Hi, cur.it.iv.Hi) > 0 {
+			it, cur.it = cur.it, it
+		}
+		if it == nil {
+			// The displaced slot was empty (only possible transiently
+			// during deletion; nodes are excised when emptied) — done.
+			return nil
+		}
+		if t.cmpKey(key[T]{it.iv.Lo, it.id}, cur.split) < 0 {
+			n = &cur.left
+		} else {
+			n = &cur.right
+		}
+	}
+	*n = &node[T]{split: key[T]{it.iv.Lo, it.id}, it: it}
+	return nil
+}
+
+// Delete removes the interval stored under id.
+func (t *Tree[T]) Delete(id ID) error {
+	iv, ok := t.ivs[id]
+	if !ok {
+		return fmt.Errorf("pst: unknown interval id %d", id)
+	}
+	delete(t.ivs, id)
+	k := key[T]{iv.Lo, id}
+	// The item lies on the routing path of its own key.
+	n := &t.root
+	for *n != nil {
+		cur := *n
+		if cur.it != nil && cur.it.id == id {
+			t.pullUp(n)
+			return nil
+		}
+		if t.cmpKey(k, cur.split) < 0 {
+			n = &cur.left
+		} else {
+			n = &cur.right
+		}
+	}
+	// Unreachable if invariants hold.
+	return fmt.Errorf("pst: interval id %d registered but not found in tree", id)
+}
+
+// pullUp fills the emptied item slot at *n by promoting the child item
+// with the larger upper bound, cascading downward; a node left with no
+// item and no children is excised.
+func (t *Tree[T]) pullUp(n **node[T]) {
+	cur := *n
+	for {
+		l, r := cur.left, cur.right
+		var from **node[T]
+		switch {
+		case l == nil && r == nil:
+			// Leaf: excise.
+			*n = nil
+			return
+		case l == nil:
+			from = &cur.right
+		case r == nil:
+			from = &cur.left
+		case t.cmpHi(l.it.iv.Hi, r.it.iv.Hi) >= 0:
+			from = &cur.left
+		default:
+			from = &cur.right
+		}
+		cur.it = (*from).it
+		n = from
+		cur = *n
+	}
+}
+
+// Stab returns the ids of all intervals containing x.
+func (t *Tree[T]) Stab(x T) []ID { return t.StabAppend(x, nil) }
+
+// StabAppend appends the ids of all intervals containing x to dst:
+// descend while the heap order admits upper bounds >= x, and skip right
+// subtrees whose routing keys already exceed x.
+func (t *Tree[T]) StabAppend(x T, dst []ID) []ID {
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		// Heap prune: the node item has the max upper bound below here.
+		if !hiReaches(t.cmp, n.it.iv.Hi, x) {
+			return
+		}
+		if n.it.iv.Contains(t.cmp, x) {
+			dst = append(dst, n.it.id)
+		}
+		walk(n.left)
+		// Keys in the right subtree are >= split; if the split's lower
+		// bound already exceeds x, nothing there can contain x.
+		if loAbove(t.cmp, n.split.lo, x) {
+			return
+		}
+		walk(n.right)
+	}
+	walk(t.root)
+	return dst
+}
+
+// hiReaches reports x <= hi (honoring closedness).
+func hiReaches[T any](cmp interval.Cmp[T], hi interval.Bound[T], x T) bool {
+	if hi.Kind == interval.PosInf {
+		return true
+	}
+	c := cmp(x, hi.Value)
+	if c == 0 {
+		return hi.Closed
+	}
+	return c < 0
+}
+
+// loAbove reports lo > x (honoring closedness).
+func loAbove[T any](cmp interval.Cmp[T], lo interval.Bound[T], x T) bool {
+	if lo.Kind == interval.NegInf {
+		return false
+	}
+	c := cmp(lo.Value, x)
+	if c == 0 {
+		return !lo.Closed
+	}
+	return c > 0
+}
+
+// CheckInvariants verifies the PST invariants, exported for tests:
+// every node holds an item; the heap order on upper bounds holds between
+// parent and children; every item's key routes to the node it occupies;
+// node count equals item count.
+func (t *Tree[T]) CheckInvariants() error {
+	count := 0
+	var walk func(n *node[T], mins, maxs []key[T]) error
+	walk = func(n *node[T], lo, hi []key[T]) error {
+		if n == nil {
+			return nil
+		}
+		if n.it == nil {
+			return fmt.Errorf("pst: node with empty item slot")
+		}
+		count++
+		k := key[T]{n.it.iv.Lo, n.it.id}
+		for _, b := range lo {
+			if t.cmpKey(k, b) < 0 {
+				return fmt.Errorf("pst: item %d routed outside its key range", n.it.id)
+			}
+		}
+		for _, b := range hi {
+			if t.cmpKey(k, b) >= 0 {
+				return fmt.Errorf("pst: item %d routed outside its key range", n.it.id)
+			}
+		}
+		if n.left != nil && t.cmpHi(n.left.it.iv.Hi, n.it.iv.Hi) > 0 {
+			return fmt.Errorf("pst: heap order violated at item %d", n.it.id)
+		}
+		if n.right != nil && t.cmpHi(n.right.it.iv.Hi, n.it.iv.Hi) > 0 {
+			return fmt.Errorf("pst: heap order violated at item %d", n.it.id)
+		}
+		if err := walk(n.left, lo, append(hi, n.split)); err != nil {
+			return err
+		}
+		return walk(n.right, append(lo, n.split), hi)
+	}
+	if err := walk(t.root, nil, nil); err != nil {
+		return err
+	}
+	if count != len(t.ivs) {
+		return fmt.Errorf("pst: %d nodes but %d registered intervals", count, len(t.ivs))
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package query_test
+
+import (
+	"fmt"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/query"
+	"predmatch/internal/schema"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Example plans and runs a selection query: with a secondary index on
+// age, the optimizer picks an index scan driven by the most selective
+// clause.
+func Example() {
+	db := storage.NewDB()
+	tab, _ := db.CreateRelation(schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt}))
+	_ = tab.CreateIndex("age")
+	for i := int64(0); i < 50; i++ {
+		_, _ = tab.Insert(tuple.New(value.String_(fmt.Sprintf("e%d", i)), value.Int(20+i)))
+	}
+
+	p := pred.New(1, "emp",
+		pred.IvClause("age", interval.Closed(value.Int(30), value.Int(32))))
+	results, plan, _ := query.Run(db, p, pred.NewRegistry())
+	fmt.Println(plan.Access, len(results))
+	// Output: index scan 3
+}

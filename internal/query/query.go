@@ -1,0 +1,126 @@
+// Package query is a minimal single-relation query executor with System
+// R style access-path selection (Selinger et al. 1979, the optimizer the
+// paper's physical-locking baseline runs predicates through): given a
+// selection predicate, it chooses between a secondary-index scan on the
+// predicate's most selective indexed clause and a sequential scan, and
+// returns the qualifying tuples.
+//
+// The rule system uses this machinery indirectly (internal/phylock plans
+// its lock placement the same way); the query package exposes it
+// directly for applications and for the script language's "select"
+// statement.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"predmatch/internal/pred"
+	"predmatch/internal/selectivity"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+)
+
+// Access enumerates access paths.
+type Access uint8
+
+const (
+	// SeqScan reads every tuple of the relation.
+	SeqScan Access = iota
+	// IndexScan reads the range of a secondary index covering the
+	// predicate's chosen clause.
+	IndexScan
+)
+
+// String names the access path.
+func (a Access) String() string {
+	if a == IndexScan {
+		return "index scan"
+	}
+	return "sequential scan"
+}
+
+// Plan is a chosen access path for one predicate.
+type Plan struct {
+	Rel    string
+	Access Access
+	// Attr and Clause identify the index clause driving an IndexScan.
+	Attr   string
+	Clause int
+	// Selectivity is the estimated fraction of tuples the driving
+	// clause passes (1 for a sequential scan).
+	Selectivity float64
+}
+
+// String renders the plan.
+func (p Plan) String() string {
+	if p.Access == IndexScan {
+		return fmt.Sprintf("index scan on %s.%s (est. selectivity %.3f)", p.Rel, p.Attr, p.Selectivity)
+	}
+	return fmt.Sprintf("sequential scan on %s", p.Rel)
+}
+
+// Result is one qualifying tuple.
+type Result struct {
+	ID    tuple.ID
+	Tuple tuple.Tuple
+}
+
+// PlanFor chooses the access path for p over db: the most selective
+// indexable clause whose attribute carries a secondary index, else a
+// sequential scan (the decision the paper's Section 2.3 calls "running
+// the standard query optimizer to produce an access plan").
+func PlanFor(db *storage.DB, p *pred.Predicate) (Plan, error) {
+	table, ok := db.Table(p.Rel)
+	if !ok {
+		return Plan{}, fmt.Errorf("query: unknown relation %q", p.Rel)
+	}
+	est := selectivity.FromStats{DB: db}
+	plan := Plan{Rel: p.Rel, Access: SeqScan, Clause: -1, Selectivity: 1}
+	for i, c := range p.Clauses {
+		if !c.Indexable() || !table.HasIndex(c.Attr) {
+			continue
+		}
+		if sel := est.Selectivity(p.Rel, c); sel < plan.Selectivity {
+			plan.Access = IndexScan
+			plan.Attr = c.Attr
+			plan.Clause = i
+			plan.Selectivity = sel
+		}
+	}
+	return plan, nil
+}
+
+// Run executes p over db using the chosen plan and returns the
+// qualifying tuples ordered by tuple ID (for determinism).
+func Run(db *storage.DB, p *pred.Predicate, funcs *pred.Registry) ([]Result, Plan, error) {
+	plan, err := PlanFor(db, p)
+	if err != nil {
+		return nil, plan, err
+	}
+	b, err := p.Bind(db.Catalog(), funcs)
+	if err != nil {
+		return nil, plan, err
+	}
+	table, _ := db.Table(p.Rel)
+
+	var out []Result
+	if plan.Access == IndexScan {
+		c := p.Clauses[plan.Clause]
+		table.ScanIndex(c.Attr, c.Iv, func(id tuple.ID, t tuple.Tuple) bool {
+			if b.MatchSkipping(t, plan.Clause) {
+				out = append(out, Result{ID: id, Tuple: t})
+			}
+			return true
+		})
+	} else {
+		table.Scan(func(id tuple.ID, t tuple.Tuple) bool {
+			if b.Match(t) {
+				out = append(out, Result{ID: id, Tuple: t})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, plan, nil
+}

@@ -1,0 +1,174 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func setup(t *testing.T, indexAge, indexDept bool) (*storage.DB, *storage.Table) {
+	t.Helper()
+	db := storage.NewDB()
+	rel := schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "dept", Type: value.KindString},
+	)
+	tab, err := db.CreateRelation(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indexAge {
+		if err := tab.CreateIndex("age"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if indexDept {
+		if err := tab.CreateIndex("dept"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	depts := []string{"a", "b"}
+	for i := int64(0); i < 100; i++ {
+		_, err := tab.Insert(tuple.New(
+			value.String_(fmt.Sprintf("e%d", i)),
+			value.Int(i),
+			value.String_(depts[i%2]),
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, tab
+}
+
+func TestPlanChoosesMostSelectiveIndexedClause(t *testing.T) {
+	db, _ := setup(t, true, true)
+	// age = 7 selects 1/100; dept = 'a' selects 1/2. Both indexed.
+	p := pred.New(1, "emp",
+		pred.EqClause("dept", value.String_("a")),
+		pred.EqClause("age", value.Int(7)),
+	)
+	plan, err := PlanFor(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Access != IndexScan || plan.Attr != "age" {
+		t.Fatalf("plan = %v, want index scan on age", plan)
+	}
+	if plan.Selectivity > 0.02 {
+		t.Fatalf("selectivity = %v", plan.Selectivity)
+	}
+}
+
+func TestPlanFallsBackToSeqScan(t *testing.T) {
+	db, _ := setup(t, false, false)
+	p := pred.New(1, "emp", pred.EqClause("age", value.Int(7)))
+	plan, err := PlanFor(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Access != SeqScan {
+		t.Fatalf("plan = %v, want sequential scan", plan)
+	}
+	// Function-only predicates also scan sequentially.
+	pf := pred.New(2, "emp", pred.FnClause("age", "isodd"))
+	plan, _ = PlanFor(db, pf)
+	if plan.Access != SeqScan {
+		t.Fatalf("fn plan = %v", plan)
+	}
+	if plan.String() == "" || IndexScan.String() == "" || SeqScan.String() == "" {
+		t.Fatal("String renderings empty")
+	}
+}
+
+func TestRunBothPathsAgree(t *testing.T) {
+	funcs := pred.NewRegistry()
+	mk := func() *pred.Predicate {
+		return pred.New(1, "emp",
+			pred.IvClause("age", interval.Closed(value.Int(20), value.Int(40))),
+			pred.EqClause("dept", value.String_("a")),
+		)
+	}
+	dbIdx, _ := setup(t, true, false)
+	dbSeq, _ := setup(t, false, false)
+
+	rIdx, planIdx, err := Run(dbIdx, mk(), funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planIdx.Access != IndexScan {
+		t.Fatalf("expected index scan, got %v", planIdx)
+	}
+	rSeq, planSeq, err := Run(dbSeq, mk(), funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planSeq.Access != SeqScan {
+		t.Fatalf("expected seq scan, got %v", planSeq)
+	}
+	if !reflect.DeepEqual(rIdx, rSeq) {
+		t.Fatalf("paths disagree: %d vs %d results", len(rIdx), len(rSeq))
+	}
+	// ages 20..40 even (dept a): 20,22,...,40 = 11 tuples.
+	if len(rIdx) != 11 {
+		t.Fatalf("results = %d, want 11", len(rIdx))
+	}
+	for i := 1; i < len(rIdx); i++ {
+		if rIdx[i-1].ID >= rIdx[i].ID {
+			t.Fatal("results not ordered by id")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := storage.NewDB()
+	funcs := pred.NewRegistry()
+	if _, _, err := Run(db, pred.New(1, "nosuch"), funcs); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	db2, _ := setup(t, false, false)
+	bad := pred.New(1, "emp", pred.FnClause("age", "nosuchfn"))
+	if _, _, err := Run(db2, bad, funcs); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+// TestRandomizedAgainstFilter cross-checks Run against a direct filter
+// over random predicates and data, with and without indexes.
+func TestRandomizedAgainstFilter(t *testing.T) {
+	funcs := pred.NewRegistry()
+	for _, indexed := range []bool{false, true} {
+		db, tab := setup(t, indexed, indexed)
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 50; trial++ {
+			lo := rng.Int63n(100)
+			hi := lo + rng.Int63n(40)
+			p := pred.New(1, "emp",
+				pred.IvClause("age", interval.Closed(value.Int(lo), value.Int(hi))))
+			got, _, err := Run(db, p, funcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := p.Bind(db.Catalog(), funcs)
+			want := 0
+			tab.Scan(func(_ tuple.ID, tp tuple.Tuple) bool {
+				if b.Match(tp) {
+					want++
+				}
+				return true
+			})
+			if len(got) != want {
+				t.Fatalf("indexed=%v trial %d: %d results, want %d", indexed, trial, len(got), want)
+			}
+		}
+	}
+}

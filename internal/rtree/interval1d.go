@@ -1,0 +1,97 @@
+package rtree
+
+import (
+	"fmt"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+)
+
+// Interval1D adapts a one-dimensional R-tree to the dynamic interval
+// index interface, for the paper's Section 6 comparison ("implement
+// several different techniques for dynamically indexing intervals,
+// including 1-dimensional R-trees, IBS-trees, and priority search
+// trees"). The paper notes two handicaps this adapter makes concrete:
+// R-trees cannot represent open intervals (unbounded ends are clamped to
+// ±Clamp, and open integer bounds are narrowed to the adjacent closed
+// integer), and heavily overlapping intervals degrade search.
+type Interval1D struct {
+	tree *Tree
+}
+
+// Clamp is the coordinate substituted for an unbounded interval end.
+const Clamp = float64(1 << 50)
+
+// NewInterval1D returns an empty 1-D R-tree interval index.
+func NewInterval1D(opts ...Option) *Interval1D {
+	return &Interval1D{tree: New(1, opts...)}
+}
+
+// Name implements the interval-index naming convention.
+func (ix *Interval1D) Name() string { return "rtree-1d" }
+
+// Len returns the number of stored intervals.
+func (ix *Interval1D) Len() int { return ix.tree.Len() }
+
+// rectOf converts an integer interval to a closed 1-D rectangle. Open
+// bounds narrow by one half: integer stab points never land on .5
+// coordinates, so (a, b) maps exactly to [a+0.5, b-0.5] — including the
+// integer-empty case (a, a+1), which becomes the point rectangle
+// [a+0.5, a+0.5] that no integer query can hit.
+func rectOf(iv interval.Interval[int64]) (Rect, error) {
+	lo, hi := -Clamp, Clamp
+	switch iv.Lo.Kind {
+	case interval.Finite:
+		lo = float64(iv.Lo.Value)
+		if !iv.Lo.Closed {
+			lo += 0.5
+		}
+	case interval.PosInf:
+		return Rect{}, fmt.Errorf("rtree: +inf lower bound")
+	}
+	switch iv.Hi.Kind {
+	case interval.Finite:
+		hi = float64(iv.Hi.Value)
+		if !iv.Hi.Closed {
+			hi -= 0.5
+		}
+	case interval.NegInf:
+		return Rect{}, fmt.Errorf("rtree: -inf upper bound")
+	}
+	if lo > hi {
+		return Rect{}, fmt.Errorf("rtree: empty interval %v", iv)
+	}
+	return Rect{Min: []float64{lo}, Max: []float64{hi}}, nil
+}
+
+// Insert adds iv under id.
+func (ix *Interval1D) Insert(id markset.ID, iv interval.Interval[int64]) error {
+	cmp := func(a, b int64) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if err := iv.Validate(cmp); err != nil {
+		return err
+	}
+	r, err := rectOf(iv)
+	if err != nil {
+		return err
+	}
+	return ix.tree.Insert(id, r)
+}
+
+// Delete removes the interval stored under id.
+func (ix *Interval1D) Delete(id markset.ID) error {
+	return ix.tree.Delete(id)
+}
+
+// StabAppend appends the ids of all intervals containing x to dst.
+func (ix *Interval1D) StabAppend(x int64, dst []markset.ID) []markset.ID {
+	return ix.tree.SearchPoint([]float64{float64(x)}, dst)
+}

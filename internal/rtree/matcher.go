@@ -1,0 +1,227 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/matcher"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// PredMatcher is the paper's Section 2.4 baseline as a full matching
+// strategy: predicates on a relation are regions in the k-dimensional
+// space of the relation's numeric attributes, stored in one R-tree per
+// relation; each tuple is a point used to find all overlapping regions.
+//
+// Faithful handicaps: string-typed attributes have no geometric
+// embedding, so clauses on them do not narrow the region (they are
+// verified in the completion test, like the paper's final PREDICATES
+// check); unbounded and open bounds widen to enclosing closed bounds
+// (sound — the region is a superset of the predicate — but a source of
+// false partial matches); and predicates restricting one attribute out
+// of many become the overlapping "slices" the paper identifies as the
+// R-tree's worst case.
+type PredMatcher struct {
+	catalog *schema.Catalog
+	funcs   *pred.Registry
+	rels    map[string]*relRT
+	preds   map[pred.ID]*rtEntry
+	scratch []pred.ID
+}
+
+type rtEntry struct {
+	bound *pred.Bound
+	// geometric reports whether the predicate lives in the R-tree (true)
+	// or on the side list (no numeric clause at all).
+	geometric bool
+}
+
+type relRT struct {
+	// numericPos maps R-tree dimension -> attribute position.
+	numericPos []int
+	// dimOf maps attribute position -> R-tree dimension (-1 for
+	// non-numeric attributes).
+	dimOf []int
+	tree  *Tree
+	side  []*rtEntry
+	point []float64 // scratch query point
+}
+
+var _ matcher.Matcher = (*PredMatcher)(nil)
+
+// NewPredMatcher returns an empty R-tree predicate matcher.
+func NewPredMatcher(catalog *schema.Catalog, funcs *pred.Registry, opts ...Option) *PredMatcher {
+	return &PredMatcher{
+		catalog: catalog,
+		funcs:   funcs,
+		rels:    make(map[string]*relRT),
+		preds:   make(map[pred.ID]*rtEntry),
+	}
+}
+
+// Name implements matcher.Matcher.
+func (m *PredMatcher) Name() string { return "rtree" }
+
+// Len implements matcher.Matcher.
+func (m *PredMatcher) Len() int { return len(m.preds) }
+
+func (m *PredMatcher) relFor(name string) *relRT {
+	rt, ok := m.rels[name]
+	if !ok {
+		rel, _ := m.catalog.Get(name)
+		rt = &relRT{dimOf: make([]int, rel.Arity())}
+		for i, a := range rel.Attrs() {
+			rt.dimOf[i] = -1
+			switch a.Type {
+			case value.KindInt, value.KindFloat, value.KindBool:
+				rt.dimOf[i] = len(rt.numericPos)
+				rt.numericPos = append(rt.numericPos, i)
+			}
+		}
+		if len(rt.numericPos) > 0 {
+			rt.tree = New(len(rt.numericPos))
+			rt.point = make([]float64, len(rt.numericPos))
+		}
+		m.rels[name] = rt
+	}
+	return rt
+}
+
+// boundCoord converts an interval bound to a closed float coordinate,
+// widening open bounds outward (soundness over precision).
+func boundCoord(b interval.Bound[value.Value], upper bool) float64 {
+	switch b.Kind {
+	case interval.NegInf:
+		return -Clamp
+	case interval.PosInf:
+		return Clamp
+	}
+	f, ok := b.Value.Numeric()
+	if !ok {
+		if upper {
+			return Clamp
+		}
+		return -Clamp
+	}
+	return f
+}
+
+// Add implements matcher.Matcher.
+func (m *PredMatcher) Add(p *pred.Predicate) error {
+	if _, dup := m.preds[p.ID]; dup {
+		return fmt.Errorf("rtree: duplicate predicate id %d", p.ID)
+	}
+	b, err := p.Bind(m.catalog, m.funcs)
+	if err != nil {
+		return err
+	}
+	rel, _ := m.catalog.Get(p.Rel)
+	rt := m.relFor(p.Rel)
+	e := &rtEntry{bound: b}
+
+	if rt.tree != nil {
+		min := make([]float64, len(rt.numericPos))
+		max := make([]float64, len(rt.numericPos))
+		for d := range min {
+			min[d], max[d] = -Clamp, Clamp
+		}
+		narrowed := false
+		for _, c := range p.Clauses {
+			if c.Kind != pred.KindInterval {
+				continue
+			}
+			pos, _ := rel.AttrIndex(c.Attr)
+			d := rt.dimOf[pos]
+			if d < 0 {
+				continue // non-numeric attribute: no geometric narrowing
+			}
+			lo := boundCoord(c.Iv.Lo, false)
+			hi := boundCoord(c.Iv.Hi, true)
+			min[d] = math.Max(min[d], lo)
+			max[d] = math.Min(max[d], hi)
+			narrowed = true
+		}
+		if narrowed {
+			if ok := rectNonEmpty(min, max); !ok {
+				// Conflicting numeric clauses: predicate can never match
+				// numerically; keep it on the side list so removal and
+				// counting stay uniform (it will be fully tested there).
+				rt.side = append(rt.side, e)
+			} else {
+				if err := rt.tree.Insert(p.ID, Rect{Min: min, Max: max}); err != nil {
+					return err
+				}
+				e.geometric = true
+			}
+		} else {
+			rt.side = append(rt.side, e)
+		}
+	} else {
+		rt.side = append(rt.side, e)
+	}
+	m.preds[p.ID] = e
+	return nil
+}
+
+func rectNonEmpty(min, max []float64) bool {
+	for i := range min {
+		if min[i] > max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Remove implements matcher.Matcher.
+func (m *PredMatcher) Remove(id pred.ID) error {
+	e, ok := m.preds[id]
+	if !ok {
+		return fmt.Errorf("rtree: unknown predicate id %d", id)
+	}
+	delete(m.preds, id)
+	rt := m.rels[e.bound.Pred.Rel]
+	if e.geometric {
+		return rt.tree.Delete(id)
+	}
+	for i, x := range rt.side {
+		if x == e {
+			rt.side = append(rt.side[:i], rt.side[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Match implements matcher.Matcher: point-search the relation's R-tree,
+// complete candidates with the full predicate test, and test the side
+// list sequentially.
+func (m *PredMatcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	rt, ok := m.rels[rel]
+	if !ok {
+		return dst, nil
+	}
+	if rt.tree != nil {
+		for d, pos := range rt.numericPos {
+			f, _ := t[pos].Numeric()
+			rt.point[d] = f
+		}
+		scratch := rt.tree.SearchPoint(rt.point, m.scratch[:0])
+		for _, id := range scratch {
+			e := m.preds[id]
+			if e.bound.Match(t) {
+				dst = append(dst, id)
+			}
+		}
+		m.scratch = scratch
+	}
+	for _, e := range rt.side {
+		if e.bound.Match(t) {
+			dst = append(dst, e.bound.Pred.ID)
+		}
+	}
+	return dst, nil
+}

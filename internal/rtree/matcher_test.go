@@ -1,0 +1,129 @@
+package rtree_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/matcher"
+	"predmatch/internal/matchertest"
+	"predmatch/internal/pred"
+	"predmatch/internal/rtree"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func TestPredMatcherConformance(t *testing.T) {
+	matchertest.Run(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return rtree.NewPredMatcher(f.Catalog, f.Funcs)
+	})
+}
+
+func TestPredMatcherOpenBoundsExact(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := rtree.NewPredMatcher(f.Catalog, f.Funcs)
+	// age > 50: widened to [50, clamp] in the region, but the completion
+	// test must reject age == 50 exactly.
+	if err := m.Add(pred.New(1, "emp", pred.IvClause("age", interval.Greater(value.Int(50))))); err != nil {
+		t.Fatal(err)
+	}
+	at := func(age int64) []pred.ID {
+		tp := tuple.New(value.String_("x"), value.Int(age), value.Int(0), value.String_("d"))
+		got, err := m.Match("emp", tp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if got := at(50); len(got) != 0 {
+		t.Fatalf("age=50 matched %v", got)
+	}
+	if got := at(51); !reflect.DeepEqual(got, []pred.ID{1}) {
+		t.Fatalf("age=51 matched %v", got)
+	}
+}
+
+func TestPredMatcherStringOnlyPredicates(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := rtree.NewPredMatcher(f.Catalog, f.Funcs)
+	// A predicate on only string attributes has no geometric embedding.
+	if err := m.Add(pred.New(1, "emp", pred.EqClause("dept", value.String_("shoe")))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(pred.New(2, "emp",
+		pred.EqClause("dept", value.String_("shoe")),
+		pred.IvClause("salary", interval.AtLeast(value.Int(10))))); err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple.New(value.String_("x"), value.Int(30), value.Int(20), value.String_("shoe"))
+	got, err := m.Match("emp", tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []pred.ID{1, 2}) {
+		t.Fatalf("Match = %v", got)
+	}
+	// Removal from both the tree and the side list.
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestPredMatcherContradictoryNumericClauses(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := rtree.NewPredMatcher(f.Catalog, f.Funcs)
+	// age >= 60 and age <= 40: numerically empty region.
+	if err := m.Add(pred.New(1, "emp",
+		pred.IvClause("age", interval.AtLeast(value.Int(60))),
+		pred.IvClause("age", interval.AtMost(value.Int(40))))); err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple.New(value.String_("x"), value.Int(50), value.Int(0), value.String_("d"))
+	got, err := m.Match("emp", tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("contradictory predicate matched %v", got)
+	}
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredMatcherName(t *testing.T) {
+	f := matchertest.NewFixture()
+	if rtree.NewPredMatcher(f.Catalog, f.Funcs).Name() != "rtree" {
+		t.Fatal("Name wrong")
+	}
+}
+
+// TestPredMatcherBoolAndStringBounds covers the non-numeric bound
+// widening path in region construction.
+func TestPredMatcherBoolBounds(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := rtree.NewPredMatcher(f.Catalog, f.Funcs)
+	// events(kind string, severity int, open bool): restrict the bool
+	// attribute; bools are numeric coordinates 0/1.
+	if err := m.Add(pred.New(1, "events", pred.EqClause("open", value.Bool(true)))); err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple.New(value.String_("alert"), value.Int(1), value.Bool(true))
+	got, err := m.Match("events", tp, nil)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Match = %v, %v", got, err)
+	}
+	tp2 := tuple.New(value.String_("alert"), value.Int(1), value.Bool(false))
+	got, _ = m.Match("events", tp2, nil)
+	if len(got) != 0 {
+		t.Fatalf("Match(false) = %v", got)
+	}
+}

@@ -1,0 +1,425 @@
+// Package rtree implements an in-memory R-tree (Guttman, SIGMOD 1984)
+// with the quadratic split heuristic — the multi-dimensional predicate
+// indexing baseline of the paper's Section 2.4. Predicates are treated
+// as (hyper-)rectangles in the k-dimensional space of a relation's
+// numeric attributes; each new or modified tuple is a point used to
+// search the index for all overlapping regions.
+//
+// The paper's critique — which the benchmark suite reproduces — is that
+// typical selection predicates restrict only one or two of many
+// attributes, producing long overlapping "slices" through space that
+// R-trees index poorly, and that "R-trees cannot accommodate open
+// intervals" (unbounded sides here clamp to a large finite coordinate).
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"predmatch/internal/markset"
+)
+
+// ID identifies an indexed region.
+type ID = markset.ID
+
+// Rect is an axis-aligned rectangle: Min[i] <= Max[i] for every axis.
+type Rect struct {
+	Min, Max []float64
+}
+
+// NewRect builds a rectangle, validating dimensions.
+func NewRect(min, max []float64) (Rect, error) {
+	if len(min) != len(max) || len(min) == 0 {
+		return Rect{}, fmt.Errorf("rtree: rect needs matching non-empty min/max, got %d/%d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return Rect{}, fmt.Errorf("rtree: min[%d] %v > max[%d] %v", i, min[i], i, max[i])
+		}
+	}
+	return Rect{Min: min, Max: max}, nil
+}
+
+// PointRect is the degenerate rectangle at a point.
+func PointRect(coords []float64) Rect {
+	return Rect{Min: coords, Max: coords}
+}
+
+// contains reports whether the rectangle contains the point p.
+func (r Rect) contains(p []float64) bool {
+	for i := range p {
+		if p[i] < r.Min[i] || p[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// area returns the rectangle's volume.
+func (r Rect) area() float64 {
+	a := 1.0
+	for i := range r.Min {
+		a *= r.Max[i] - r.Min[i]
+	}
+	return a
+}
+
+// enlarge returns the bounding rectangle of r and s.
+func (r Rect) enlarge(s Rect) Rect {
+	min := make([]float64, len(r.Min))
+	max := make([]float64, len(r.Max))
+	for i := range r.Min {
+		min[i] = math.Min(r.Min[i], s.Min[i])
+		max[i] = math.Max(r.Max[i], s.Max[i])
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// enlargement returns the area growth of r needed to cover s.
+func (r Rect) enlargement(s Rect) float64 {
+	return r.enlarge(s).area() - r.area()
+}
+
+// Tree is an R-tree mapping IDs to rectangles. Not safe for concurrent
+// mutation.
+type Tree struct {
+	dims     int
+	maxEntry int
+	minEntry int
+	root     *node
+	regions  map[ID]Rect
+}
+
+type entry struct {
+	rect  Rect
+	child *node // nil in leaves
+	id    ID    // meaningful in leaves
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// MaxEntries sets the node fan-out (default 8, minimum 4); the minimum
+// fill is half of it.
+func MaxEntries(m int) Option {
+	return func(t *Tree) {
+		if m >= 4 {
+			t.maxEntry = m
+			t.minEntry = m / 2
+		}
+	}
+}
+
+// New returns an empty R-tree over dims dimensions.
+func New(dims int, opts ...Option) *Tree {
+	t := &Tree{
+		dims:     dims,
+		maxEntry: 8,
+		minEntry: 4,
+		root:     &node{leaf: true},
+		regions:  make(map[ID]Rect),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Len returns the number of stored regions.
+func (t *Tree) Len() int { return len(t.regions) }
+
+// Dims returns the dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Insert adds rect under id.
+func (t *Tree) Insert(id ID, rect Rect) error {
+	if len(rect.Min) != t.dims || len(rect.Max) != t.dims {
+		return fmt.Errorf("rtree: rect has %d dims, tree has %d", len(rect.Min), t.dims)
+	}
+	for i := range rect.Min {
+		if rect.Min[i] > rect.Max[i] {
+			return fmt.Errorf("rtree: inverted rect on axis %d", i)
+		}
+	}
+	if _, dup := t.regions[id]; dup {
+		return fmt.Errorf("rtree: duplicate region id %d", id)
+	}
+	t.regions[id] = rect
+	split := t.insert(t.root, entry{rect: rect, id: id})
+	if split != nil {
+		old := t.root
+		t.root = &node{
+			leaf: false,
+			entries: []entry{
+				{rect: boundOf(old), child: old},
+				{rect: boundOf(split), child: split},
+			},
+		}
+	}
+	return nil
+}
+
+// boundOf computes a node's bounding rectangle.
+func boundOf(n *node) Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.enlarge(e.rect)
+	}
+	return r
+}
+
+// insert places e in the subtree at n, returning a new sibling if n split.
+func (t *Tree) insert(n *node, e entry) *node {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntry {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	// ChooseLeaf: least enlargement, ties by smallest area.
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, c := range n.entries {
+		enl := c.rect.enlargement(e.rect)
+		area := c.rect.area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	child := n.entries[best].child
+	split := t.insert(child, e)
+	n.entries[best].rect = boundOf(child)
+	if split != nil {
+		n.entries = append(n.entries, entry{rect: boundOf(split), child: split})
+		if len(n.entries) > t.maxEntry {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// splitNode applies Guttman's quadratic split, mutating n into one group
+// and returning the other.
+func (t *Tree) splitNode(n *node) *node {
+	entries := n.entries
+
+	// PickSeeds: the pair wasting the most area together.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.enlarge(entries[j].rect).area() -
+				entries[i].rect.area() - entries[j].rect.area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	g1 := []entry{entries[s1]}
+	g2 := []entry{entries[s2]}
+	r1, r2 := entries[s1].rect, entries[s2].rect
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+
+	// PickNext: assign the entry with maximum preference difference.
+	for len(rest) > 0 {
+		// Force-assign when one group must take all remaining entries to
+		// reach minimum fill.
+		if len(g1)+len(rest) == t.minEntry {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				r1 = r1.enlarge(e.rect)
+			}
+			break
+		}
+		if len(g2)+len(rest) == t.minEntry {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				r2 = r2.enlarge(e.rect)
+			}
+			break
+		}
+		bi, bd := 0, -1.0
+		var bd1, bd2 float64
+		for i, e := range rest {
+			d1 := r1.enlargement(e.rect)
+			d2 := r2.enlargement(e.rect)
+			if d := math.Abs(d1 - d2); d > bd {
+				bi, bd, bd1, bd2 = i, d, d1, d2
+			}
+		}
+		e := rest[bi]
+		rest = append(rest[:bi], rest[bi+1:]...)
+		if bd1 < bd2 || (bd1 == bd2 && r1.area() <= r2.area()) {
+			g1 = append(g1, e)
+			r1 = r1.enlarge(e.rect)
+		} else {
+			g2 = append(g2, e)
+			r2 = r2.enlarge(e.rect)
+		}
+	}
+
+	n.entries = g1
+	return &node{leaf: n.leaf, entries: g2}
+}
+
+// Delete removes the region stored under id, condensing the tree.
+func (t *Tree) Delete(id ID) error {
+	rect, ok := t.regions[id]
+	if !ok {
+		return fmt.Errorf("rtree: unknown region id %d", id)
+	}
+	delete(t.regions, id)
+	var orphans []entry
+	if !t.remove(t.root, id, rect, &orphans) {
+		return fmt.Errorf("rtree: region id %d registered but not found", id)
+	}
+	// Shrink a non-leaf root with a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	// Reinsert orphaned leaf entries.
+	for _, e := range orphans {
+		if split := t.insert(t.root, e); split != nil {
+			old := t.root
+			t.root = &node{
+				leaf: false,
+				entries: []entry{
+					{rect: boundOf(old), child: old},
+					{rect: boundOf(split), child: split},
+				},
+			}
+		}
+	}
+	return nil
+}
+
+// remove deletes the (id, rect) leaf entry below n. Underfull nodes are
+// dissolved: their remaining leaf entries are collected for reinsertion.
+func (t *Tree) remove(n *node, id ID, rect Rect, orphans *[]entry) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.id == id {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i, e := range n.entries {
+		if !overlaps(e.rect, rect) {
+			continue
+		}
+		if !t.remove(e.child, id, rect, orphans) {
+			continue
+		}
+		child := e.child
+		if len(child.entries) < t.minEntry {
+			// Condense: dissolve the child, reinserting its entries.
+			collectLeafEntries(child, orphans)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].rect = boundOf(child)
+		}
+		return true
+	}
+	return false
+}
+
+// collectLeafEntries gathers every leaf entry beneath n.
+func collectLeafEntries(n *node, out *[]entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, e := range n.entries {
+		collectLeafEntries(e.child, out)
+	}
+}
+
+// overlaps reports whether two rectangles intersect.
+func overlaps(a, b Rect) bool {
+	for i := range a.Min {
+		if a.Max[i] < b.Min[i] || b.Max[i] < a.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchPoint appends the ids of all regions containing the point to dst.
+func (t *Tree) SearchPoint(p []float64, dst []ID) []ID {
+	if len(p) != t.dims {
+		return dst
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			if !e.rect.contains(p) {
+				continue
+			}
+			if n.leaf {
+				dst = append(dst, e.id)
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return dst
+}
+
+// CheckInvariants verifies bounding-rectangle containment, occupancy
+// bounds and uniform leaf depth; exported for tests.
+func (t *Tree) CheckInvariants() error {
+	leafDepth := -1
+	count := 0
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if n != t.root && (len(n.entries) < t.minEntry || len(n.entries) > t.maxEntry) {
+			return fmt.Errorf("rtree: node with %d entries outside [%d,%d]", len(n.entries), t.minEntry, t.maxEntry)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			count += len(n.entries)
+			return nil
+		}
+		for _, e := range n.entries {
+			bound := boundOf(e.child)
+			for i := range bound.Min {
+				if e.rect.Min[i] > bound.Min[i] || e.rect.Max[i] < bound.Max[i] {
+					return fmt.Errorf("rtree: entry rect does not cover child bound")
+				}
+			}
+			if err := walk(e.child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != len(t.regions) {
+		return fmt.Errorf("rtree: %d leaf entries but %d regions registered", count, len(t.regions))
+	}
+	return nil
+}

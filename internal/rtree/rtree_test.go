@@ -1,0 +1,191 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+)
+
+func TestInterval1DConformance(t *testing.T) {
+	ivindex.Run(t, func() ivindex.Index {
+		return NewInterval1D()
+	}, true)
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect([]float64{0, 0}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRect([]float64{0}, []float64{1, 1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewRect(nil, nil); err == nil {
+		t.Error("empty rect accepted")
+	}
+	if _, err := NewRect([]float64{2}, []float64{1}); err == nil {
+		t.Error("inverted rect accepted")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tr := New(2)
+	r, _ := NewRect([]float64{0, 0}, []float64{1, 1})
+	if err := tr.Insert(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(1, r); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := tr.Insert(2, PointRect([]float64{0})); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if err := tr.Insert(3, Rect{Min: []float64{1, 1}, Max: []float64{0, 0}}); err == nil {
+		t.Error("inverted rect accepted")
+	}
+	if err := tr.Delete(99); err == nil {
+		t.Error("unknown delete accepted")
+	}
+}
+
+// TestKDimRandomized cross-checks point search against brute force in 2
+// and 3 dimensions under churn, verifying invariants as it goes.
+func TestKDimRandomized(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		rng := rand.New(rand.NewSource(int64(dims)))
+		tr := New(dims)
+		ref := map[markset.ID]Rect{}
+		next := markset.ID(0)
+		var live []markset.ID
+
+		randRect := func() Rect {
+			min := make([]float64, dims)
+			max := make([]float64, dims)
+			for d := 0; d < dims; d++ {
+				a, b := float64(rng.Intn(100)), float64(rng.Intn(100))
+				if a > b {
+					a, b = b, a
+				}
+				min[d], max[d] = a, b
+			}
+			return Rect{Min: min, Max: max}
+		}
+		randPoint := func() []float64 {
+			p := make([]float64, dims)
+			for d := range p {
+				p[d] = float64(rng.Intn(110) - 5)
+			}
+			return p
+		}
+
+		for op := 0; op < 500; op++ {
+			if len(live) == 0 || rng.Intn(3) != 0 {
+				r := randRect()
+				if err := tr.Insert(next, r); err != nil {
+					t.Fatalf("dims %d op %d: %v", dims, op, err)
+				}
+				ref[next] = r
+				live = append(live, next)
+				next++
+			} else {
+				i := rng.Intn(len(live))
+				if err := tr.Delete(live[i]); err != nil {
+					t.Fatalf("dims %d op %d: %v", dims, op, err)
+				}
+				delete(ref, live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("dims %d op %d: Len %d want %d", dims, op, tr.Len(), len(ref))
+			}
+			for q := 0; q < 3; q++ {
+				p := randPoint()
+				got := tr.SearchPoint(p, nil)
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				var want []markset.ID
+				for id, r := range ref {
+					if r.contains(p) {
+						want = append(want, id)
+					}
+				}
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("dims %d op %d: SearchPoint(%v) = %v, want %v", dims, op, p, got, want)
+				}
+			}
+			if op%50 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("dims %d op %d: %v", dims, op, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("dims %d final: %v", dims, err)
+		}
+	}
+}
+
+// TestSlicePredicates builds the workload the paper says R-trees handle
+// poorly — low-dimension predicates as slices through a 5-D space — and
+// checks correctness still holds (performance is a bench concern).
+func TestSlicePredicates(t *testing.T) {
+	const dims = 5
+	tr := New(dims)
+	// Each predicate restricts one attribute only: a slab.
+	for i := 0; i < 50; i++ {
+		min := make([]float64, dims)
+		max := make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			min[d], max[d] = -Clamp, Clamp
+		}
+		d := i % dims
+		min[d], max[d] = float64(i), float64(i+10)
+		if err := tr.Insert(markset.ID(i), Rect{Min: min, Max: max}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := []float64{5, 6, 7, 8, 9}
+	got := tr.SearchPoint(p, nil)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	// Expected: predicates i with i <= p[i%5] <= i+10 and i%5 == d.
+	var want []markset.ID
+	for i := 0; i < 50; i++ {
+		d := i % dims
+		if p[d] >= float64(i) && p[d] <= float64(i+10) {
+			want = append(want, markset.ID(i))
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SearchPoint = %v, want %v", got, want)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxEntriesOption(t *testing.T) {
+	tr := New(2, MaxEntries(16))
+	if tr.maxEntry != 16 || tr.minEntry != 8 {
+		t.Fatalf("MaxEntries not applied: %d/%d", tr.maxEntry, tr.minEntry)
+	}
+	// Too-small values are ignored.
+	tr2 := New(2, MaxEntries(2))
+	if tr2.maxEntry != 8 {
+		t.Fatalf("invalid MaxEntries should keep default, got %d", tr2.maxEntry)
+	}
+}
+
+func TestNamesAndDims(t *testing.T) {
+	if NewInterval1D().Name() != "rtree-1d" {
+		t.Fatal("Interval1D name wrong")
+	}
+	if New(3).Dims() != 3 {
+		t.Fatal("Dims wrong")
+	}
+}

@@ -1,0 +1,120 @@
+// Package schema describes relations and their attributes — the paper's
+// database of n relations R1..Rn over which rule selection predicates are
+// defined. Rules are "a form of intentional data (schema)" (Section 3),
+// and the schema catalog is the anchor for both the storage engine and
+// every predicate-matching strategy.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"predmatch/internal/value"
+)
+
+// Attribute is one named, typed column of a relation.
+type Attribute struct {
+	Name string
+	Type value.Kind
+}
+
+// Relation is a named relation schema.
+type Relation struct {
+	name   string
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// NewRelation builds a relation schema; attribute names must be unique
+// and non-empty.
+func NewRelation(name string, attrs ...Attribute) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation name must not be empty")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: relation %s needs at least one attribute", name)
+	}
+	byName := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: relation %s has an unnamed attribute", name)
+		}
+		if _, dup := byName[a.Name]; dup {
+			return nil, fmt.Errorf("schema: relation %s has duplicate attribute %s", name, a.Name)
+		}
+		byName[a.Name] = i
+	}
+	cp := make([]Attribute, len(attrs))
+	copy(cp, attrs)
+	return &Relation{name: name, attrs: cp, byName: byName}, nil
+}
+
+// MustRelation is NewRelation panicking on error, for tests and examples.
+func MustRelation(name string, attrs ...Attribute) *Relation {
+	r, err := NewRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Attrs returns the attributes in declaration order. The slice must not
+// be modified.
+func (r *Relation) Attrs() []Attribute { return r.attrs }
+
+// AttrIndex returns the position of the named attribute.
+func (r *Relation) AttrIndex(name string) (int, bool) {
+	i, ok := r.byName[name]
+	return i, ok
+}
+
+// AttrType returns the type of the named attribute.
+func (r *Relation) AttrType(name string) (value.Kind, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return r.attrs[i].Type, true
+}
+
+// Catalog is the set of relation schemas known to a database instance.
+type Catalog struct {
+	rels map[string]*Relation
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]*Relation)} }
+
+// Add registers a relation schema; duplicate names are an error.
+func (c *Catalog) Add(r *Relation) error {
+	if _, dup := c.rels[r.name]; dup {
+		return fmt.Errorf("schema: relation %s already defined", r.name)
+	}
+	c.rels[r.name] = r
+	return nil
+}
+
+// Get returns the named relation schema.
+func (c *Catalog) Get(name string) (*Relation, bool) {
+	r, ok := c.rels[name]
+	return r, ok
+}
+
+// Names returns the relation names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of relations.
+func (c *Catalog) Len() int { return len(c.rels) }

@@ -1,0 +1,90 @@
+package schema
+
+import (
+	"reflect"
+	"testing"
+
+	"predmatch/internal/value"
+)
+
+func emp() *Relation {
+	return MustRelation("emp",
+		Attribute{Name: "name", Type: value.KindString},
+		Attribute{Name: "age", Type: value.KindInt},
+		Attribute{Name: "salary", Type: value.KindInt},
+	)
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := emp()
+	if r.Name() != "emp" || r.Arity() != 3 {
+		t.Fatalf("Name/Arity = %s/%d", r.Name(), r.Arity())
+	}
+	i, ok := r.AttrIndex("age")
+	if !ok || i != 1 {
+		t.Fatalf("AttrIndex(age) = %d, %v", i, ok)
+	}
+	if _, ok := r.AttrIndex("nosuch"); ok {
+		t.Fatal("AttrIndex found missing attribute")
+	}
+	kind, ok := r.AttrType("salary")
+	if !ok || kind != value.KindInt {
+		t.Fatalf("AttrType(salary) = %v, %v", kind, ok)
+	}
+	if _, ok := r.AttrType("nosuch"); ok {
+		t.Fatal("AttrType found missing attribute")
+	}
+}
+
+func TestNewRelationErrors(t *testing.T) {
+	if _, err := NewRelation(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRelation("r"); err == nil {
+		t.Error("zero attributes accepted")
+	}
+	if _, err := NewRelation("r", Attribute{Name: "", Type: value.KindInt}); err == nil {
+		t.Error("unnamed attribute accepted")
+	}
+	if _, err := NewRelation("r",
+		Attribute{Name: "a", Type: value.KindInt},
+		Attribute{Name: "a", Type: value.KindString}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	if c.Len() != 0 {
+		t.Fatalf("empty catalog Len = %d", c.Len())
+	}
+	if err := c.Add(emp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(emp()); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	dept := MustRelation("dept", Attribute{Name: "id", Type: value.KindInt})
+	if err := c.Add(dept); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("emp")
+	if !ok || got.Name() != "emp" {
+		t.Fatalf("Get(emp) = %v, %v", got, ok)
+	}
+	if _, ok := c.Get("nosuch"); ok {
+		t.Error("Get found missing relation")
+	}
+	if names := c.Names(); !reflect.DeepEqual(names, []string{"dept", "emp"}) {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestMustRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRelation did not panic on invalid schema")
+		}
+	}()
+	MustRelation("")
+}

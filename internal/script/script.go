@@ -1,0 +1,518 @@
+// Package script interprets a small line-oriented database-and-rules
+// script — the front end of cmd/predmatch. A script declares relations
+// and indexes, defines rules (the paper's "if condition then action"
+// triggers), and streams tuple mutations through the storage engine,
+// with the chosen predicate-matching strategy deciding which rules fire.
+//
+// Statements (one per line; '\' continues a line; '#' starts a comment):
+//
+//	relation NAME (attr type, ...)
+//	index REL ATTR
+//	rule NAME on EVENTS to REL [when COND] do ACTIONS
+//	joinrule NAME on REL1, REL2 when COND do log/raise ...
+//	drop rule NAME | drop joinrule NAME
+//	insert REL (v1, v2, ...)
+//	update REL ID (v1, v2, ...)
+//	delete REL ID
+//	select REL [where COND]
+//	dump REL
+//	stats
+package script
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"predmatch/internal/core"
+	"predmatch/internal/engine"
+	"predmatch/internal/join"
+	"predmatch/internal/matcher"
+	"predmatch/internal/parser"
+	"predmatch/internal/pred"
+	"predmatch/internal/query"
+	"predmatch/internal/schema"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Interp executes scripts against one database instance.
+type Interp struct {
+	db    *storage.DB
+	funcs *pred.Registry
+	eng   *engine.Engine
+	out   io.Writer
+
+	// Join-rule support (the two-layer network), created on first use.
+	net        *join.Network
+	joinRules  map[string]joinRuleInfo
+	nextJoinID join.RuleID
+	// pendingRaise carries a raise action out of the activation callback
+	// so the triggering mutation can be aborted.
+	pendingRaise error
+}
+
+// joinRuleInfo tracks a named joinrule's registration.
+type joinRuleInfo struct {
+	id      join.RuleID
+	actions []parser.Action
+}
+
+// Option configures an Interp.
+type Option func(*cfg)
+
+type cfg struct {
+	matcher func(*storage.DB, *pred.Registry) matcher.Matcher
+}
+
+// WithMatcher selects the predicate-matching strategy (default: the
+// paper's IBS-tree scheme).
+func WithMatcher(mk func(*storage.DB, *pred.Registry) matcher.Matcher) Option {
+	return func(c *cfg) { c.matcher = mk }
+}
+
+// New returns an interpreter writing rule output to out.
+func New(out io.Writer, opts ...Option) *Interp {
+	c := cfg{
+		matcher: func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return core.New(db.Catalog(), funcs)
+		},
+	}
+	for _, o := range opts {
+		o(&c)
+	}
+	db := storage.NewDB()
+	funcs := pred.NewRegistry()
+	in := &Interp{db: db, funcs: funcs, out: out, joinRules: make(map[string]joinRuleInfo), nextJoinID: 1}
+	in.eng = engine.New(db, funcs, c.matcher(db, funcs),
+		engine.WithLogger(func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		}))
+	return in
+}
+
+// network lazily creates the two-layer join network and wires it to the
+// storage change feed.
+func (in *Interp) network() *join.Network {
+	if in.net != nil {
+		return in.net
+	}
+	in.net = join.New(in.db.Catalog(), in.funcs, func(a join.Activation) {
+		for name, info := range in.joinRules {
+			if info.id != a.Rule {
+				continue
+			}
+			for _, act := range info.actions {
+				switch act.Kind {
+				case parser.ActionLog:
+					fmt.Fprintf(in.out, "[joinrule %s] %s %v\n", name, act.Message, a.Tuples)
+				case parser.ActionRaise:
+					if in.pendingRaise == nil {
+						in.pendingRaise = fmt.Errorf("joinrule %s raised: %s", name, act.Message)
+					}
+				}
+			}
+		}
+	})
+	in.db.Observe(func(ev storage.Event) error {
+		var err error
+		switch ev.Op {
+		case storage.OpInsert:
+			err = in.net.Insert(ev.Rel, ev.ID, ev.New)
+		case storage.OpUpdate:
+			err = in.net.Update(ev.Rel, ev.ID, ev.New)
+		case storage.OpDelete:
+			in.net.Delete(ev.Rel, ev.ID)
+		}
+		if err == nil && in.pendingRaise != nil {
+			err = in.pendingRaise
+		}
+		in.pendingRaise = nil
+		return err
+	})
+	return in.net
+}
+
+// Engine exposes the underlying rule engine.
+func (in *Interp) Engine() *engine.Engine { return in.eng }
+
+// DB exposes the underlying storage engine.
+func (in *Interp) DB() *storage.DB { return in.db }
+
+// Run executes a whole script, stopping at the first error.
+func (in *Interp) Run(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	var pending string
+	pendingStart := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 && !inQuotes(line, i) {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasSuffix(line, "\\") {
+			if pending == "" {
+				pendingStart = lineNo
+			}
+			pending += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		stmt := pending + line
+		start := lineNo
+		if pending != "" {
+			start = pendingStart
+		}
+		pending = ""
+		if strings.TrimSpace(stmt) == "" {
+			continue
+		}
+		if err := in.Exec(stmt); err != nil {
+			return fmt.Errorf("line %d: %w", start, err)
+		}
+	}
+	if pending != "" {
+		return fmt.Errorf("line %d: dangling line continuation", pendingStart)
+	}
+	return sc.Err()
+}
+
+// inQuotes reports whether position i of line falls inside a quoted
+// string (so '#' inside literals is not a comment).
+func inQuotes(line string, i int) bool {
+	var quote byte
+	for j := 0; j < i; j++ {
+		c := line[j]
+		if quote == 0 {
+			if c == '\'' || c == '"' {
+				quote = c
+			}
+		} else if c == quote {
+			quote = 0
+		}
+	}
+	return quote != 0
+}
+
+// Exec executes a single statement.
+func (in *Interp) Exec(stmt string) error {
+	fields := strings.Fields(stmt)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch strings.ToLower(fields[0]) {
+	case "relation":
+		return in.execRelation(stmt)
+	case "index":
+		return in.execIndex(fields)
+	case "rule":
+		_, err := in.eng.DefineRule(stmt)
+		return err
+	case "joinrule":
+		return in.execJoinRule(stmt)
+	case "drop":
+		if len(fields) != 3 {
+			return fmt.Errorf("script: usage: drop rule NAME | drop joinrule NAME")
+		}
+		switch strings.ToLower(fields[1]) {
+		case "rule":
+			return in.eng.DropRule(strings.ToLower(fields[2]))
+		case "joinrule":
+			name := strings.ToLower(fields[2])
+			info, ok := in.joinRules[name]
+			if !ok {
+				return fmt.Errorf("script: unknown joinrule %q", name)
+			}
+			if err := in.network().RemoveRule(info.id); err != nil {
+				return err
+			}
+			delete(in.joinRules, name)
+			return nil
+		default:
+			return fmt.Errorf("script: usage: drop rule NAME | drop joinrule NAME")
+		}
+	case "select":
+		return in.execSelect(stmt, fields)
+	case "insert":
+		return in.execInsert(stmt, fields)
+	case "update":
+		return in.execUpdate(stmt, fields)
+	case "delete":
+		return in.execDelete(fields)
+	case "dump":
+		return in.execDump(fields)
+	case "stats":
+		return in.execStats()
+	default:
+		return fmt.Errorf("script: unknown statement %q", fields[0])
+	}
+}
+
+// execRelation parses "relation NAME (attr type, ...)".
+func (in *Interp) execRelation(stmt string) error {
+	open := strings.Index(stmt, "(")
+	closeIdx := strings.LastIndex(stmt, ")")
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("script: usage: relation NAME (attr type, ...)")
+	}
+	head := strings.Fields(stmt[:open])
+	if len(head) != 2 {
+		return fmt.Errorf("script: usage: relation NAME (attr type, ...)")
+	}
+	name := strings.ToLower(head[1])
+	var attrs []schema.Attribute
+	for _, part := range strings.Split(stmt[open+1:closeIdx], ",") {
+		kv := strings.Fields(part)
+		if len(kv) != 2 {
+			return fmt.Errorf("script: bad attribute declaration %q", strings.TrimSpace(part))
+		}
+		kind, err := value.KindFromName(kv[1])
+		if err != nil {
+			return err
+		}
+		attrs = append(attrs, schema.Attribute{Name: strings.ToLower(kv[0]), Type: kind})
+	}
+	rel, err := schema.NewRelation(name, attrs...)
+	if err != nil {
+		return err
+	}
+	_, err = in.db.CreateRelation(rel)
+	return err
+}
+
+func (in *Interp) execIndex(fields []string) error {
+	if len(fields) != 3 {
+		return fmt.Errorf("script: usage: index REL ATTR")
+	}
+	tab, ok := in.db.Table(strings.ToLower(fields[1]))
+	if !ok {
+		return fmt.Errorf("script: unknown relation %q", fields[1])
+	}
+	return tab.CreateIndex(strings.ToLower(fields[2]))
+}
+
+// tupleArg extracts the parenthesized literal list from a statement.
+func tupleArg(stmt string) (string, error) {
+	open := strings.Index(stmt, "(")
+	if open < 0 {
+		return "", fmt.Errorf("script: expected tuple literal (v1, v2, ...)")
+	}
+	return stmt[open:], nil
+}
+
+func (in *Interp) execInsert(stmt string, fields []string) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("script: usage: insert REL (v1, ...)")
+	}
+	tab, ok := in.db.Table(strings.ToLower(fields[1]))
+	if !ok {
+		return fmt.Errorf("script: unknown relation %q", fields[1])
+	}
+	lit, err := tupleArg(stmt)
+	if err != nil {
+		return err
+	}
+	t, err := parser.ParseValues(lit, tab.Relation())
+	if err != nil {
+		return err
+	}
+	id, err := tab.Insert(t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(in.out, "inserted %s id=%d %v\n", tab.Relation().Name(), id, t)
+	return nil
+}
+
+func (in *Interp) execUpdate(stmt string, fields []string) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("script: usage: update REL ID (v1, ...)")
+	}
+	tab, ok := in.db.Table(strings.ToLower(fields[1]))
+	if !ok {
+		return fmt.Errorf("script: unknown relation %q", fields[1])
+	}
+	id, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("script: bad tuple id %q", fields[2])
+	}
+	lit, err := tupleArg(stmt)
+	if err != nil {
+		return err
+	}
+	t, err := parser.ParseValues(lit, tab.Relation())
+	if err != nil {
+		return err
+	}
+	if err := tab.Update(tuple.ID(id), t); err != nil {
+		return err
+	}
+	fmt.Fprintf(in.out, "updated %s id=%d %v\n", tab.Relation().Name(), id, t)
+	return nil
+}
+
+func (in *Interp) execDelete(fields []string) error {
+	if len(fields) != 3 {
+		return fmt.Errorf("script: usage: delete REL ID")
+	}
+	tab, ok := in.db.Table(strings.ToLower(fields[1]))
+	if !ok {
+		return fmt.Errorf("script: unknown relation %q", fields[1])
+	}
+	id, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("script: bad tuple id %q", fields[2])
+	}
+	if err := tab.Delete(tuple.ID(id)); err != nil {
+		return err
+	}
+	fmt.Fprintf(in.out, "deleted %s id=%d\n", tab.Relation().Name(), id)
+	return nil
+}
+
+func (in *Interp) execDump(fields []string) error {
+	if len(fields) != 2 {
+		return fmt.Errorf("script: usage: dump REL")
+	}
+	tab, ok := in.db.Table(strings.ToLower(fields[1]))
+	if !ok {
+		return fmt.Errorf("script: unknown relation %q", fields[1])
+	}
+	type row struct {
+		id tuple.ID
+		t  tuple.Tuple
+	}
+	var rows []row
+	tab.Scan(func(id tuple.ID, t tuple.Tuple) bool {
+		rows = append(rows, row{id, t})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	fmt.Fprintf(in.out, "%s (%d tuples)\n", tab.Relation().Name(), len(rows))
+	for _, r := range rows {
+		fmt.Fprintf(in.out, "  id=%d %v\n", r.id, r.t)
+	}
+	return nil
+}
+
+func (in *Interp) execStats() error {
+	fmt.Fprintf(in.out, "rules: %s\n", strings.Join(in.eng.Rules(), ", "))
+	fmt.Fprintf(in.out, "matcher: %s (%d predicates)\n", in.eng.Matcher().Name(), in.eng.Matcher().Len())
+	if ix, ok := in.eng.Matcher().(*core.Index); ok {
+		for _, ts := range ix.Trees() {
+			fmt.Fprintf(in.out, "  ibs-tree %s.%s: %d intervals, %d nodes, %d markers, height %d\n",
+				ts.Rel, ts.Attr, ts.Intervals, ts.Nodes, ts.Markers, ts.Height)
+		}
+	}
+	return nil
+}
+
+// execJoinRule registers a two-layer (selection + join) rule.
+func (in *Interp) execJoinRule(stmt string) error {
+	ast, err := parser.ParseJoinRule(stmt, in.db.Catalog(), in.funcs)
+	if err != nil {
+		return err
+	}
+	if _, dup := in.joinRules[ast.Name]; dup {
+		return fmt.Errorf("script: joinrule %q already defined", ast.Name)
+	}
+	rule := &join.Rule{ID: in.nextJoinID}
+	for i, rel := range ast.Rels {
+		side := join.Side{Rel: rel}
+		if len(ast.Sel[i]) > 0 {
+			side.Pred = pred.New(0, rel, ast.Sel[i]...)
+		}
+		rule.Sides = append(rule.Sides, side)
+	}
+	for _, jt := range ast.Joins {
+		rule.Conditions = append(rule.Conditions, join.Condition{
+			Left: jt.LeftSide, LeftAttr: jt.LeftAttr,
+			Right: jt.RightSide, RightAttr: jt.RightAttr,
+		})
+	}
+	if err := in.network().AddRule(rule); err != nil {
+		return err
+	}
+	in.joinRules[ast.Name] = joinRuleInfo{id: rule.ID, actions: ast.Actions}
+	in.nextJoinID++
+
+	// Backfill the rule's alpha memories from existing data so that
+	// future events join against the full database state.
+	seeded := map[string]bool{}
+	for _, rel := range ast.Rels {
+		if seeded[rel] {
+			continue
+		}
+		seeded[rel] = true
+		tab, ok := in.db.Table(rel)
+		if !ok {
+			continue
+		}
+		var seedErr error
+		tab.Scan(func(id tuple.ID, t tuple.Tuple) bool {
+			seedErr = in.net.Seed(rule.ID, rel, id, t)
+			return seedErr == nil
+		})
+		if seedErr != nil {
+			return seedErr
+		}
+	}
+	return nil
+}
+
+// execSelect runs "select REL [where COND]" through the query planner.
+func (in *Interp) execSelect(stmt string, fields []string) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("script: usage: select REL [where COND]")
+	}
+	relName := strings.ToLower(fields[1])
+	tab, ok := in.db.Table(relName)
+	if !ok {
+		return fmt.Errorf("script: unknown relation %q", relName)
+	}
+
+	var preds []*pred.Predicate
+	if len(fields) > 2 {
+		if strings.ToLower(fields[2]) != "where" {
+			return fmt.Errorf("script: usage: select REL [where COND]")
+		}
+		idx := strings.Index(strings.ToLower(stmt), " where ")
+		cond := stmt[idx+len(" where "):]
+		expr, err := parser.ParseCondition(cond, relName, in.db.Catalog(), in.funcs)
+		if err != nil {
+			return err
+		}
+		preds = pred.SplitDNF(1, relName, expr)
+	} else {
+		preds = []*pred.Predicate{pred.New(1, relName)}
+	}
+
+	// Union the results of the disjuncts.
+	seen := map[tuple.ID]tuple.Tuple{}
+	for _, p := range preds {
+		results, plan, err := query.Run(in.db, p, in.funcs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(in.out, "plan: %s\n", plan)
+		for _, r := range results {
+			seen[r.ID] = r.Tuple
+		}
+	}
+	ids := make([]tuple.ID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Fprintf(in.out, "%s: %d row(s)\n", tab.Relation().Name(), len(ids))
+	for _, id := range ids {
+		fmt.Fprintf(in.out, "  id=%d %v\n", id, seen[id])
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package script
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predmatch/internal/hashseq"
+	"predmatch/internal/matcher"
+	"predmatch/internal/pred"
+	"predmatch/internal/storage"
+)
+
+func run(t *testing.T, src string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	in := New(&buf)
+	err := in.Run(strings.NewReader(src))
+	return buf.String(), err
+}
+
+func TestEndToEndScript(t *testing.T) {
+	src := `
+# the paper's EMP example
+relation emp (name string, age int, salary int, dept string)
+index emp salary
+
+rule high_paid on insert, update to emp \
+  when salary > 50000 do log 'high paid'
+rule odd_shoe on insert to emp when isodd(age) and dept = 'shoe' do log 'odd shoe'
+
+insert emp ('alice', 31, 60000, 'shoe')
+insert emp ('bob', 30, 40000, 'toy')
+update emp 2 ('bob', 30, 55000, 'toy')
+delete emp 2
+dump emp
+stats
+`
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{
+		"[rule high_paid] high paid", // alice insert
+		"[rule odd_shoe] odd shoe",   // alice insert (age 31, shoe)
+		"updated emp id=2",           // bob update also fires high_paid
+		"deleted emp id=2",
+		"emp (1 tuples)",
+		"matcher: ibs",
+		"ibs-tree emp.salary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// bob's update to 55000 fires high_paid a second time.
+	if got := strings.Count(out, "high paid"); got != 2 {
+		t.Errorf("high_paid fired %d times, want 2\n%s", got, out)
+	}
+}
+
+func TestScriptErrorsCarryLineNumbers(t *testing.T) {
+	_, err := run(t, "relation r (a int)\nbogus statement\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatementErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate",
+		"relation",
+		"relation r",
+		"relation r (a blob)",
+		"relation r (a)",
+		"index r a",        // unknown relation
+		"insert r (1)",     // unknown relation
+		"update r 1 (1)",   // unknown relation
+		"delete r 1",       // unknown relation
+		"dump r",           // unknown relation
+		"drop rule nosuch", // unknown rule
+		"drop bogus x",     // wrong form
+		"rule r on insert to nosuch do log 'x'",
+	}
+	for _, stmt := range bad {
+		var buf bytes.Buffer
+		if err := New(&buf).Exec(stmt); err == nil {
+			t.Errorf("Exec(%q) accepted", stmt)
+		}
+	}
+}
+
+func TestUpdateDeleteErrors(t *testing.T) {
+	src := "relation r (a int)\nupdate r 99 (1)\n"
+	if _, err := run(t, src); err == nil {
+		t.Error("update of missing tuple accepted")
+	}
+	src = "relation r (a int)\ndelete r abc\n"
+	if _, err := run(t, src); err == nil {
+		t.Error("bad tuple id accepted")
+	}
+	src = "relation r (a int)\ninsert r (1, 2)\n"
+	if _, err := run(t, src); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestCommentsAndQuotedHash(t *testing.T) {
+	src := `
+relation r (m string)   # trailing comment
+rule h on insert to r when m = 'has # inside' do log 'hit # kept'
+insert r ('has # inside')
+`
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hit # kept") {
+		t.Errorf("quoted hash mishandled:\n%s", out)
+	}
+}
+
+func TestWithMatcher(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(&buf, WithMatcher(func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+		return hashseq.New(db.Catalog(), funcs)
+	}))
+	if err := in.Run(strings.NewReader("relation r (a int)\nstats\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "matcher: hashseq") {
+		t.Errorf("matcher option ignored:\n%s", buf.String())
+	}
+}
+
+func TestDanglingContinuation(t *testing.T) {
+	if _, err := run(t, "relation r (a int) \\"); err == nil {
+		t.Error("dangling continuation accepted")
+	}
+}
+
+func TestJoinRuleStatement(t *testing.T) {
+	src := `
+relation emp (name string, dept string, salary int)
+relation dept (dname string, budget int)
+joinrule audit on emp, dept \
+  when salary > 50000 and emp.dept = dname and budget < 100000 \
+  do log 'overpaid in underfunded dept'
+insert dept ('shoe', 60000)
+insert emp ('ada', 'shoe', 80000)
+insert emp ('bob', 'shoe', 10000)
+`
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if got := strings.Count(out, "overpaid in underfunded dept"); got != 1 {
+		t.Fatalf("joinrule fired %d times, want 1\n%s", got, out)
+	}
+}
+
+func TestJoinRuleRaiseAborts(t *testing.T) {
+	src := `
+relation emp (name string, dept string)
+relation closed (dname string)
+joinrule noclosed on emp, closed when emp.dept = closed.dname do raise 'dept is closed'
+insert closed ('shoe')
+insert emp ('ada', 'shoe')
+`
+	out, err := run(t, src)
+	if err == nil || !strings.Contains(err.Error(), "dept is closed") {
+		t.Fatalf("err = %v\n%s", err, out)
+	}
+}
+
+func TestDropJoinRule(t *testing.T) {
+	src := `
+relation a (x int)
+relation b (y int)
+joinrule j on a, b when x = y do log 'pair'
+drop joinrule j
+insert a (1)
+insert b (1)
+`
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "pair") {
+		t.Fatalf("dropped joinrule fired\n%s", out)
+	}
+	// Errors.
+	var buf bytes.Buffer
+	in := New(&buf)
+	if err := in.Exec("drop joinrule nosuch"); err == nil {
+		t.Error("unknown joinrule drop accepted")
+	}
+	if err := in.Exec("drop bogus x"); err == nil {
+		t.Error("bad drop form accepted")
+	}
+	_ = in.Exec("relation a (x int)")
+	_ = in.Exec("relation b (y int)")
+	if err := in.Exec("joinrule j on a, b when x = y do log 'p'"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Exec("joinrule j on a, b when x = y do log 'p'"); err == nil {
+		t.Error("duplicate joinrule accepted")
+	}
+}
+
+func TestSelectStatement(t *testing.T) {
+	src := `
+relation emp (name string, age int)
+index emp age
+insert emp ('ada', 30)
+insert emp ('bob', 40)
+insert emp ('cyd', 50)
+select emp where age >= 40
+select emp where age = 30 or age = 50
+select emp
+`
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "plan: index scan on emp.age") {
+		t.Errorf("expected an index-scan plan\n%s", out)
+	}
+	if !strings.Contains(out, "emp: 2 row(s)") {
+		t.Errorf("range select row count wrong\n%s", out)
+	}
+	if !strings.Contains(out, "emp: 3 row(s)") {
+		t.Errorf("full select row count wrong\n%s", out)
+	}
+	// The disjunction runs two plans and unions to 2 rows.
+	if got := strings.Count(out, "plan:"); got != 4 {
+		t.Errorf("expected 4 plans (1 + 2 + 1), got %d\n%s", got, out)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(&buf)
+	_ = in.Exec("relation emp (age int)")
+	for _, stmt := range []string{
+		"select",
+		"select nosuch",
+		"select emp bogus",
+		"select emp where nosuch = 1",
+	} {
+		if err := in.Exec(stmt); err == nil {
+			t.Errorf("Exec(%q) accepted", stmt)
+		}
+	}
+}
+
+func TestJoinRuleParseErrors(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(&buf)
+	_ = in.Exec("relation a (x int)")
+	_ = in.Exec("relation b (y int, x int)")
+	for _, stmt := range []string{
+		"joinrule j on a when x = 1 do log 'm'",         // one relation
+		"joinrule j on a, nosuch when x = y do log 'm'", // unknown relation
+		"joinrule j on a, a when x = x do log 'm'",      // duplicate relation
+		"joinrule j on a, b when x > y do log 'm'",      // non-equi join (ambiguous x though; use qualified)
+		"joinrule j on a, b when a.x > b.y do log 'm'",  // non-equi join
+		"joinrule j on a, b when a.x = 1 do log 'm'",    // no join term
+		"joinrule j on a, b when x = y do set x = 1",    // unsupported action
+		"joinrule j on a, b when x = y do log 'm' trailing",
+		"joinrule j on a, b when a.x != 1 and a.x = b.y do log 'm'", // != unsupported
+		"joinrule j on a, b when x = y and b.x = b.y do log 'm'",    // same-side comparison
+	} {
+		if err := in.Exec(stmt); err == nil {
+			t.Errorf("Exec(%q) accepted", stmt)
+		}
+	}
+	// Ambiguous unqualified attribute (x exists in both a and b).
+	if err := in.Exec("joinrule amb on a, b when x = 1 and a.x = b.y do log 'm'"); err == nil {
+		t.Error("ambiguous attribute accepted")
+	}
+}
+
+// TestJoinRuleBackfill verifies a joinrule defined after data exists
+// joins future events against the pre-existing tuples.
+func TestJoinRuleBackfill(t *testing.T) {
+	src := `
+relation emp (name string, dept string)
+relation dept (dname string)
+insert emp ('ada', 'shoe')
+joinrule j on emp, dept when emp.dept = dname do log 'matched'
+insert dept ('shoe')
+`
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "matched"); got != 1 {
+		t.Fatalf("backfilled joinrule fired %d times, want 1\n%s", got, out)
+	}
+	// Definition itself must not fire for already-complete combinations.
+	src2 := `
+relation emp (name string, dept string)
+relation dept (dname string)
+insert emp ('ada', 'shoe')
+insert dept ('shoe')
+joinrule j on emp, dept when emp.dept = dname do log 'matched'
+dump emp
+`
+	out2, err := run(t, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out2, "matched") {
+		t.Fatalf("definition-time activation for pre-existing combination\n%s", out2)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(&buf)
+	if in.Engine() == nil || in.DB() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}

@@ -1,0 +1,233 @@
+// Package segtree implements a static segment tree for interval
+// stabbing (Bentley; surveyed in Samet 1988/1990, the references the
+// paper cites). The structure is build-once: the paper's motivation for
+// the IBS-tree is precisely that "segment trees and interval trees are
+// not adequate because they do not allow dynamic insertion and deletion
+// of predicates" — the benchmark suite quantifies that by comparing a
+// rebuild-per-change segment tree against the IBS-tree's true updates.
+//
+// Construction: the sorted distinct finite endpoints of all intervals
+// define 2k+1 elementary slots (each endpoint value, the open gaps
+// between adjacent endpoints, and the two unbounded outer gaps). A
+// balanced binary tree is laid over the slots, and each interval is
+// registered at the O(log N) canonical nodes that exactly cover its
+// slots. A stabbing query walks one root-to-leaf path, collecting the
+// id lists of the nodes it passes: O(log N + L).
+package segtree
+
+import (
+	"sort"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+)
+
+// ID identifies an interval.
+type ID = markset.ID
+
+// Item is one input interval.
+type Item[T any] struct {
+	ID ID
+	Iv interval.Interval[T]
+}
+
+// Tree is an immutable segment tree.
+type Tree[T any] struct {
+	cmp    interval.Cmp[T]
+	points []T       // sorted distinct finite endpoints
+	nodes  []segNode // heap-layout tree over slot indices
+	n      int       // number of intervals
+}
+
+type segNode struct {
+	lo, hi int // slot index range [lo, hi] covered by this node
+	ids    []ID
+}
+
+// Build constructs the tree over items. Malformed intervals are skipped
+// silently only if invalid; callers should validate beforehand.
+func Build[T any](cmp interval.Cmp[T], items []Item[T]) *Tree[T] {
+	t := &Tree[T]{cmp: cmp, n: len(items)}
+
+	// Collect sorted distinct endpoints.
+	var pts []T
+	for _, it := range items {
+		if it.Iv.Lo.Kind == interval.Finite {
+			pts = append(pts, it.Iv.Lo.Value)
+		}
+		if it.Iv.Hi.Kind == interval.Finite {
+			pts = append(pts, it.Iv.Hi.Value)
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return cmp(pts[i], pts[j]) < 0 })
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || cmp(pts[i-1], p) != 0 {
+			uniq = append(uniq, p)
+		}
+	}
+	t.points = uniq
+
+	// Slots: index 2i+1 is the point points[i]; even indexes are gaps:
+	// slot 0 = (-inf, p0), slot 2i = (p(i-1), p(i)), slot 2k = (p(k-1), +inf).
+	slotCount := 2*len(t.points) + 1
+
+	// Build a balanced hierarchy over [0, slotCount-1].
+	var build func(lo, hi int) int
+	build = func(lo, hi int) int {
+		idx := len(t.nodes)
+		t.nodes = append(t.nodes, segNode{lo: lo, hi: hi})
+		if lo < hi {
+			mid := (lo + hi) / 2
+			left := build(lo, mid)
+			right := build(mid+1, hi)
+			// Children positions are recorded implicitly: we re-derive
+			// them during descent by re-running the same split, so only
+			// record the node range. left/right kept for clarity.
+			_ = left
+			_ = right
+		}
+		return idx
+	}
+	if slotCount > 0 {
+		build(0, slotCount-1)
+	}
+
+	// Register each interval at its canonical nodes.
+	for _, it := range items {
+		if it.Iv.Validate(cmp) != nil {
+			continue
+		}
+		first, last := t.slotRange(it.Iv)
+		if first > last {
+			continue
+		}
+		t.place(0, it.ID, first, last)
+	}
+	return t
+}
+
+// Len returns the number of intervals the tree was built over.
+func (t *Tree[T]) Len() int { return t.n }
+
+// Nodes returns the number of tree nodes (space accounting).
+func (t *Tree[T]) Nodes() int { return len(t.nodes) }
+
+// Markers returns the total number of interval registrations across
+// nodes — the segment tree's O(N log N) space term.
+func (t *Tree[T]) Markers() int {
+	total := 0
+	for _, n := range t.nodes {
+		total += len(n.ids)
+	}
+	return total
+}
+
+// childIndexes derives the heap positions of a node's children: the
+// left child is laid out immediately after the parent, and the right
+// child after the complete left subtree. Subtree sizes are recomputed
+// from ranges (2*(#slots)-1 nodes for a full binary tree over #slots).
+func (t *Tree[T]) childIndexes(idx int) (left, right int) {
+	n := t.nodes[idx]
+	mid := (n.lo + n.hi) / 2
+	left = idx + 1
+	leftSlots := mid - n.lo + 1
+	right = left + 2*leftSlots - 1
+	return left, right
+}
+
+// place registers id at the canonical nodes covering [first, last].
+func (t *Tree[T]) place(idx int, id ID, first, last int) {
+	n := &t.nodes[idx]
+	if first <= n.lo && n.hi <= last {
+		n.ids = append(n.ids, id)
+		return
+	}
+	mid := (n.lo + n.hi) / 2
+	left, right := t.childIndexes(idx)
+	if first <= mid {
+		t.place(left, id, first, min(last, mid))
+	}
+	if last > mid {
+		t.place(right, id, max(first, mid+1), last)
+	}
+}
+
+// slotRange maps an interval to the slots it covers.
+func (t *Tree[T]) slotRange(iv interval.Interval[T]) (first, last int) {
+	k := len(t.points)
+	switch iv.Lo.Kind {
+	case interval.NegInf:
+		first = 0
+	default:
+		i := sort.Search(k, func(i int) bool { return t.cmp(t.points[i], iv.Lo.Value) >= 0 })
+		// points[i] == lo.Value is guaranteed (every finite endpoint is a point).
+		if iv.Lo.Closed {
+			first = 2*i + 1 // include the endpoint slot
+		} else {
+			first = 2*i + 2 // start at the gap above it
+		}
+	}
+	switch iv.Hi.Kind {
+	case interval.PosInf:
+		last = 2 * k
+	default:
+		i := sort.Search(k, func(i int) bool { return t.cmp(t.points[i], iv.Hi.Value) >= 0 })
+		if iv.Hi.Closed {
+			last = 2*i + 1
+		} else {
+			last = 2 * i // stop at the gap below it
+		}
+	}
+	return first, last
+}
+
+// slotOf maps a query point to its elementary slot.
+func (t *Tree[T]) slotOf(x T) int {
+	k := len(t.points)
+	i := sort.Search(k, func(i int) bool { return t.cmp(t.points[i], x) >= 0 })
+	if i < k && t.cmp(t.points[i], x) == 0 {
+		return 2*i + 1
+	}
+	return 2 * i // gap below points[i] (or the outer gaps)
+}
+
+// Stab returns the ids of all intervals containing x.
+func (t *Tree[T]) Stab(x T) []ID { return t.StabAppend(x, nil) }
+
+// StabAppend appends the ids of all intervals containing x to dst.
+func (t *Tree[T]) StabAppend(x T, dst []ID) []ID {
+	if len(t.nodes) == 0 {
+		return dst
+	}
+	slot := t.slotOf(x)
+	idx := 0
+	for {
+		n := &t.nodes[idx]
+		dst = append(dst, n.ids...)
+		if n.lo == n.hi {
+			return dst
+		}
+		mid := (n.lo + n.hi) / 2
+		left, right := t.childIndexes(idx)
+		if slot <= mid {
+			idx = left
+		} else {
+			idx = right
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

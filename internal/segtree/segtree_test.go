@@ -1,0 +1,114 @@
+package segtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+)
+
+func buildRandom(t *testing.T, seed int64, n int) (*Tree[int64], map[markset.ID]interval.Interval[int64]) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := map[markset.ID]interval.Interval[int64]{}
+	var items []Item[int64]
+	for i := 0; i < n; i++ {
+		iv := ivindex.RandomInterval(rng, 100, true)
+		items = append(items, Item[int64]{ID: markset.ID(i), Iv: iv})
+		ref[markset.ID(i)] = iv
+	}
+	return Build(ivindex.Int64Cmp, items), ref
+}
+
+func TestStabAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tr, ref := buildRandom(t, seed, 120)
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		for x := int64(-5); x <= 105; x++ {
+			got := tr.Stab(x)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			var want []markset.ID
+			for id, iv := range ref {
+				if iv.Contains(ivindex.Int64Cmp, x) {
+					want = append(want, id)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: Stab(%d) = %v, want %v", seed, x, got, want)
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	tr := Build[int64](ivindex.Int64Cmp, nil)
+	if got := tr.Stab(5); len(got) != 0 {
+		t.Fatalf("Stab on empty = %v", got)
+	}
+	if tr.Len() != 0 || tr.Markers() != 0 {
+		t.Fatal("empty tree non-zero accounting")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	tr := Build(ivindex.Int64Cmp, []Item[int64]{{ID: 7, Iv: interval.ClosedOpen[int64](3, 9)}})
+	cases := map[int64]int{2: 0, 3: 1, 8: 1, 9: 0}
+	for x, n := range cases {
+		if got := tr.Stab(x); len(got) != n {
+			t.Errorf("Stab(%d) = %v, want %d ids", x, got, n)
+		}
+	}
+}
+
+func TestOpenEnded(t *testing.T) {
+	tr := Build(ivindex.Int64Cmp, []Item[int64]{
+		{ID: 1, Iv: interval.AtMost[int64](10)},
+		{ID: 2, Iv: interval.Greater[int64](20)},
+		{ID: 3, Iv: interval.All[int64]()},
+	})
+	check := func(x int64, want []markset.ID) {
+		t.Helper()
+		got := tr.Stab(x)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Stab(%d) = %v, want %v", x, got, want)
+		}
+	}
+	check(-1000, []markset.ID{1, 3})
+	check(10, []markset.ID{1, 3})
+	check(15, []markset.ID{3})
+	check(20, []markset.ID{3})
+	check(21, []markset.ID{2, 3})
+	check(1000000, []markset.ID{2, 3})
+}
+
+// TestMarkersLogarithmic checks the O(N log N) registration bound.
+func TestMarkersLogarithmic(t *testing.T) {
+	tr, _ := buildRandom(t, 42, 512)
+	if m := tr.Markers(); m > 512*12*2 {
+		t.Errorf("markers = %d for 512 intervals, expected O(N log N)", m)
+	}
+	if tr.Nodes() == 0 {
+		t.Error("no nodes built")
+	}
+}
+
+func TestSkipsInvalid(t *testing.T) {
+	tr := Build(ivindex.Int64Cmp, []Item[int64]{
+		{ID: 1, Iv: interval.Closed[int64](5, 1)}, // invalid
+		{ID: 2, Iv: interval.Point[int64](3)},
+	})
+	if got := tr.Stab(3); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Stab(3) = %v", got)
+	}
+}

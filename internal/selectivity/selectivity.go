@@ -1,0 +1,92 @@
+// Package selectivity is the slice of the query optimizer the paper's
+// indexing scheme depends on: "if there is an indexable clause, the most
+// selective one is placed in the IBS-tree (selectivity estimates are
+// obtained from the query optimizer)".
+//
+// Two estimators are provided. FromStats computes selectivities from the
+// storage engine's per-attribute statistics. Static falls back to the
+// System R default selectivity factors (Selinger et al. 1979) when no
+// data statistics are available, e.g. for a matcher operating without a
+// storage engine.
+package selectivity
+
+import (
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/storage"
+	"predmatch/internal/value"
+)
+
+// Estimator estimates the fraction of tuples of rel satisfying a clause.
+type Estimator interface {
+	Selectivity(rel string, c pred.Clause) float64
+}
+
+// Static returns System R style default selectivity factors without
+// consulting data: 1/10 for equality, 1/4 for a bounded interval, 1/3
+// for a half-open interval, and 1 for anything unindexable.
+type Static struct{}
+
+// Selectivity implements Estimator.
+func (Static) Selectivity(rel string, c pred.Clause) float64 {
+	if c.Kind != pred.KindInterval {
+		return 1
+	}
+	iv := c.Iv
+	switch {
+	case iv.IsPoint(value.Compare):
+		return 0.1
+	case iv.Lo.Kind == interval.Finite && iv.Hi.Kind == interval.Finite:
+		return 0.25
+	case iv.Lo.Kind == interval.NegInf && iv.Hi.Kind == interval.PosInf:
+		return 1
+	default:
+		return 1.0 / 3.0
+	}
+}
+
+// FromStats estimates from the storage engine's attribute statistics:
+// equality selects 1/distinct, and intervals select the exact stored
+// fraction. Empty relations and unknown attributes fall back to Static.
+type FromStats struct {
+	DB *storage.DB
+}
+
+// Selectivity implements Estimator.
+func (e FromStats) Selectivity(rel string, c pred.Clause) float64 {
+	if c.Kind != pred.KindInterval {
+		return 1
+	}
+	table, ok := e.DB.Table(rel)
+	if !ok {
+		return Static{}.Selectivity(rel, c)
+	}
+	stats := table.Stats(c.Attr)
+	if stats == nil || stats.Count() == 0 {
+		return Static{}.Selectivity(rel, c)
+	}
+	if c.Iv.IsPoint(value.Compare) {
+		return 1 / float64(stats.Distinct())
+	}
+	return stats.Fraction(c.Iv)
+}
+
+// ChooseClause returns the position of the most selective indexable
+// clause of p according to est, or ok=false when no clause is indexable
+// (the predicate then goes on the non-indexable list of its relation).
+// Ties break toward the earliest clause for determinism.
+func ChooseClause(p *pred.Predicate, est Estimator) (best int, ok bool) {
+	bestSel := 2.0
+	best = -1
+	for i, c := range p.Clauses {
+		if !c.Indexable() {
+			continue
+		}
+		sel := est.Selectivity(p.Rel, c)
+		if sel < bestSel {
+			bestSel = sel
+			best = i
+		}
+	}
+	return best, best >= 0
+}

@@ -1,0 +1,113 @@
+package selectivity
+
+import (
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func TestStaticDefaults(t *testing.T) {
+	est := Static{}
+	cases := []struct {
+		c    pred.Clause
+		want float64
+	}{
+		{pred.EqClause("a", value.Int(1)), 0.1},
+		{pred.IvClause("a", interval.Closed(value.Int(1), value.Int(5))), 0.25},
+		{pred.IvClause("a", interval.AtLeast(value.Int(1))), 1.0 / 3.0},
+		{pred.IvClause("a", interval.AtMost(value.Int(1))), 1.0 / 3.0},
+		{pred.IvClause("a", interval.All[value.Value]()), 1},
+		{pred.FnClause("a", "isodd"), 1},
+	}
+	for _, tc := range cases {
+		if got := est.Selectivity("r", tc.c); got != tc.want {
+			t.Errorf("Selectivity(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func statsDB(t *testing.T) *storage.DB {
+	t.Helper()
+	db := storage.NewDB()
+	rel := schema.MustRelation("emp",
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "dept", Type: value.KindString},
+	)
+	tab, err := db.CreateRelation(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depts := []string{"a", "b"}
+	for i := int64(0); i < 100; i++ {
+		_, err := tab.Insert(tuple.New(value.Int(i), value.String_(depts[i%2])))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestFromStats(t *testing.T) {
+	db := statsDB(t)
+	est := FromStats{DB: db}
+	// Ages 0..99, uniform: [0,24] selects 25%.
+	c := pred.IvClause("age", interval.Closed(value.Int(0), value.Int(24)))
+	if got := est.Selectivity("emp", c); got != 0.25 {
+		t.Errorf("range selectivity = %v, want 0.25", got)
+	}
+	// Equality on age: 100 distinct values -> 1/100.
+	if got := est.Selectivity("emp", pred.EqClause("age", value.Int(5))); got != 0.01 {
+		t.Errorf("eq selectivity = %v, want 0.01", got)
+	}
+	// Equality on dept: 2 distinct -> 1/2.
+	if got := est.Selectivity("emp", pred.EqClause("dept", value.String_("a"))); got != 0.5 {
+		t.Errorf("dept eq selectivity = %v, want 0.5", got)
+	}
+	// Function clause: never indexable, selectivity 1.
+	if got := est.Selectivity("emp", pred.FnClause("age", "isodd")); got != 1 {
+		t.Errorf("fn selectivity = %v", got)
+	}
+	// Unknown relation falls back to defaults.
+	if got := est.Selectivity("nosuch", pred.EqClause("age", value.Int(1))); got != 0.1 {
+		t.Errorf("fallback selectivity = %v", got)
+	}
+}
+
+func TestChooseClause(t *testing.T) {
+	db := statsDB(t)
+	est := FromStats{DB: db}
+	p := pred.New(1, "emp",
+		pred.IvClause("age", interval.AtLeast(value.Int(50))), // 0.5
+		pred.EqClause("age", value.Int(7)),                    // 0.01  <- most selective
+		pred.EqClause("dept", value.String_("a")),             // 0.5
+		pred.FnClause("age", "isodd"),                         // not indexable
+	)
+	best, ok := ChooseClause(p, est)
+	if !ok || best != 1 {
+		t.Fatalf("ChooseClause = %d, %v; want 1", best, ok)
+	}
+	// All-function predicate: nothing indexable.
+	pf := pred.New(2, "emp", pred.FnClause("age", "isodd"))
+	if _, ok := ChooseClause(pf, est); ok {
+		t.Fatal("ChooseClause found an indexable clause in function-only predicate")
+	}
+	// Empty predicate.
+	pe := pred.New(3, "emp")
+	if _, ok := ChooseClause(pe, est); ok {
+		t.Fatal("ChooseClause on empty predicate")
+	}
+	// Tie breaks to the earliest clause.
+	pt := pred.New(4, "emp",
+		pred.EqClause("age", value.Int(1)),
+		pred.EqClause("age", value.Int(2)),
+	)
+	best, ok = ChooseClause(pt, est)
+	if !ok || best != 0 {
+		t.Fatalf("tie ChooseClause = %d, want 0", best)
+	}
+}

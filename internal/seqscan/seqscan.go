@@ -1,0 +1,83 @@
+// Package seqscan implements the paper's Section 2.1 baseline: a single
+// list of all predicates, each tested sequentially against every tuple.
+// "This has low overhead and works well for small numbers of predicates,
+// but clearly performs badly when the number of predicates is large."
+package seqscan
+
+import (
+	"fmt"
+
+	"predmatch/internal/matcher"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+)
+
+// Matcher is the sequential-search strategy.
+type Matcher struct {
+	catalog *schema.Catalog
+	funcs   *pred.Registry
+	order   []pred.ID
+	preds   map[pred.ID]*pred.Bound
+}
+
+var _ matcher.Matcher = (*Matcher)(nil)
+
+// New returns an empty sequential matcher resolving predicates against
+// the given catalog and function registry.
+func New(catalog *schema.Catalog, funcs *pred.Registry) *Matcher {
+	return &Matcher{
+		catalog: catalog,
+		funcs:   funcs,
+		preds:   make(map[pred.ID]*pred.Bound),
+	}
+}
+
+// Name implements matcher.Matcher.
+func (m *Matcher) Name() string { return "seqscan" }
+
+// Len implements matcher.Matcher.
+func (m *Matcher) Len() int { return len(m.preds) }
+
+// Add implements matcher.Matcher.
+func (m *Matcher) Add(p *pred.Predicate) error {
+	if _, dup := m.preds[p.ID]; dup {
+		return fmt.Errorf("seqscan: duplicate predicate id %d", p.ID)
+	}
+	b, err := p.Bind(m.catalog, m.funcs)
+	if err != nil {
+		return err
+	}
+	m.preds[p.ID] = b
+	m.order = append(m.order, p.ID)
+	return nil
+}
+
+// Remove implements matcher.Matcher.
+func (m *Matcher) Remove(id pred.ID) error {
+	if _, ok := m.preds[id]; !ok {
+		return fmt.Errorf("seqscan: unknown predicate id %d", id)
+	}
+	delete(m.preds, id)
+	for i, x := range m.order {
+		if x == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Match implements matcher.Matcher by walking the full predicate list.
+func (m *Matcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	for _, id := range m.order {
+		b := m.preds[id]
+		if b.Pred.Rel != rel {
+			continue
+		}
+		if b.Match(t) {
+			dst = append(dst, id)
+		}
+	}
+	return dst, nil
+}

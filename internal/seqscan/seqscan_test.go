@@ -1,0 +1,22 @@
+package seqscan_test
+
+import (
+	"testing"
+
+	"predmatch/internal/matcher"
+	"predmatch/internal/matchertest"
+	"predmatch/internal/seqscan"
+)
+
+func TestConformance(t *testing.T) {
+	matchertest.Run(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return seqscan.New(f.Catalog, f.Funcs)
+	})
+}
+
+func TestName(t *testing.T) {
+	m := seqscan.New(matchertest.NewFixture().Catalog, nil)
+	if m.Name() != "seqscan" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}

@@ -1,0 +1,315 @@
+// Package storage is the main-memory relational store underneath the
+// rule system: typed relations, secondary B+-tree indexes per attribute,
+// and per-attribute statistics for the optimizer's selectivity estimates
+// (the paper obtains clause selectivities "from the query optimizer").
+//
+// The statistics follow the System R tradition (Selinger et al. 1979,
+// which the paper's physical-locking baseline builds on): row count,
+// minimum, maximum and an approximate distinct count per attribute, with
+// uniformity assumed between min and max.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"predmatch/internal/btree"
+	"predmatch/internal/interval"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Op is the kind of a change event.
+type Op uint8
+
+const (
+	// OpInsert is the insertion of a new tuple.
+	OpInsert Op = iota
+	// OpUpdate is the modification of an existing tuple.
+	OpUpdate
+	// OpDelete is the removal of a tuple.
+	OpDelete
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return "?"
+	}
+}
+
+// Event describes one tuple change; the rule engine subscribes to these.
+type Event struct {
+	Rel string
+	Op  Op
+	ID  tuple.ID
+	Old tuple.Tuple // nil for inserts
+	New tuple.Tuple // nil for deletes
+}
+
+// Observer receives change events after they are applied.
+type Observer func(Event) error
+
+// DB is a main-memory database instance.
+type DB struct {
+	mu        sync.RWMutex
+	catalog   *schema.Catalog
+	tables    map[string]*Table
+	observers []Observer
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		catalog: schema.NewCatalog(),
+		tables:  make(map[string]*Table),
+	}
+}
+
+// Catalog returns the schema catalog.
+func (db *DB) Catalog() *schema.Catalog { return db.catalog }
+
+// Observe registers an observer called after every applied change. An
+// observer error aborts the mutating call after the change is applied
+// (rule actions may fail; the storage change itself is kept).
+func (db *DB) Observe(obs Observer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.observers = append(db.observers, obs)
+}
+
+// CreateRelation registers a schema and creates its (empty) table.
+func (db *DB) CreateRelation(rel *schema.Relation) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.catalog.Add(rel); err != nil {
+		return nil, err
+	}
+	t := newTable(db, rel)
+	db.tables[rel.Name()] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// notify delivers an event to all observers.
+func (db *DB) notify(ev Event) error {
+	for _, obs := range db.observers {
+		if err := obs(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// idSet is the posting set of a secondary index entry.
+type idSet map[tuple.ID]struct{}
+
+// Index is a secondary index on one attribute: value -> set of tuple IDs.
+type Index struct {
+	Attr string
+	pos  int
+	tree *btree.Map[value.Value, idSet]
+}
+
+// Table holds the tuples of one relation plus indexes and statistics.
+type Table struct {
+	db      *DB
+	rel     *schema.Relation
+	rows    map[tuple.ID]tuple.Tuple
+	nextID  tuple.ID
+	indexes map[string]*Index
+	stats   []*AttrStats
+}
+
+func newTable(db *DB, rel *schema.Relation) *Table {
+	stats := make([]*AttrStats, rel.Arity())
+	for i := range stats {
+		stats[i] = newAttrStats()
+	}
+	return &Table{
+		db:      db,
+		rel:     rel,
+		rows:    make(map[tuple.ID]tuple.Tuple),
+		nextID:  1,
+		indexes: make(map[string]*Index),
+		stats:   stats,
+	}
+}
+
+// Relation returns the table's schema.
+func (t *Table) Relation() *schema.Relation { return t.rel }
+
+// Len returns the number of stored tuples.
+func (t *Table) Len() int { return len(t.rows) }
+
+// CreateIndex builds a secondary index on attr, indexing existing rows.
+func (t *Table) CreateIndex(attr string) error {
+	pos, ok := t.rel.AttrIndex(attr)
+	if !ok {
+		return fmt.Errorf("storage: relation %s has no attribute %s", t.rel.Name(), attr)
+	}
+	if _, dup := t.indexes[attr]; dup {
+		return fmt.Errorf("storage: index on %s.%s already exists", t.rel.Name(), attr)
+	}
+	idx := &Index{Attr: attr, pos: pos, tree: btree.New[value.Value, idSet](value.Compare)}
+	for id, row := range t.rows {
+		idx.add(row[pos], id)
+	}
+	t.indexes[attr] = idx
+	return nil
+}
+
+// HasIndex reports whether attr has a secondary index.
+func (t *Table) HasIndex(attr string) bool {
+	_, ok := t.indexes[attr]
+	return ok
+}
+
+// IndexedAttrs returns the indexed attribute names, sorted.
+func (t *Table) IndexedAttrs() []string {
+	out := make([]string, 0, len(t.indexes))
+	for a := range t.indexes {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (idx *Index) add(v value.Value, id tuple.ID) {
+	set, ok := idx.tree.Get(v)
+	if !ok {
+		set = make(idSet, 1)
+		idx.tree.Put(v, set)
+	}
+	set[id] = struct{}{}
+}
+
+func (idx *Index) remove(v value.Value, id tuple.ID) {
+	set, ok := idx.tree.Get(v)
+	if !ok {
+		return
+	}
+	delete(set, id)
+	if len(set) == 0 {
+		idx.tree.Delete(v)
+	}
+}
+
+// Insert appends a tuple, returning its assigned ID.
+func (t *Table) Insert(row tuple.Tuple) (tuple.ID, error) {
+	if err := row.Conforms(t.rel); err != nil {
+		return 0, err
+	}
+	row = row.Clone()
+	id := t.nextID
+	t.nextID++
+	t.rows[id] = row
+	for _, idx := range t.indexes {
+		idx.add(row[idx.pos], id)
+	}
+	for i, v := range row {
+		t.stats[i].add(v)
+	}
+	return id, t.db.notify(Event{Rel: t.rel.Name(), Op: OpInsert, ID: id, New: row})
+}
+
+// Update replaces the tuple stored under id.
+func (t *Table) Update(id tuple.ID, row tuple.Tuple) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("storage: %s has no tuple %d", t.rel.Name(), id)
+	}
+	if err := row.Conforms(t.rel); err != nil {
+		return err
+	}
+	row = row.Clone()
+	t.rows[id] = row
+	for _, idx := range t.indexes {
+		if value.Compare(old[idx.pos], row[idx.pos]) != 0 {
+			idx.remove(old[idx.pos], id)
+			idx.add(row[idx.pos], id)
+		}
+	}
+	for i := range row {
+		t.stats[i].remove(old[i])
+		t.stats[i].add(row[i])
+	}
+	return t.db.notify(Event{Rel: t.rel.Name(), Op: OpUpdate, ID: id, Old: old, New: row})
+}
+
+// Delete removes the tuple stored under id.
+func (t *Table) Delete(id tuple.ID) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("storage: %s has no tuple %d", t.rel.Name(), id)
+	}
+	delete(t.rows, id)
+	for _, idx := range t.indexes {
+		idx.remove(old[idx.pos], id)
+	}
+	for i := range old {
+		t.stats[i].remove(old[i])
+	}
+	return t.db.notify(Event{Rel: t.rel.Name(), Op: OpDelete, ID: id, Old: old})
+}
+
+// Get returns the tuple stored under id.
+func (t *Table) Get(id tuple.ID) (tuple.Tuple, bool) {
+	row, ok := t.rows[id]
+	return row, ok
+}
+
+// Scan calls fn for every (id, tuple) pair until fn returns false.
+// Iteration order is unspecified.
+func (t *Table) Scan(fn func(tuple.ID, tuple.Tuple) bool) {
+	for id, row := range t.rows {
+		if !fn(id, row) {
+			return
+		}
+	}
+}
+
+// ScanIndex iterates, in attribute order, the tuples whose attr value
+// lies within iv, using the secondary index. It returns false (without
+// scanning) if attr has no index.
+func (t *Table) ScanIndex(attr string, iv interval.Interval[value.Value], fn func(tuple.ID, tuple.Tuple) bool) bool {
+	idx, ok := t.indexes[attr]
+	if !ok {
+		return false
+	}
+	idx.tree.AscendRange(iv, func(_ value.Value, set idSet) bool {
+		for id := range set {
+			if !fn(id, t.rows[id]) {
+				return false
+			}
+		}
+		return true
+	})
+	return true
+}
+
+// Stats returns the statistics for attr, or nil if the attribute does
+// not exist.
+func (t *Table) Stats(attr string) *AttrStats {
+	pos, ok := t.rel.AttrIndex(attr)
+	if !ok {
+		return nil
+	}
+	return t.stats[pos]
+}

@@ -1,0 +1,54 @@
+// Package tuple defines tuples — the facts whose insertion or
+// modification triggers predicate matching.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+
+	"predmatch/internal/schema"
+	"predmatch/internal/value"
+)
+
+// ID identifies a stored tuple within its relation.
+type ID int64
+
+// Tuple is an ordered list of attribute values, positionally matching a
+// relation schema.
+type Tuple []value.Value
+
+// New builds a tuple from values.
+func New(vals ...value.Value) Tuple { return Tuple(vals) }
+
+// Clone returns an independent copy.
+func (t Tuple) Clone() Tuple {
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	return cp
+}
+
+// Conforms checks the tuple against a relation schema: arity and
+// per-attribute kinds must match.
+func (t Tuple) Conforms(rel *schema.Relation) error {
+	attrs := rel.Attrs()
+	if len(t) != len(attrs) {
+		return fmt.Errorf("tuple: arity %d does not match relation %s (arity %d)",
+			len(t), rel.Name(), len(attrs))
+	}
+	for i, a := range attrs {
+		if t[i].Kind() != a.Type {
+			return fmt.Errorf("tuple: attribute %s of %s expects %s, got %s",
+				a.Name, rel.Name(), a.Type, t[i].Kind())
+		}
+	}
+	return nil
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,47 @@
+package tuple
+
+import (
+	"testing"
+
+	"predmatch/internal/schema"
+	"predmatch/internal/value"
+)
+
+func emp() *schema.Relation {
+	return schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt},
+	)
+}
+
+func TestConforms(t *testing.T) {
+	rel := emp()
+	ok := New(value.String_("alice"), value.Int(30))
+	if err := ok.Conforms(rel); err != nil {
+		t.Fatalf("Conforms: %v", err)
+	}
+	short := New(value.String_("bob"))
+	if err := short.Conforms(rel); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	wrongKind := New(value.Int(1), value.Int(30))
+	if err := wrongKind.Conforms(rel); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(value.Int(1), value.Int(2))
+	b := a.Clone()
+	b[0] = value.Int(99)
+	if a[0].AsInt() != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestString(t *testing.T) {
+	tp := New(value.String_("alice"), value.Int(30))
+	if got, want := tp.String(), "('alice', 30)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

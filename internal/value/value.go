@@ -1,0 +1,223 @@
+// Package value provides the dynamically typed, totally ordered attribute
+// values used by the relational substrate. Predicates in the paper range
+// over "totally ordered domains" such as integers, reals and strings;
+// Value is the runtime representation of one element of such a domain.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the supported attribute domains.
+type Kind uint8
+
+const (
+	// KindInt is a 64-bit signed integer domain.
+	KindInt Kind = iota
+	// KindFloat is a 64-bit IEEE floating point domain.
+	KindFloat
+	// KindString is a byte-wise ordered string domain.
+	KindString
+	// KindBool is the two-point domain false < true.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// KindFromName parses a kind name as used in schema declarations.
+func KindFromName(name string) (Kind, error) {
+	switch strings.ToLower(name) {
+	case "int", "integer":
+		return KindInt, nil
+	case "float", "real", "double":
+		return KindFloat, nil
+	case "string", "text", "varchar":
+		return KindString, nil
+	case "bool", "boolean":
+		return KindBool, nil
+	default:
+		return 0, fmt.Errorf("value: unknown type %q", name)
+	}
+}
+
+// Value is one dynamically typed attribute value. The zero Value is the
+// integer 0.
+type Value struct {
+	kind Kind
+	i    int64 // int payload; bool as 0/1
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore to
+// avoid colliding with the String method required by fmt.Stringer.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind returns the value's domain.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the integer payload; it panics on other kinds.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: AsInt on %s", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload; it panics on other kinds.
+func (v Value) AsFloat() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("value: AsFloat on %s", v.kind))
+	}
+	return v.f
+}
+
+// AsString returns the string payload; it panics on other kinds.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: AsString on %s", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload; it panics on other kinds.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s", v.kind))
+	}
+	return v.i != 0
+}
+
+// Numeric returns the value as a float64 coordinate for geometric
+// indexing (R-trees). Integers and floats convert exactly (within float64
+// range); booleans map to 0/1. ok is false for strings, which have no
+// meaningful geometric embedding.
+func (v Value) Numeric() (f float64, ok bool) {
+	switch v.kind {
+	case KindInt, KindBool:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare is a total order over values: first by kind, then within the
+// kind's natural order. Ordering across kinds is arbitrary but stable,
+// which keeps mixed-kind containers well defined; schema typing ensures
+// comparisons on an attribute always see one kind.
+func Compare(a, b Value) int {
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindInt, KindBool:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(a.s, b.s)
+	}
+}
+
+// Equal reports a == b under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Less reports a < b under Compare.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// String renders the value as a literal: integers and floats bare,
+// strings single-quoted, booleans true/false.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Parse converts a textual literal into a value of the given kind, as
+// when loading tuples from CSV.
+func Parse(kind Kind, text string) (Value, error) {
+	switch kind {
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as int: %w", text, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as float: %w", text, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return String_(text), nil
+	case KindBool:
+		b, err := strconv.ParseBool(strings.TrimSpace(text))
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as bool: %w", text, err)
+		}
+		return Bool(b), nil
+	default:
+		return Value{}, fmt.Errorf("value: unknown kind %v", kind)
+	}
+}

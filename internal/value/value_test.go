@@ -1,0 +1,203 @@
+package value
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 {
+		t.Error("AsInt")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat")
+	}
+	if String_("hi").AsString() != "hi" {
+		t.Error("AsString")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool")
+	}
+	kinds := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Int(1), KindInt}, {Float(1), KindFloat}, {String_("a"), KindString}, {Bool(true), KindBool},
+	}
+	for _, tc := range kinds {
+		if tc.v.Kind() != tc.kind {
+			t.Errorf("Kind() = %v, want %v", tc.v.Kind(), tc.kind)
+		}
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Int(1).AsFloat() },
+		func() { Float(1).AsInt() },
+		func() { String_("a").AsBool() },
+		func() { Bool(true).AsString() },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on kind mismatch", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCompareWithinKinds(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Float(2.5), Float(2.5), 0},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+	}
+	for _, tc := range tests {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := Compare(tc.b, tc.a); got != -tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", tc.b, tc.a, got, -tc.want)
+		}
+	}
+	if !Equal(Int(5), Int(5)) || Equal(Int(5), Int(6)) {
+		t.Error("Equal wrong")
+	}
+	if !Less(Int(5), Int(6)) || Less(Int(6), Int(5)) {
+		t.Error("Less wrong")
+	}
+}
+
+func TestCompareAcrossKindsIsTotal(t *testing.T) {
+	vals := []Value{Int(5), Float(1.5), String_("m"), Bool(true), Int(-3), String_("a")}
+	sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+	// Transitivity sanity: the sorted sequence must be pairwise ordered.
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			if Compare(vals[i], vals[j]) > 0 {
+				t.Fatalf("sorted order violated between %v and %v", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if f, ok := Int(7).Numeric(); !ok || f != 7 {
+		t.Error("Int Numeric")
+	}
+	if f, ok := Float(2.5).Numeric(); !ok || f != 2.5 {
+		t.Error("Float Numeric")
+	}
+	if f, ok := Bool(true).Numeric(); !ok || f != 1 {
+		t.Error("Bool Numeric")
+	}
+	if _, ok := String_("x").Numeric(); ok {
+		t.Error("String Numeric should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{String_("it's"), "'it''s'"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	good := []struct {
+		kind Kind
+		text string
+		want Value
+	}{
+		{KindInt, " 42 ", Int(42)},
+		{KindFloat, "2.5", Float(2.5)},
+		{KindString, "hello", String_("hello")},
+		{KindBool, "true", Bool(true)},
+	}
+	for _, tc := range good {
+		got, err := Parse(tc.kind, tc.text)
+		if err != nil || Compare(got, tc.want) != 0 {
+			t.Errorf("Parse(%v, %q) = %v, %v", tc.kind, tc.text, got, err)
+		}
+	}
+	bad := []struct {
+		kind Kind
+		text string
+	}{
+		{KindInt, "x"}, {KindFloat, "zz"}, {KindBool, "maybe"},
+	}
+	for _, tc := range bad {
+		if _, err := Parse(tc.kind, tc.text); err == nil {
+			t.Errorf("Parse(%v, %q) accepted", tc.kind, tc.text)
+		}
+	}
+}
+
+func TestKindFromName(t *testing.T) {
+	good := map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt,
+		"float": KindFloat, "real": KindFloat, "double": KindFloat,
+		"string": KindString, "text": KindString, "varchar": KindString,
+		"bool": KindBool, "Boolean": KindBool,
+	}
+	for name, want := range good {
+		got, err := KindFromName(name)
+		if err != nil || got != want {
+			t.Errorf("KindFromName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := KindFromName("blob"); err == nil {
+		t.Error("KindFromName(blob) accepted")
+	}
+}
+
+// Property: Compare defines a total order (antisymmetry + reflexivity).
+func TestQuickCompareTotalOrder(t *testing.T) {
+	mk := func(tag uint8, i int32, s string) Value {
+		switch tag % 4 {
+		case 0:
+			return Int(int64(i))
+		case 1:
+			return Float(float64(i) / 4)
+		case 2:
+			return String_(s)
+		default:
+			return Bool(i%2 == 0)
+		}
+	}
+	f := func(t1, t2 uint8, i1, i2 int32, s1, s2 string) bool {
+		a, b := mk(t1, i1, s1), mk(t2, i2, s2)
+		if Compare(a, a) != 0 || Compare(b, b) != 0 {
+			return false
+		}
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

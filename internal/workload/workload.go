@@ -1,0 +1,214 @@
+// Package workload generates the synthetic predicate and tuple
+// populations of the paper's Section 5.2 evaluation:
+//
+//   - "A fraction a of predicates were simple points of the form
+//     attribute = constant, and the remaining fraction 1-a were closed
+//     intervals. The points and interval boundaries were drawn randomly
+//     from a uniform distribution of integers between 1 and 10,000. The
+//     length of the intervals was drawn randomly from a uniform
+//     distribution of integers between 1 and 1,000."
+//
+// plus the multi-relation predicate populations used for the
+// whole-scheme cost model (15 attributes per relation, one third of the
+// attributes carrying clauses, 90% of predicates indexable, two clauses
+// per predicate). All generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/markset"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Paper's Section 5.2 constants.
+const (
+	// DomainMin and DomainMax bound the uniform endpoint distribution.
+	DomainMin = 1
+	DomainMax = 10000
+	// MaxIntervalLength bounds the uniform interval length distribution.
+	MaxIntervalLength = 1000
+)
+
+// Intervals draws n intervals with point fraction a (the paper's
+// Figure 7/8 workload) over int64.
+func Intervals(rng *rand.Rand, n int, a float64) []interval.Interval[int64] {
+	out := make([]interval.Interval[int64], n)
+	for i := range out {
+		out[i] = OneInterval(rng, a)
+	}
+	return out
+}
+
+// OneInterval draws a single workload interval: a point with probability
+// a, otherwise a closed interval of uniform length 1..1000 starting
+// uniformly in the domain.
+func OneInterval(rng *rand.Rand, a float64) interval.Interval[int64] {
+	if rng.Float64() < a {
+		return interval.Point(DomainMin + rng.Int63n(DomainMax))
+	}
+	lo := DomainMin + rng.Int63n(DomainMax)
+	length := 1 + rng.Int63n(MaxIntervalLength)
+	return interval.Closed(lo, lo+length)
+}
+
+// StabPoints draws n uniform query points from the domain.
+func StabPoints(rng *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = DomainMin + rng.Int63n(DomainMax)
+	}
+	return out
+}
+
+// DisjointIntervals lays n intervals side by side with gaps — the
+// Section 5.1 best case where the IBS-tree needs only O(N) markers.
+func DisjointIntervals(n int) []interval.Interval[int64] {
+	out := make([]interval.Interval[int64], n)
+	for i := range out {
+		lo := int64(i) * 20
+		out[i] = interval.Closed(lo, lo+9)
+	}
+	return out
+}
+
+// NestedIntervals produces n intervals nested inside one another — the
+// heavy-overlap regime approaching the O(N log N) marker bound.
+func NestedIntervals(n int) []interval.Interval[int64] {
+	out := make([]interval.Interval[int64], n)
+	for i := range out {
+		out[i] = interval.Closed(int64(i), int64(4*n-i))
+	}
+	return out
+}
+
+// SchemaSpec configures a synthetic relation population.
+type SchemaSpec struct {
+	Relations    int // number of relations
+	AttrsPerRel  int // paper scenario: 15
+	UsedAttrFrac float64
+	// UsedAttrFrac is the fraction of attributes carrying one or more
+	// predicate clauses (paper scenario: 1/3).
+	PredsPerRel   int     // paper scenario: 200
+	ClausesPer    int     // clauses per predicate (paper scenario: 2)
+	IndexableFrac float64 // fraction of indexable predicates (paper: 0.9)
+	PointFrac     float64 // fraction of point clauses among indexable
+}
+
+// PaperScenario returns the Section 5.2 cost-model configuration.
+func PaperScenario() SchemaSpec {
+	return SchemaSpec{
+		Relations:     1,
+		AttrsPerRel:   15,
+		UsedAttrFrac:  1.0 / 3.0,
+		PredsPerRel:   200,
+		ClausesPer:    2,
+		IndexableFrac: 0.9,
+		PointFrac:     0.5,
+	}
+}
+
+// Population is a generated schema + predicate + tuple workload.
+type Population struct {
+	Catalog *schema.Catalog
+	Funcs   *pred.Registry
+	Rels    []*schema.Relation
+	Preds   []*pred.Predicate
+}
+
+// Build generates a deterministic population for the spec. Attribute
+// domains are integers; clause attribute choice is uniform over the
+// "used" attribute prefix of each relation; function clauses use the
+// registered parity predicates.
+func (s SchemaSpec) Build(rng *rand.Rand) (*Population, error) {
+	p := &Population{
+		Catalog: schema.NewCatalog(),
+		Funcs:   pred.NewRegistry(),
+	}
+	for r := 0; r < s.Relations; r++ {
+		attrs := make([]schema.Attribute, s.AttrsPerRel)
+		for a := range attrs {
+			attrs[a] = schema.Attribute{Name: fmt.Sprintf("a%02d", a), Type: value.KindInt}
+		}
+		rel, err := schema.NewRelation(fmt.Sprintf("rel%02d", r), attrs...)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Catalog.Add(rel); err != nil {
+			return nil, err
+		}
+		p.Rels = append(p.Rels, rel)
+	}
+
+	used := int(float64(s.AttrsPerRel)*s.UsedAttrFrac + 0.5)
+	if used < 1 {
+		used = 1
+	}
+	id := markset.ID(1)
+	for _, rel := range p.Rels {
+		for i := 0; i < s.PredsPerRel; i++ {
+			clauses := make([]pred.Clause, 0, s.ClausesPer)
+			indexable := rng.Float64() < s.IndexableFrac
+			for c := 0; c < s.ClausesPer; c++ {
+				attr := fmt.Sprintf("a%02d", rng.Intn(used))
+				if !indexable || (c > 0 && rng.Float64() < 0.2) {
+					// Non-indexable predicates get only function clauses;
+					// indexable ones occasionally mix one in.
+					fn := "isodd"
+					if rng.Intn(2) == 0 {
+						fn = "iseven"
+					}
+					clauses = append(clauses, pred.FnClause(attr, fn))
+					continue
+				}
+				iv := OneInterval(rng, s.PointFrac)
+				clauses = append(clauses, pred.IvClause(attr, valueIv(iv)))
+			}
+			p.Preds = append(p.Preds, pred.New(id, rel.Name(), clauses...))
+			id++
+		}
+	}
+	return p, nil
+}
+
+// valueIv lifts an int64 interval into the value domain.
+func valueIv(iv interval.Interval[int64]) interval.Interval[value.Value] {
+	var out interval.Interval[value.Value]
+	out.Lo.Kind = iv.Lo.Kind
+	out.Lo.Closed = iv.Lo.Closed
+	if iv.Lo.Kind == interval.Finite {
+		out.Lo.Value = value.Int(iv.Lo.Value)
+	}
+	out.Hi.Kind = iv.Hi.Kind
+	out.Hi.Closed = iv.Hi.Closed
+	if iv.Hi.Kind == interval.Finite {
+		out.Hi.Value = value.Int(iv.Hi.Value)
+	}
+	return out
+}
+
+// Tuple draws a uniform random tuple for rel.
+func (p *Population) Tuple(rng *rand.Rand, rel *schema.Relation) tuple.Tuple {
+	t := make(tuple.Tuple, rel.Arity())
+	for i := range t {
+		t[i] = value.Int(DomainMin + rng.Int63n(DomainMax))
+	}
+	return t
+}
+
+// SingleAttrPreds generates n single-clause predicates on one attribute
+// of one relation — the Figure 9 workload (whole-scheme match cost with
+// the IBS-tree versus a sequential predicate list).
+func SingleAttrPreds(rng *rand.Rand, rel, attr string, n int, a float64) []*pred.Predicate {
+	out := make([]*pred.Predicate, n)
+	for i := range out {
+		iv := OneInterval(rng, a)
+		out[i] = pred.New(markset.ID(i+1), rel, pred.IvClause(attr, valueIv(iv)))
+	}
+	return out
+}

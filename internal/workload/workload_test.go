@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/pred"
+	"predmatch/internal/value"
+)
+
+func TestIntervalsRespectParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+
+	// a=1: all points.
+	for _, iv := range Intervals(rng, n, 1) {
+		if !iv.IsPoint(ivindex.Int64Cmp) {
+			t.Fatalf("a=1 produced non-point %v", iv)
+		}
+		v := iv.Lo.Value
+		if v < DomainMin || v > DomainMin+DomainMax {
+			t.Fatalf("point %d outside domain", v)
+		}
+	}
+
+	// a=0: all closed intervals with length in [1, 1000].
+	for _, iv := range Intervals(rng, n, 0) {
+		if iv.IsPoint(ivindex.Int64Cmp) {
+			t.Fatalf("a=0 produced point %v", iv)
+		}
+		if !iv.Lo.Closed || !iv.Hi.Closed {
+			t.Fatalf("a=0 produced non-closed interval %v", iv)
+		}
+		length := iv.Hi.Value - iv.Lo.Value
+		if length < 1 || length > MaxIntervalLength {
+			t.Fatalf("interval length %d outside [1,%d]", length, MaxIntervalLength)
+		}
+	}
+
+	// a=0.5: roughly half points.
+	points := 0
+	for _, iv := range Intervals(rng, n, 0.5) {
+		if iv.IsPoint(ivindex.Int64Cmp) {
+			points++
+		}
+	}
+	if points < n/3 || points > 2*n/3 {
+		t.Fatalf("a=0.5 produced %d/%d points", points, n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Intervals(rand.New(rand.NewSource(7)), 100, 0.5)
+	b := Intervals(rand.New(rand.NewSource(7)), 100, 0.5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestDisjointAndNested(t *testing.T) {
+	dis := DisjointIntervals(50)
+	for i := 1; i < len(dis); i++ {
+		if dis[i-1].Overlaps(ivindex.Int64Cmp, dis[i]) {
+			t.Fatalf("disjoint intervals %d and %d overlap", i-1, i)
+		}
+	}
+	nest := NestedIntervals(50)
+	for i := 1; i < len(nest); i++ {
+		// Each interval contains the next.
+		if !nest[i-1].CoversOpenRange(ivindex.Int64Cmp, nest[i].Lo, nest[i].Hi) {
+			t.Fatalf("nested interval %d does not contain %d", i-1, i)
+		}
+	}
+}
+
+func TestStabPointsInDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, x := range StabPoints(rng, 1000) {
+		if x < DomainMin || x > DomainMin+DomainMax {
+			t.Fatalf("stab point %d outside domain", x)
+		}
+	}
+}
+
+func TestBuildPaperScenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := PaperScenario()
+	pop, err := spec.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.Rels) != 1 || pop.Rels[0].Arity() != 15 {
+		t.Fatalf("schema wrong: %d rels", len(pop.Rels))
+	}
+	if len(pop.Preds) != 200 {
+		t.Fatalf("preds = %d", len(pop.Preds))
+	}
+	indexable := 0
+	usedAttrs := map[string]bool{}
+	for _, p := range pop.Preds {
+		if err := p.Validate(pop.Catalog, pop.Funcs); err != nil {
+			t.Fatalf("invalid predicate %v: %v", p, err)
+		}
+		if len(p.Clauses) != 2 {
+			t.Fatalf("predicate with %d clauses", len(p.Clauses))
+		}
+		hasIv := false
+		for _, cl := range p.Clauses {
+			usedAttrs[cl.Attr] = true
+			if cl.Indexable() {
+				hasIv = true
+			}
+		}
+		if hasIv {
+			indexable++
+		}
+	}
+	if frac := float64(indexable) / 200; frac < 0.8 || frac > 1.0 {
+		t.Fatalf("indexable fraction = %v, want about 0.9", frac)
+	}
+	// Clauses restricted to the used third of the attributes (a00..a04).
+	for attr := range usedAttrs {
+		if attr > "a04" {
+			t.Fatalf("clause on unexpected attribute %s", attr)
+		}
+	}
+	// Tuples conform.
+	tp := pop.Tuple(rng, pop.Rels[0])
+	if err := tp.Conforms(pop.Rels[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleAttrPreds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	preds := SingleAttrPreds(rng, "r", "attr", 30, 0.5)
+	if len(preds) != 30 {
+		t.Fatalf("len = %d", len(preds))
+	}
+	for i, p := range preds {
+		if p.ID != pred.ID(i+1) || p.Rel != "r" || len(p.Clauses) != 1 {
+			t.Fatalf("bad predicate %v", p)
+		}
+		if p.Clauses[0].Attr != "attr" || !p.Clauses[0].Indexable() {
+			t.Fatalf("bad clause %v", p.Clauses[0])
+		}
+	}
+}
+
+func TestValueIvLifting(t *testing.T) {
+	iv := valueIv(interval.Closed[int64](3, 9))
+	if !iv.Contains(value.Compare, value.Int(5)) || iv.Contains(value.Compare, value.Int(10)) {
+		t.Fatal("lifted interval wrong")
+	}
+	open := valueIv(interval.Greater[int64](7))
+	if open.Contains(value.Compare, value.Int(7)) || !open.Contains(value.Compare, value.Int(8)) {
+		t.Fatal("lifted open interval wrong")
+	}
+}
