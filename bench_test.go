@@ -12,6 +12,8 @@
 //	BenchmarkMatcherStrategies        — Section 2 strategy shoot-out
 //	BenchmarkMarkSetRepresentation    — mark sets: sorted slice vs AVL
 //	BenchmarkParallelMatch            — Section 6 parallelism sketch
+//	BenchmarkConcurrentMatchers       — snapshot wrappers under parallel load
+//	BenchmarkShardedMatchBatch        — sharded MatchBatch amortization
 //	BenchmarkJoinNetwork              — Section 6 two-layer join network
 //	BenchmarkSchemeIndexAblation      — scheme over IBS-trees vs skip lists
 //
@@ -40,6 +42,7 @@ import (
 	"predmatch/internal/schema"
 	"predmatch/internal/selectivity"
 	"predmatch/internal/seqscan"
+	"predmatch/internal/shard"
 	"predmatch/internal/storage"
 	"predmatch/internal/tuple"
 	"predmatch/internal/value"
@@ -340,6 +343,9 @@ func BenchmarkMatcherStrategies(b *testing.B) {
 		"ibs": func() matcher.Matcher {
 			return core.New(pop.Catalog, pop.Funcs, core.WithEstimator(selectivity.Static{}))
 		},
+		"sharded": func() matcher.Matcher {
+			return shard.New(pop.Catalog, pop.Funcs)
+		},
 		"phylock-noidx": func() matcher.Matcher {
 			db := storage.NewDB()
 			for _, rel := range pop.Rels {
@@ -458,6 +464,144 @@ func BenchmarkParallelMatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkConcurrentMatchers drives the two concurrency-safe wrappers
+// — the copy-on-write ParallelMatcher and the relation-sharded snapshot
+// matcher — with every benchmark goroutine matching concurrently
+// (b.RunParallel), the mixed-traffic regime the sharding targets. The
+// "+writes" variants add one background writer publishing snapshots
+// while the readers run, the case the old RWMutex design convoyed on.
+func BenchmarkConcurrentMatchers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1990))
+	spec := workload.SchemaSpec{
+		Relations:     4,
+		AttrsPerRel:   15,
+		UsedAttrFrac:  1.0 / 3.0,
+		PredsPerRel:   200,
+		ClausesPer:    2,
+		IndexableFrac: 0.9,
+		PointFrac:     0.5,
+	}
+	pop, err := spec.Build(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := make([]tuple.Tuple, 4096)
+	rels := make([]string, len(tuples))
+	for i := range tuples {
+		rel := pop.Rels[i%len(pop.Rels)]
+		rels[i] = rel.Name()
+		tuples[i] = pop.Tuple(rng, rel)
+	}
+	wrappers := map[string]func() matcher.Matcher{
+		"ibs-parallel": func() matcher.Matcher {
+			return core.NewParallel(core.New(pop.Catalog, pop.Funcs), 0)
+		},
+		"sharded": func() matcher.Matcher {
+			return shard.New(pop.Catalog, pop.Funcs)
+		},
+	}
+	for name, mk := range wrappers {
+		for _, withWrites := range []bool{false, true} {
+			bname := name
+			if withWrites {
+				bname += "+writes"
+			}
+			b.Run(bname, func(b *testing.B) {
+				m := mk()
+				for _, p := range pop.Preds {
+					if err := m.Add(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				stop := make(chan struct{})
+				var writerDone chan struct{}
+				if withWrites {
+					writerDone = make(chan struct{})
+					go func() {
+						defer close(writerDone)
+						// Toggle the last predicate of each relation
+						// forever: every iteration publishes a snapshot.
+						i := 0
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							p := pop.Preds[i%len(pop.Preds)]
+							if err := m.Remove(p.ID); err != nil {
+								b.Error(err)
+								return
+							}
+							if err := m.Add(p); err != nil {
+								b.Error(err)
+								return
+							}
+							i++
+						}
+					}()
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					var buf []pred.ID
+					i := 0
+					for pb.Next() {
+						j := i % len(tuples)
+						buf, _ = m.Match(rels[j], tuples[j], buf[:0])
+						i++
+					}
+				})
+				b.StopTimer()
+				if withWrites {
+					close(stop)
+					<-writerDone
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedMatchBatch measures the batch API's snapshot
+// amortization and fan-out against a loop of single Matches on the
+// same sharded matcher.
+func BenchmarkShardedMatchBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1990))
+	spec := workload.PaperScenario()
+	spec.PredsPerRel = 2000 // enough per-tuple work for the fan-out to pay
+	pop, err := spec.Build(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := shard.New(pop.Catalog, pop.Funcs)
+	for _, p := range pop.Preds {
+		if err := m.Add(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rel := pop.Rels[0]
+	batch := make([]tuple.Tuple, 256)
+	for i := range batch {
+		batch[i] = pop.Tuple(rng, rel)
+	}
+	b.Run("loop", func(b *testing.B) {
+		var buf []pred.ID
+		for i := 0; i < b.N; i++ {
+			for _, t := range batch {
+				buf, _ = m.Match(rel.Name(), t, buf[:0])
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(batch)), "ns/tuple")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.MatchBatch(rel.Name(), batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(batch)), "ns/tuple")
+	})
 }
 
 // BenchmarkJoinNetwork measures the two-layer discrimination network:

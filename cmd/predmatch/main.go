@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	predmatch [-matcher ibs|ibs-unbalanced|hashseq|seqscan|rtree] [script.pm ...]
+//	predmatch [-matcher ibs|ibs-unbalanced|hashseq|seqscan|rtree|sharded] [script.pm ...]
 //
 // With no script arguments, statements are read from standard input.
 // Run with -demo for a built-in scenario based on the paper's EMP
@@ -30,6 +30,7 @@ import (
 	"predmatch/internal/rtree"
 	"predmatch/internal/script"
 	"predmatch/internal/seqscan"
+	"predmatch/internal/shard"
 	"predmatch/internal/storage"
 )
 
@@ -91,13 +92,17 @@ func matcherFactory(name string) (func(*storage.DB, *pred.Registry) matcher.Matc
 		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
 			return rtree.NewPredMatcher(db.Catalog(), funcs)
 		}, nil
+	case "sharded":
+		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return shard.New(db.Catalog(), funcs)
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown matcher %q (want ibs, ibs-unbalanced, hashseq, seqscan or rtree)", name)
+		return nil, fmt.Errorf("unknown matcher %q (want ibs, ibs-unbalanced, hashseq, seqscan, rtree or sharded)", name)
 	}
 }
 
 func main() {
-	matcherName := flag.String("matcher", "ibs", "matching strategy: ibs, ibs-unbalanced, hashseq, seqscan, rtree")
+	matcherName := flag.String("matcher", "ibs", "matching strategy: ibs, ibs-unbalanced, hashseq, seqscan, rtree, sharded")
 	runDemo := flag.Bool("demo", false, "run the built-in demo scenario and exit")
 	flag.Parse()
 

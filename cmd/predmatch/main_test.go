@@ -9,7 +9,7 @@ import (
 )
 
 func TestMatcherFactory(t *testing.T) {
-	for _, name := range []string{"ibs", "ibs-unbalanced", "hashseq", "seqscan", "rtree"} {
+	for _, name := range []string{"ibs", "ibs-unbalanced", "hashseq", "seqscan", "rtree", "sharded"} {
 		mk, err := matcherFactory(name)
 		if err != nil || mk == nil {
 			t.Errorf("matcherFactory(%q) = %v", name, err)
@@ -23,7 +23,7 @@ func TestMatcherFactory(t *testing.T) {
 // TestDemoScript runs the built-in demo through every matcher; its
 // statements must parse and execute cleanly everywhere.
 func TestDemoScript(t *testing.T) {
-	for _, name := range []string{"ibs", "ibs-unbalanced", "hashseq", "seqscan", "rtree"} {
+	for _, name := range []string{"ibs", "ibs-unbalanced", "hashseq", "seqscan", "rtree", "sharded"} {
 		mk, err := matcherFactory(name)
 		if err != nil {
 			t.Fatal(err)

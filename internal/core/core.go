@@ -264,6 +264,64 @@ func (ix *Index) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, err
 	return dst, nil
 }
 
+// MatchSnapshot is Match without the shared scratch buffer: it performs
+// no writes to the index at all, so any number of goroutines may call it
+// on the same Index concurrently — provided nothing mutates the index
+// meanwhile. This is the read path of the copy-on-write wrappers
+// (ParallelMatcher, internal/shard), which treat every published Index
+// as frozen.
+func (ix *Index) MatchSnapshot(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	ri, ok := ix.rels[rel]
+	if !ok {
+		return dst, nil
+	}
+	return ix.matchSerial(ri, t, dst)
+}
+
+// Clone returns a copy of the index that can be mutated without
+// affecting the original (and vice versa). The PREDICATES table entries
+// are shared — they are immutable after Add — while the relation tables
+// and every attribute tree are rebuilt, costing one tree insertion per
+// indexed predicate. Clone is what the copy-on-write wrappers use to
+// prepare the next snapshot before publishing it.
+func (ix *Index) Clone() *Index {
+	cp := &Index{
+		catalog: ix.catalog,
+		funcs:   ix.funcs,
+		est:     ix.est,
+		factory: ix.factory,
+		name:    ix.name,
+		rels:    make(map[string]*relIndex, len(ix.rels)),
+		preds:   make(map[pred.ID]*entry, len(ix.preds)),
+	}
+	for name, ri := range ix.rels {
+		cri := &relIndex{rel: ri.rel, trees: make(map[string]AttrIndex, len(ri.trees))}
+		if len(ri.nonIndexable) > 0 {
+			cri.nonIndexable = append([]*entry(nil), ri.nonIndexable...)
+		}
+		for attr := range ri.trees {
+			cri.trees[attr] = ix.factory()
+		}
+		cp.rels[name] = cri
+	}
+	for id, e := range ix.preds {
+		cp.preds[id] = e
+		if e.clause < 0 {
+			continue
+		}
+		tree := cp.rels[e.bound.Pred.Rel].trees[e.attr]
+		if err := tree.Insert(id, e.bound.Pred.Clauses[e.clause].Iv); err != nil {
+			// The clause was inserted into an equivalent tree once
+			// already; failing here means an index invariant is broken.
+			panic(fmt.Sprintf("core: clone re-insert of predicate %d: %v", id, err))
+		}
+	}
+	for _, cri := range cp.rels {
+		cri.rebuildProbes()
+	}
+	return cp
+}
+
 // Candidates returns the number of partial matches a Match for t would
 // complete against the PREDICATES table: index hits from the attribute
 // trees plus the non-indexable list. This is the quantity the paper's

@@ -31,6 +31,16 @@ func TestConformanceUnbalanced(t *testing.T) {
 	})
 }
 
+// TestConcurrentConformance drives the read/write storm harness; the
+// bare Index is single-threaded (shared scratch buffer), so it runs
+// under the Synchronized wrapper. ParallelMatcher and the sharded
+// matcher run the same harness bare in their own tests.
+func TestConcurrentConformance(t *testing.T) {
+	matchertest.RunConcurrent(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return matchertest.Synchronized(core.New(f.Catalog, f.Funcs))
+	})
+}
+
 func TestTreesAndNonIndexable(t *testing.T) {
 	f := matchertest.NewFixture()
 	ix := core.New(f.Catalog, f.Funcs)

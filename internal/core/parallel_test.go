@@ -21,6 +21,15 @@ func TestParallelConformance(t *testing.T) {
 	})
 }
 
+// TestParallelConcurrentConformance runs the read/write storm harness
+// against the wrapper bare: its copy-on-write snapshot design is the
+// thing under test, so no Synchronized crutch.
+func TestParallelConcurrentConformance(t *testing.T) {
+	matchertest.RunConcurrent(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return core.NewParallel(core.New(f.Catalog, f.Funcs), 4)
+	})
+}
+
 // TestMatchParallelEqualsSerial checks result equality between serial
 // and parallel matching over the paper's scenario population.
 func TestMatchParallelEqualsSerial(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"predmatch/internal/matcher"
 	"predmatch/internal/pred"
 	"predmatch/internal/schema"
+	"predmatch/internal/shard"
 	"predmatch/internal/storage"
 	"predmatch/internal/tuple"
 	"predmatch/internal/value"
@@ -283,15 +284,22 @@ func TestEngineMatcherInterchangeable(t *testing.T) {
 		return eng.Firings()
 	}
 	a := run(ibsMatcher)
-	b := run(func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
-		return hashseq.New(db.Catalog(), funcs)
-	})
-	if len(a) != len(b) {
-		t.Fatalf("firing counts differ: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i].Rule != b[i].Rule {
-			t.Fatalf("firing %d differs: %s vs %s", i, a[i].Rule, b[i].Rule)
+	for name, mk := range map[string]func(*storage.DB, *pred.Registry) matcher.Matcher{
+		"hashseq": func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return hashseq.New(db.Catalog(), funcs)
+		},
+		"sharded": func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+			return shard.New(db.Catalog(), funcs)
+		},
+	} {
+		b := run(mk)
+		if len(a) != len(b) {
+			t.Fatalf("%s: firing counts differ: %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Rule != b[i].Rule {
+				t.Fatalf("%s: firing %d differs: %s vs %s", name, i, a[i].Rule, b[i].Rule)
+			}
 		}
 	}
 }

@@ -14,6 +14,15 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// TestConcurrentConformance drives the read/write storm harness under
+// the Synchronized wrapper (the hash + sequential strategy itself is
+// single-threaded).
+func TestConcurrentConformance(t *testing.T) {
+	matchertest.RunConcurrent(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return matchertest.Synchronized(hashseq.New(f.Catalog, f.Funcs))
+	})
+}
+
 func TestName(t *testing.T) {
 	m := hashseq.New(matchertest.NewFixture().Catalog, nil)
 	if m.Name() != "hashseq" {

@@ -41,6 +41,15 @@ func TestConformanceNoIndexes(t *testing.T) {
 	})
 }
 
+// TestConcurrentConformance drives the read/write storm harness under
+// the Synchronized wrapper (the physical-locking matcher shares
+// storage-engine lock tables and is single-threaded).
+func TestConcurrentConformance(t *testing.T) {
+	matchertest.RunConcurrent(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return matchertest.Synchronized(phylock.New(dbFromFixture(f, nil), f.Funcs))
+	})
+}
+
 // TestConformanceIndexed runs with secondary indexes on the attributes
 // predicates commonly restrict, so most predicates get interval locks.
 func TestConformanceIndexed(t *testing.T) {

@@ -20,6 +20,15 @@ func TestPredMatcherConformance(t *testing.T) {
 	})
 }
 
+// TestPredMatcherConcurrentConformance drives the read/write storm
+// harness under the Synchronized wrapper (the R-tree matcher is
+// single-threaded).
+func TestPredMatcherConcurrentConformance(t *testing.T) {
+	matchertest.RunConcurrent(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return matchertest.Synchronized(rtree.NewPredMatcher(f.Catalog, f.Funcs))
+	})
+}
+
 func TestPredMatcherOpenBoundsExact(t *testing.T) {
 	f := matchertest.NewFixture()
 	m := rtree.NewPredMatcher(f.Catalog, f.Funcs)

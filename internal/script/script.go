@@ -404,7 +404,9 @@ func (in *Interp) execDump(fields []string) error {
 func (in *Interp) execStats() error {
 	fmt.Fprintf(in.out, "rules: %s\n", strings.Join(in.eng.Rules(), ", "))
 	fmt.Fprintf(in.out, "matcher: %s (%d predicates)\n", in.eng.Matcher().Name(), in.eng.Matcher().Len())
-	if ix, ok := in.eng.Matcher().(*core.Index); ok {
+	// Any matcher exposing attribute-tree statistics (core.Index, the
+	// sharded matcher) gets them printed.
+	if ix, ok := in.eng.Matcher().(interface{ Trees() []core.TreeStats }); ok {
 		for _, ts := range ix.Trees() {
 			fmt.Fprintf(in.out, "  ibs-tree %s.%s: %d intervals, %d nodes, %d markers, height %d\n",
 				ts.Rel, ts.Attr, ts.Intervals, ts.Nodes, ts.Markers, ts.Height)

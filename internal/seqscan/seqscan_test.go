@@ -14,6 +14,16 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// TestConcurrentConformance drives the read/write storm harness; the
+// single-threaded scan gets its thread safety from the Synchronized
+// wrapper, so the harness checks matching stays exact under
+// interleaving (and the race detector checks the wrapper suffices).
+func TestConcurrentConformance(t *testing.T) {
+	matchertest.RunConcurrent(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return matchertest.Synchronized(seqscan.New(f.Catalog, f.Funcs))
+	})
+}
+
 func TestName(t *testing.T) {
 	m := seqscan.New(matchertest.NewFixture().Catalog, nil)
 	if m.Name() != "seqscan" {

@@ -1,0 +1,198 @@
+package shard_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"predmatch/internal/core"
+	"predmatch/internal/matchertest"
+	"predmatch/internal/pred"
+	"predmatch/internal/shard"
+)
+
+// history records the sequence of predicate-set versions a single
+// writer produces. Version v is the live ID set after the first v ops.
+// The writer appends the next version's live set BEFORE applying the op
+// to the matchers, so at any instant the published matcher state
+// corresponds to some already-recorded version: if a reader observes
+// versions [vStart, vEnd] around a Match call, the state it matched
+// against is one of versions vStart-1 .. vEnd (the -1 covers an op that
+// was recorded but not yet applied when vStart was read).
+type history struct {
+	mu   sync.Mutex
+	live [][]pred.ID // live[v] is sorted
+}
+
+func (h *history) version() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.live) - 1
+}
+
+func (h *history) at(v int) []pred.ID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.live[v]
+}
+
+func (h *history) append(next []pred.ID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.live = append(h.live, next)
+}
+
+// TestLinearizabilityLite interleaves Add/Remove/Match on the
+// ShardedMatcher against a mutex-guarded core.Index applied in
+// lockstep, and asserts that every ID set a concurrent Match returns
+// was valid at some version between the call's start and its end —
+// snapshot reads may be stale, but never torn and never fabricated.
+func TestLinearizabilityLite(t *testing.T) {
+	fix := matchertest.NewFixture()
+	sharded := shard.New(fix.Catalog, fix.Funcs)
+	oracle := matchertest.Synchronized(core.New(fix.Catalog, fix.Funcs))
+
+	const poolSize = 60
+	ops := 400
+	if testing.Short() {
+		ops = 100
+	}
+	rng := rand.New(rand.NewSource(17))
+	pool := make([]*pred.Predicate, poolSize)
+	bounds := make([]*pred.Bound, poolSize)
+	for i := range pool {
+		p := fix.RandomPredicate(rng, pred.ID(i))
+		b, err := p.Bind(fix.Catalog, fix.Funcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i], bounds[i] = p, b
+	}
+
+	h := &history{live: [][]pred.ID{nil}} // version 0: empty set
+	done := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+
+	// The single writer toggles random pool predicates on both matchers
+	// in lockstep, recording each version before applying it.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		liveSet := make(map[pred.ID]bool)
+		for op := 0; op < ops; op++ {
+			i := rng.Intn(poolSize)
+			id := pool[i].ID
+			add := !liveSet[id]
+			liveSet[id] = add
+			if !add {
+				delete(liveSet, id)
+			}
+			next := make([]pred.ID, 0, len(liveSet))
+			for x := range liveSet {
+				next = append(next, x)
+			}
+			sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+			h.append(next)
+			if add {
+				if err := sharded.Add(pool[i]); err != nil {
+					t.Errorf("sharded Add(%d): %v", id, err)
+					return
+				}
+				if err := oracle.Add(pool[i]); err != nil {
+					t.Errorf("oracle Add(%d): %v", id, err)
+					return
+				}
+			} else {
+				if err := sharded.Remove(id); err != nil {
+					t.Errorf("sharded Remove(%d): %v", id, err)
+					return
+				}
+				if err := oracle.Remove(id); err != nil {
+					t.Errorf("oracle Remove(%d): %v", id, err)
+					return
+				}
+			}
+		}
+	}()
+
+	for r := 0; r < 3; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(int64(500 + r)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rel := fix.Rels[rng.Intn(len(fix.Rels))]
+				tup := fix.RandomTuple(rng, rel)
+				vStart := h.version()
+				got, err := sharded.Match(rel.Name(), tup, nil)
+				if err != nil {
+					t.Errorf("reader %d: Match: %v", r, err)
+					return
+				}
+				vEnd := h.version()
+				sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+
+				lo := vStart - 1
+				if lo < 0 {
+					lo = 0
+				}
+				ok := false
+				for v := lo; v <= vEnd && !ok; v++ {
+					var want []pred.ID
+					for _, id := range h.at(v) {
+						b := bounds[id]
+						if b.Pred.Rel == rel.Name() && b.Match(tup) {
+							want = append(want, id)
+						}
+					}
+					ok = reflect.DeepEqual(got, want) ||
+						(len(got) == 0 && len(want) == 0)
+				}
+				if !ok {
+					t.Errorf("reader %d: Match(%s, %v) = %v valid at no version in [%d, %d]",
+						r, rel.Name(), tup, got, lo, vEnd)
+					return
+				}
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	close(done)
+	readerWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// With the writer quiesced the two implementations must agree
+	// exactly — the differential half of the test.
+	if sharded.Len() != oracle.Len() {
+		t.Fatalf("final Len: sharded %d, oracle %d", sharded.Len(), oracle.Len())
+	}
+	sweep := rand.New(rand.NewSource(18))
+	for _, rel := range fix.Rels {
+		for k := 0; k < 60; k++ {
+			tup := fix.RandomTuple(sweep, rel)
+			a, err := sharded.Match(rel.Name(), tup, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := oracle.Match(rel.Name(), tup, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if !reflect.DeepEqual(a, b) && (len(a) != 0 || len(b) != 0) {
+				t.Fatalf("final sweep %s %v: sharded %v, oracle %v", rel.Name(), tup, a, b)
+			}
+		}
+	}
+}

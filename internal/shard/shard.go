@@ -1,0 +1,328 @@
+// Package shard implements the serving-layer predicate matcher: the
+// paper's first-level hash on relation name (Figure 1) becomes the unit
+// of concurrency. Every relation gets its own shard, and every shard
+// holds an atomically published, immutable core.Index snapshot covering
+// only that relation's predicates.
+//
+// Concurrency model:
+//
+//   - Match is lock-free: one atomic load of the shard directory, one
+//     atomic load of the shard's snapshot, then a read-only stab against
+//     the frozen snapshot. Readers never block writers or each other.
+//   - Writers serialize per shard: Add/Remove take the shard's mutex,
+//     clone the current snapshot, apply the change to the clone, and
+//     publish it with an atomic store. Writers to different relations
+//     proceed fully in parallel — the sharding axis the paper's
+//     relation-name hash already provides.
+//   - Every Match observes a predicate set that actually existed at some
+//     instant between the call's start and end (snapshot isolation per
+//     relation); it never sees a half-applied write.
+//
+// MatchBatch amortizes the snapshot acquisition over a whole batch of
+// tuples and fans the per-tuple stabs across a worker pool, so all
+// tuples of a batch observe the same predicate-set version.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"predmatch/internal/core"
+	"predmatch/internal/matcher"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+)
+
+// minBatchFanout is the batch size below which MatchBatch stays serial;
+// smaller batches don't amortize goroutine scheduling.
+const minBatchFanout = 16
+
+// ShardedMatcher partitions the predicate index by relation and serves
+// lock-free snapshot reads. Construct with New.
+type ShardedMatcher struct {
+	catalog *schema.Catalog
+	funcs   *pred.Registry
+	opts    []core.Option
+	workers int
+	name    string
+
+	// dir is the immutable relation→shard directory. Shards are only
+	// ever added (a relation's shard survives its last predicate), so
+	// growing it is a copy-on-write map swap under dirMu.
+	dirMu sync.Mutex
+	dir   atomic.Pointer[map[string]*relShard]
+
+	// ids routes Remove calls to the owning relation and doubles as the
+	// cross-shard duplicate-ID check and the Len source.
+	idMu sync.Mutex
+	ids  map[pred.ID]string
+}
+
+var _ matcher.Matcher = (*ShardedMatcher)(nil)
+
+// relShard is one relation's slice of the index.
+type relShard struct {
+	mu sync.Mutex // serializes clone-and-publish writers
+	// snap is the published immutable snapshot; nil until the first Add.
+	snap atomic.Pointer[core.Index]
+}
+
+// Option configures a ShardedMatcher.
+type Option func(*ShardedMatcher)
+
+// WithWorkers bounds the MatchBatch fan-out (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(m *ShardedMatcher) {
+		if n > 0 {
+			m.workers = n
+		}
+	}
+}
+
+// WithIndexOptions passes options to every per-shard core.Index, e.g.
+// core.WithIndexFactory to swap the attribute index structure.
+func WithIndexOptions(opts ...core.Option) Option {
+	return func(m *ShardedMatcher) { m.opts = opts }
+}
+
+// WithName overrides the strategy name reported in benchmarks.
+func WithName(name string) Option {
+	return func(m *ShardedMatcher) { m.name = name }
+}
+
+// New returns an empty sharded matcher resolving predicates against the
+// given catalog and function registry.
+func New(catalog *schema.Catalog, funcs *pred.Registry, opts ...Option) *ShardedMatcher {
+	m := &ShardedMatcher{
+		catalog: catalog,
+		funcs:   funcs,
+		workers: runtime.GOMAXPROCS(0),
+		name:    "sharded",
+		ids:     make(map[pred.ID]string),
+	}
+	empty := make(map[string]*relShard)
+	m.dir.Store(&empty)
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Name implements matcher.Matcher.
+func (m *ShardedMatcher) Name() string { return m.name }
+
+// Len implements matcher.Matcher.
+func (m *ShardedMatcher) Len() int {
+	m.idMu.Lock()
+	defer m.idMu.Unlock()
+	return len(m.ids)
+}
+
+// shard returns rel's shard, or nil if no predicate was ever added for
+// rel. Lock-free.
+func (m *ShardedMatcher) shard(rel string) *relShard {
+	return (*m.dir.Load())[rel]
+}
+
+// shardOrCreate returns rel's shard, growing the directory on first use
+// of a relation via a copy-on-write map swap.
+func (m *ShardedMatcher) shardOrCreate(rel string) *relShard {
+	if sh := m.shard(rel); sh != nil {
+		return sh
+	}
+	m.dirMu.Lock()
+	defer m.dirMu.Unlock()
+	cur := *m.dir.Load()
+	if sh := cur[rel]; sh != nil {
+		return sh
+	}
+	next := make(map[string]*relShard, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	sh := &relShard{}
+	next[rel] = sh
+	m.dir.Store(&next)
+	return sh
+}
+
+// Add implements matcher.Matcher: validate, reserve the ID globally,
+// then clone-and-publish the owning relation's shard.
+func (m *ShardedMatcher) Add(p *pred.Predicate) error {
+	// Validate up front so a bad predicate never creates a shard or
+	// reserves an ID.
+	if err := p.Validate(m.catalog, m.funcs); err != nil {
+		return err
+	}
+	m.idMu.Lock()
+	if _, dup := m.ids[p.ID]; dup {
+		m.idMu.Unlock()
+		return fmt.Errorf("shard: duplicate predicate id %d", p.ID)
+	}
+	m.ids[p.ID] = p.Rel
+	m.idMu.Unlock()
+
+	sh := m.shardOrCreate(p.Rel)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var next *core.Index
+	if cur := sh.snap.Load(); cur != nil {
+		next = cur.Clone()
+	} else {
+		next = core.New(m.catalog, m.funcs, m.opts...)
+	}
+	if err := next.Add(p); err != nil {
+		m.idMu.Lock()
+		delete(m.ids, p.ID)
+		m.idMu.Unlock()
+		return err
+	}
+	sh.snap.Store(next)
+	return nil
+}
+
+// Remove implements matcher.Matcher, routing by the ID's owning
+// relation.
+func (m *ShardedMatcher) Remove(id pred.ID) error {
+	m.idMu.Lock()
+	rel, ok := m.ids[id]
+	if !ok {
+		m.idMu.Unlock()
+		return fmt.Errorf("shard: unknown predicate id %d", id)
+	}
+	delete(m.ids, id)
+	m.idMu.Unlock()
+
+	sh := m.shard(rel)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	next := sh.snap.Load().Clone()
+	if err := next.Remove(id); err != nil {
+		m.idMu.Lock()
+		m.ids[id] = rel
+		m.idMu.Unlock()
+		return err
+	}
+	sh.snap.Store(next)
+	return nil
+}
+
+// Match implements matcher.Matcher with a lock-free snapshot read.
+func (m *ShardedMatcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	sh := m.shard(rel)
+	if sh == nil {
+		return dst, nil
+	}
+	snap := sh.snap.Load()
+	if snap == nil {
+		return dst, nil
+	}
+	return snap.MatchSnapshot(rel, t, dst)
+}
+
+// MatchBatch matches every tuple of rel against one snapshot acquired
+// once for the whole batch, fanning the tuples across the worker pool.
+// results[i] holds the matches of tuples[i]; all tuples observe the
+// same predicate-set version even while writers publish concurrently.
+func (m *ShardedMatcher) MatchBatch(rel string, tuples []tuple.Tuple) ([][]pred.ID, error) {
+	results := make([][]pred.ID, len(tuples))
+	sh := m.shard(rel)
+	if sh == nil || len(tuples) == 0 {
+		return results, nil
+	}
+	snap := sh.snap.Load()
+	if snap == nil {
+		return results, nil
+	}
+	workers := m.workers
+	if workers > len(tuples) {
+		workers = len(tuples)
+	}
+	if workers <= 1 || len(tuples) < minBatchFanout {
+		var err error
+		for i, t := range tuples {
+			if results[i], err = snap.MatchSnapshot(rel, t, nil); err != nil {
+				return results, err
+			}
+		}
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(tuples) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(tuples) {
+			hi = len(tuples)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out, err := snap.MatchSnapshot(rel, tuples[i], nil)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[i] = out
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Snapshot returns rel's current frozen index, or nil if the relation
+// has never held a predicate. The returned index must be treated as
+// read-only (use MatchSnapshot); it stays valid forever — later writes
+// publish new snapshots instead of mutating it.
+func (m *ShardedMatcher) Snapshot(rel string) *core.Index {
+	sh := m.shard(rel)
+	if sh == nil {
+		return nil
+	}
+	return sh.snap.Load()
+}
+
+// Relations returns the relations that currently have a shard (any
+// relation that ever held a predicate).
+func (m *ShardedMatcher) Relations() []string {
+	dir := *m.dir.Load()
+	out := make([]string, 0, len(dir))
+	for rel := range dir {
+		out = append(out, rel)
+	}
+	return out
+}
+
+// Trees aggregates the attribute-tree statistics of every shard's
+// current snapshot (see core.Index.Trees), for instrumentation and the
+// script interpreter's stats statement.
+func (m *ShardedMatcher) Trees() []core.TreeStats {
+	var out []core.TreeStats
+	for _, sh := range *m.dir.Load() {
+		if snap := sh.snap.Load(); snap != nil {
+			out = append(out, snap.Trees()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out
+}

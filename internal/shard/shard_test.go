@@ -1,0 +1,258 @@
+package shard_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"predmatch/internal/core"
+	"predmatch/internal/interval"
+	"predmatch/internal/islist"
+	"predmatch/internal/matcher"
+	"predmatch/internal/matchertest"
+	"predmatch/internal/pred"
+	"predmatch/internal/shard"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func newSharded(f *matchertest.Fixture) matcher.Matcher {
+	return shard.New(f.Catalog, f.Funcs)
+}
+
+// TestConformance runs the sharded matcher through the sequential
+// conformance suite every strategy must pass.
+func TestConformance(t *testing.T) {
+	matchertest.Run(t, newSharded)
+}
+
+// TestConcurrentConformance runs the read/write storm harness against
+// the matcher bare — its native concurrency is the point.
+func TestConcurrentConformance(t *testing.T) {
+	matchertest.RunConcurrent(t, newSharded)
+}
+
+// TestConformanceSkipListShards swaps the per-shard attribute index via
+// WithIndexOptions, checking the option plumbing end to end.
+func TestConformanceSkipListShards(t *testing.T) {
+	matchertest.Run(t, func(f *matchertest.Fixture) matcher.Matcher {
+		return shard.New(f.Catalog, f.Funcs,
+			shard.WithIndexOptions(core.WithIndexFactory(func() core.AttrIndex {
+				return islist.New(value.Compare)
+			})),
+			shard.WithName("sharded-islist"))
+	})
+}
+
+func TestNameAndOptions(t *testing.T) {
+	f := matchertest.NewFixture()
+	if got := shard.New(f.Catalog, f.Funcs).Name(); got != "sharded" {
+		t.Errorf("Name = %q, want sharded", got)
+	}
+	m := shard.New(f.Catalog, f.Funcs, shard.WithName("x"), shard.WithWorkers(2))
+	if got := m.Name(); got != "x" {
+		t.Errorf("Name = %q, want x", got)
+	}
+}
+
+// TestMatchBatch checks that a batch returns exactly the per-tuple
+// Match results, positionally, across both the serial and the fanned-out
+// paths.
+func TestMatchBatch(t *testing.T) {
+	f := matchertest.NewFixture()
+	rng := rand.New(rand.NewSource(3))
+	for _, workers := range []int{1, 4} {
+		m := shard.New(f.Catalog, f.Funcs, shard.WithWorkers(workers))
+		for id := pred.ID(0); id < 60; id++ {
+			if err := m.Add(f.RandomPredicate(rng, id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, rel := range f.Rels {
+			for _, n := range []int{0, 1, 5, 64} {
+				tuples := make([]tuple.Tuple, n)
+				for i := range tuples {
+					tuples[i] = f.RandomTuple(rng, rel)
+				}
+				batch, err := m.MatchBatch(rel.Name(), tuples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(batch) != n {
+					t.Fatalf("MatchBatch returned %d results for %d tuples", len(batch), n)
+				}
+				for i, tup := range tuples {
+					want, err := m.Match(rel.Name(), tup, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := batch[i]
+					sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+					sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+					if !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+						t.Fatalf("workers=%d %s tuple %d: batch %v, Match %v",
+							workers, rel.Name(), i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatchBatchUnknownRelation covers the empty-shard paths.
+func TestMatchBatchUnknownRelation(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := shard.New(f.Catalog, f.Funcs)
+	res, err := m.MatchBatch("nosuch", make([]tuple.Tuple, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		if len(r) != 0 {
+			t.Fatalf("unexpected matches %v", r)
+		}
+	}
+}
+
+// TestSnapshotFrozen pins down the published-snapshot contract: an index
+// obtained before a write keeps answering with the old predicate set.
+func TestSnapshotFrozen(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := shard.New(f.Catalog, f.Funcs)
+	mustAdd := func(p *pred.Predicate) {
+		t.Helper()
+		if err := m.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(pred.New(1, "emp", pred.IvClause("salary", interval.AtLeast(value.Int(50)))))
+	old := m.Snapshot("emp")
+	if old == nil {
+		t.Fatal("no snapshot after Add")
+	}
+	mustAdd(pred.New(2, "emp", pred.IvClause("salary", interval.AtLeast(value.Int(10)))))
+
+	tup := tuple.New(value.String_("a"), value.Int(30), value.Int(60), value.String_("toy"))
+	gotOld, err := old.MatchSnapshot("emp", tup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotOld, []pred.ID{1}) {
+		t.Fatalf("old snapshot matched %v, want [1]", gotOld)
+	}
+	gotNew, err := m.Match("emp", tup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(gotNew, func(i, j int) bool { return gotNew[i] < gotNew[j] })
+	if !reflect.DeepEqual(gotNew, []pred.ID{1, 2}) {
+		t.Fatalf("current matched %v, want [1 2]", gotNew)
+	}
+	if m.Snapshot("events") != nil {
+		t.Error("snapshot for predicate-free relation should be nil")
+	}
+}
+
+// TestCrossShardWriterParallelism checks that writers on different
+// relations do not corrupt each other (per-shard mutexes are
+// independent; the race detector covers the rest).
+func TestCrossShardWriterParallelism(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := shard.New(f.Catalog, f.Funcs)
+	var wg sync.WaitGroup
+	perRel := 50
+	for w, rel := range f.Rels {
+		wg.Add(1)
+		go func(w int, relName string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := pred.ID(w * perRel)
+			for i := 0; i < perRel; i++ {
+				rel := f.Rels[w]
+				clauses := []pred.Clause{f.RandomClause(rng, rel)}
+				if err := m.Add(pred.New(base+pred.ID(i), relName, clauses...)); err != nil {
+					t.Errorf("%s: Add: %v", relName, err)
+					return
+				}
+			}
+			for i := 0; i < perRel/2; i++ {
+				if err := m.Remove(base + pred.ID(i)); err != nil {
+					t.Errorf("%s: Remove: %v", relName, err)
+					return
+				}
+			}
+		}(w, rel.Name())
+	}
+	wg.Wait()
+	if want := len(f.Rels) * (perRel - perRel/2); m.Len() != want {
+		t.Fatalf("Len = %d, want %d", m.Len(), want)
+	}
+	rels := m.Relations()
+	if len(rels) != len(f.Rels) {
+		t.Fatalf("Relations = %v", rels)
+	}
+}
+
+// TestMatchBatchSeesOneVersion adds predicates concurrently with a
+// large batch: every tuple of the batch must observe the same snapshot,
+// so two identical tuples in the same batch must get identical results.
+func TestMatchBatchSeesOneVersion(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := shard.New(f.Catalog, f.Funcs, shard.WithWorkers(4))
+	rel := f.Rels[0]
+	// One fixed tuple repeated across the batch.
+	tup := tuple.New(value.String_("alice"), value.Int(50), value.Int(50), value.String_("shoe"))
+	if err := m.Add(pred.New(0, rel.Name(),
+		pred.IvClause("salary", interval.AtLeast(value.Int(10))))); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		id := pred.ID(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := m.Add(pred.New(id, rel.Name(),
+				pred.IvClause("age", interval.AtLeast(value.Int(0))))); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			id++
+		}
+	}()
+
+	tuples := make([]tuple.Tuple, 256)
+	for i := range tuples {
+		tuples[i] = tup
+	}
+	for round := 0; round < 20; round++ {
+		batch, err := m.MatchBatch(rel.Name(), tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := append([]pred.ID(nil), batch[0]...)
+		sort.Slice(first, func(i, j int) bool { return first[i] < first[j] })
+		for i := 1; i < len(batch); i++ {
+			got := append([]pred.ID(nil), batch[i]...)
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			if !reflect.DeepEqual(first, got) {
+				t.Fatalf("round %d: batch position %d saw %v, position 0 saw %v (torn snapshot)",
+					round, i, got, first)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
