@@ -1,0 +1,156 @@
+// BenchmarkServer* measure the predmatchd serving layer over real TCP
+// on loopback: protocol framing + dispatch cost on top of the engine,
+// for the three request classes a client cares about — lock-free match
+// probes, batched probes, and mutations through the rule engine with a
+// live subscriber draining the notification stream.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"predmatch/internal/client"
+	"predmatch/internal/schema"
+	"predmatch/internal/server"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// startBenchServer brings up a daemon on a loopback port, loads the
+// Section 5.2 style emp schema with nPreds rule predicates, and returns
+// the dial address.
+func startBenchServer(b *testing.B, nRules int) (addr string, shutdown func()) {
+	b.Helper()
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", QueueLen: 1 << 14})
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	for srv.Addr() == nil {
+		select {
+		case err := <-errc:
+			b.Fatalf("serve: %v", err)
+		default:
+		}
+	}
+	addr = srv.Addr().String()
+
+	admin, err := client.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer admin.Close()
+	if err := admin.DeclareRelation(benchEmpRel); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < nRules; i++ {
+		lo := 10000 + rng.Intn(80000)
+		src := fmt.Sprintf("rule r%d on insert, update to emp when salary between %d and %d do log 'hit'",
+			i, lo, lo+2000+rng.Intn(8000))
+		if _, err := admin.DefineRule(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return addr, func() { srv.Close() }
+}
+
+var benchEmpRel = schema.MustRelation("emp",
+	schema.Attribute{Name: "name", Type: value.KindString},
+	schema.Attribute{Name: "age", Type: value.KindInt},
+	schema.Attribute{Name: "salary", Type: value.KindInt},
+	schema.Attribute{Name: "dept", Type: value.KindString},
+)
+
+func benchEmp(rng *rand.Rand) tuple.Tuple {
+	return tuple.New(
+		value.String_(fmt.Sprintf("w%d", rng.Intn(100))),
+		value.Int(int64(20+rng.Intn(50))),
+		value.Int(int64(10000+rng.Intn(90000))),
+		value.String_([]string{"shoe", "toy", "deli"}[rng.Intn(3)]),
+	)
+}
+
+// BenchmarkServerMatch is one match probe per op: a full request
+// round trip over loopback TCP through the lock-free snapshot path.
+func BenchmarkServerMatch(b *testing.B) {
+	for _, nRules := range []int{16, 256} {
+		b.Run(fmt.Sprintf("rules=%d", nRules), func(b *testing.B) {
+			addr, shutdown := startBenchServer(b, nRules)
+			defer shutdown()
+			c, err := client.Dial(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Match("emp", benchEmp(rng)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerMatchBatch amortizes framing over 64 tuples per
+// request; the metric is per-tuple.
+func BenchmarkServerMatchBatch(b *testing.B) {
+	const batch = 64
+	addr, shutdown := startBenchServer(b, 256)
+	defer shutdown()
+	c, err := client.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(7))
+	tuples := make([]tuple.Tuple, batch)
+	for i := range tuples {
+		tuples[i] = benchEmp(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.MatchBatch("emp", tuples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/tuple")
+}
+
+// BenchmarkServerInsert is one rule-firing mutation per op while a
+// subscriber drains the notification stream on a second connection.
+func BenchmarkServerInsert(b *testing.B) {
+	for _, nRules := range []int{16, 256} {
+		b.Run(fmt.Sprintf("rules=%d", nRules), func(b *testing.B) {
+			addr, shutdown := startBenchServer(b, nRules)
+			defer shutdown()
+			c, err := client.Dial(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			sub, err := client.Dial(addr, client.WithNotifyBuffer(1<<14))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sub.Close()
+			notes, err := sub.Subscribe(false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for range notes {
+				}
+			}()
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.Insert("emp", benchEmp(rng)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

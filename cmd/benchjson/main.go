@@ -1,0 +1,82 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON array on stdout, one record per benchmark result line:
+//
+//	{"name": "BenchmarkServerMatch/rules=16-8", "runs": 5659,
+//	 "ns_per_op": 21658, "metrics": {"ns/tuple": 8195}}
+//
+// Context lines (goos/goarch/pkg/cpu) are folded into a leading
+// "_meta" record. CI uses it to publish BENCH_*.json artifacts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs,omitempty"`
+	NsPerOp float64            `json:"ns_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	meta := map[string]string{}
+	var out []record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "ok\t"):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			meta[k] = strings.TrimSpace(v)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		r := record{Name: fields[0], Metrics: map[string]float64{}}
+		r.Runs, _ = strconv.ParseInt(fields[1], 10, 64)
+		// Remaining fields come in value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				r.NsPerOp = v
+			} else {
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	payload := struct {
+		Meta    map[string]string `json:"meta,omitempty"`
+		Results []record          `json:"results"`
+	}{meta, out}
+	if err := enc.Encode(payload); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

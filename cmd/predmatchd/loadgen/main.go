@@ -1,0 +1,251 @@
+// Command loadgen drives a predmatchd daemon with a synthetic rule
+// workload and reports throughput. It declares an EMP-style relation,
+// defines a handful of rules with varied selectivity, starts one
+// subscriber draining the notification stream, and runs N workers each
+// streaming a deterministic mix of inserts, updates, deletes and match
+// probes over its own connection.
+//
+// Usage:
+//
+//	loadgen [-addr 127.0.0.1:7341 | -self] [-workers 4] [-duration 2s]
+//	        [-seed 1] [-suffix s]
+//
+// With -self, loadgen starts an in-process daemon on a loopback port
+// and tears it down afterwards — a single-binary smoke test. The target
+// daemon must not already hold the relations/rules loadgen declares;
+// use -suffix to namespace them when sharing a daemon.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predmatch/internal/client"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/server"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7341", "daemon address to drive")
+	self := flag.Bool("self", false, "start an in-process daemon on a loopback port instead of dialing -addr")
+	workers := flag.Int("workers", 4, "concurrent mutation/match workers, one connection each")
+	duration := flag.Duration("duration", 2*time.Second, "how long to stream load")
+	seed := flag.Int64("seed", 1, "base seed for the deterministic workload")
+	suffix := flag.String("suffix", "", "suffix for relation and rule names (namespacing a shared daemon)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "loadgen: ", 0)
+
+	target := *addr
+	var srv *server.Server
+	if *self {
+		srv = server.New(server.Config{Addr: "127.0.0.1:0", MaxConns: *workers + 8})
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe() }()
+		for srv.Addr() == nil {
+			select {
+			case err := <-errc:
+				logger.Fatalf("self-hosted daemon: %v", err)
+			default:
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		target = srv.Addr().String()
+		logger.Printf("self-hosted daemon on %s", target)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				logger.Fatalf("shutdown: %v", err)
+			}
+		}()
+	}
+
+	emp := "emp" + *suffix
+	audit := "audit" + *suffix
+	empRel := schema.MustRelation(emp,
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "salary", Type: value.KindInt},
+		schema.Attribute{Name: "dept", Type: value.KindString},
+	)
+	auditRel := schema.MustRelation(audit,
+		schema.Attribute{Name: "note", Type: value.KindString},
+		schema.Attribute{Name: "level", Type: value.KindInt},
+	)
+	rules := []string{
+		fmt.Sprintf("rule band%s on insert, update to %s when salary between 20000 and 30000 do log 'band'", *suffix, emp),
+		fmt.Sprintf("rule senior%s on insert to %s when age > 50 do log 'senior'", *suffix, emp),
+		fmt.Sprintf("rule cheap%s on delete to %s when salary < 25000 do log 'cheap'", *suffix, emp),
+		fmt.Sprintf("rule paid%s on insert to %s when salary > 90000 do insert into %s ('paid', 2)", *suffix, emp, audit),
+		fmt.Sprintf("rule loud%s on insert to %s when level > 1 do log 'loud'", *suffix, audit),
+	}
+
+	admin, err := client.Dial(target)
+	if err != nil {
+		logger.Fatalf("dial %s: %v", target, err)
+	}
+	defer admin.Close()
+	for _, rel := range []*schema.Relation{empRel, auditRel} {
+		if err := admin.DeclareRelation(rel); err != nil {
+			logger.Fatalf("declare %s: %v", rel.Name(), err)
+		}
+	}
+	if err := admin.CreateIndex(emp, "salary"); err != nil {
+		logger.Fatalf("index: %v", err)
+	}
+	for _, src := range rules {
+		if _, err := admin.DefineRule(src); err != nil {
+			logger.Fatalf("rule: %v", err)
+		}
+	}
+
+	// Subscriber draining everything the daemon streams.
+	sub, err := client.Dial(target, client.WithNotifyBuffer(1<<14))
+	if err != nil {
+		logger.Fatalf("dial subscriber: %v", err)
+	}
+	defer sub.Close()
+	notes, err := sub.Subscribe(false)
+	if err != nil {
+		logger.Fatalf("subscribe: %v", err)
+	}
+	var received atomic.Uint64
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		for range notes {
+			received.Add(1)
+		}
+	}()
+
+	var (
+		mutations atomic.Uint64
+		probes    atomic.Uint64
+		matched   atomic.Uint64
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(target)
+			if err != nil {
+				logger.Printf("worker %d: dial: %v", w, err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			var live []tuple.ID
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tp := randomEmp(rng)
+				var err error
+				switch r := rng.Intn(10); {
+				case r < 5 || len(live) < 5: // insert
+					var id tuple.ID
+					id, _, err = c.Insert(emp, tp)
+					if err == nil {
+						live = append(live, id)
+						mutations.Add(1)
+					}
+				case r < 7: // update
+					_, err = c.Update(emp, live[rng.Intn(len(live))], tp)
+					if err == nil {
+						mutations.Add(1)
+					}
+				case r < 8: // delete
+					k := rng.Intn(len(live))
+					_, err = c.Delete(emp, live[k])
+					if err == nil {
+						live = append(live[:k], live[k+1:]...)
+						mutations.Add(1)
+					}
+				default: // match probe (lock-free path)
+					var res []pred.ID
+					res, err = c.Match(emp, tp)
+					if err == nil {
+						probes.Add(1)
+						matched.Add(uint64(len(res)))
+					}
+				}
+				if err != nil {
+					select {
+					case <-stop:
+					default:
+						logger.Printf("worker %d: %v", w, err)
+					}
+					return
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	generated, dropped, err := sub.Unsubscribe()
+	if err != nil {
+		logger.Fatalf("unsubscribe: %v", err)
+	}
+	// Already-queued notifications may still trail in; give them a
+	// bounded moment, then snapshot.
+	flush := time.After(2 * time.Second)
+	for received.Load() < generated-dropped {
+		select {
+		case <-flush:
+			goto report
+		default:
+			sub.Ping()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+report:
+	st, err := admin.Stats()
+	if err != nil {
+		logger.Fatalf("stats: %v", err)
+	}
+
+	muts, prb := mutations.Load(), probes.Load()
+	fmt.Printf("loadgen: %d workers, %s\n", *workers, elapsed.Round(time.Millisecond))
+	fmt.Printf("  mutations   %8d  (%.0f/s)\n", muts, float64(muts)/elapsed.Seconds())
+	fmt.Printf("  match probes%8d  (%.0f/s), %d predicate hits\n", prb, float64(prb)/elapsed.Seconds(), matched.Load())
+	fmt.Printf("  firings     %8d generated, %d received, %d dropped\n", generated, received.Load(), dropped)
+	fmt.Printf("  server      %d rules, %d predicates, %d conns, matcher %s\n",
+		len(st.Rules), st.Predicates, st.Conns, st.Matcher)
+	if generated != received.Load()+dropped {
+		logger.Printf("warning: %d notifications unaccounted for (still queued?)",
+			generated-received.Load()-dropped)
+	}
+	if err := errors.Join(admin.Err(), sub.Err()); err != nil {
+		logger.Fatalf("connection error: %v", err)
+	}
+}
+
+func randomEmp(rng *rand.Rand) tuple.Tuple {
+	return tuple.New(
+		value.String_(fmt.Sprintf("w%d", rng.Intn(50))),
+		value.Int(int64(20+rng.Intn(50))),
+		value.Int(int64(10000+rng.Intn(90000))),
+		value.String_([]string{"shoe", "toy", "deli"}[rng.Intn(3)]),
+	)
+}

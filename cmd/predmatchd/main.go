@@ -1,0 +1,90 @@
+// Command predmatchd serves the predicate matching engine over TCP as
+// a long-running rule-service daemon. Clients speak newline-delimited
+// JSON (see docs/PROTOCOL.md): they declare relations, define rules,
+// register predicates, stream tuple mutations, run match probes, and
+// subscribe to rule-firing / predicate-match notifications.
+//
+// Usage:
+//
+//	predmatchd [-addr :7341] [-max-conns 128] [-queue 1024]
+//	           [-write-timeout 10s] [-idle-timeout 0] [-drain 10s] [-v]
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests for up to -drain, then force-closes stragglers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"predmatch/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7341", "TCP listen address")
+	maxConns := flag.Int("max-conns", 128, "maximum concurrent client connections")
+	queue := flag.Int("queue", 1024, "per-connection notification queue capacity")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "deadline for writing one frame to a client")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close unsubscribed connections idle for this long (0 = never)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before force-closing connections")
+	verbose := flag.Bool("v", false, "log connection-level diagnostics")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: predmatchd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "predmatchd: ", log.LstdFlags)
+	cfg := server.Config{
+		Addr:         *addr,
+		MaxConns:     *maxConns,
+		QueueLen:     *queue,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
+	if *verbose {
+		cfg.Logf = logger.Printf
+	}
+	srv := server.New(cfg)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	go func() {
+		// Addr is nil until Serve installs the listener.
+		for range 500 {
+			if a := srv.Addr(); a != nil {
+				logger.Printf("listening on %s", a)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, server.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		logger.Printf("signal received; draining for up to %s", *drain)
+		sctx, scancel := context.WithTimeout(context.Background(), *drain)
+		defer scancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		<-errc
+		logger.Printf("stopped")
+	}
+}

@@ -1,0 +1,423 @@
+// Package client is the Go library for predmatchd, the rule-service
+// daemon of internal/server. It speaks the newline-delimited JSON
+// protocol of internal/wire: requests are correlated to responses by
+// ID, and subscription notifications arrive asynchronously on the
+// channel returned by Subscribe.
+//
+// A Client is safe for concurrent use; calls from multiple goroutines
+// are multiplexed over the single connection.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/wire"
+)
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("client: connection closed")
+
+// Notification is one subscription event. For rule firings Rule is set;
+// for direct-predicate matches Rule is empty and Matches carries the
+// matching predicate IDs. Seq numbers every notification the server
+// generated for this subscription — a gap means the server's overflow
+// policy dropped the missing ones (Dropped is the cumulative count at
+// the time this notification was generated).
+type Notification struct {
+	Seq      uint64
+	Rule     string
+	Relation string
+	Op       string
+	TupleID  int64
+	Tuple    []any
+	Matches  []pred.ID
+	Depth    int
+	Dropped  uint64
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTimeout bounds each request round trip (default 10s).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithNotifyBuffer sets the notification channel capacity (default
+// 1024). If the application stops draining the channel, the client's
+// read loop blocks — and the server's per-connection overflow policy
+// starts dropping, which is the designed backpressure path.
+func WithNotifyBuffer(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.notifyCap = n
+		}
+	}
+}
+
+// Client is one connection to a predmatchd server.
+type Client struct {
+	nc        net.Conn
+	timeout   time.Duration
+	notifyCap int
+
+	writeMu sync.Mutex
+	enc     *json.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wire.Message
+	err     error // terminal connection error, set once
+	closed  bool
+
+	notifyMu sync.Mutex
+	notify   chan Notification
+
+	// dying is closed when the connection is marked dead, unblocking a
+	// read loop stuck delivering to an undrained notification channel.
+	dying      chan struct{}
+	readerDone chan struct{}
+}
+
+// Dial connects and verifies liveness with a ping.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:         nc,
+		timeout:    10 * time.Second,
+		notifyCap:  1024,
+		enc:        json.NewEncoder(nc),
+		nextID:     1,
+		pending:    make(map[uint64]chan wire.Message),
+		dying:      make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	go c.readLoop()
+	if _, err := c.call(&wire.Request{Op: wire.OpPing}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Close tears the connection down; pending calls fail with ErrClosed
+// and the notification channel (if any) is closed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	err := c.nc.Close()
+	<-c.readerDone
+	return err
+}
+
+// Err returns the terminal connection error, or nil while the
+// connection is healthy.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == ErrClosed && c.closed {
+		return nil // deliberate Close, not a failure
+	}
+	return c.err
+}
+
+// fail marks the connection dead and unblocks every pending call.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		if errors.Is(err, ErrClosed) {
+			c.closed = true
+		}
+		close(c.dying)
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// readLoop decodes server frames, routing responses to pending calls
+// and notifications to the subscription channel.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 0, 4096), wire.MaxLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m wire.Message
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		if err := dec.Decode(&m); err != nil {
+			c.fail(fmt.Errorf("client: bad server frame: %w", err))
+			c.nc.Close()
+			return
+		}
+		switch m.Type {
+		case wire.TypeNotify:
+			c.notifyMu.Lock()
+			ch := c.notify
+			c.notifyMu.Unlock()
+			if ch != nil {
+				n := Notification{
+					Seq:      m.Seq,
+					Rule:     m.Rule,
+					Relation: m.Relation,
+					Op:       m.EventOp,
+					TupleID:  m.EventID,
+					Tuple:    m.Tuple,
+					Matches:  wire.ToIDs(m.Matches),
+					Depth:    m.Depth,
+					Dropped:  m.Dropped,
+				}
+				// Block on a full channel (the application's
+				// backpressure) but never past connection death, so
+				// Close always completes.
+				select {
+				case ch <- n:
+				case <-c.dying:
+				}
+			}
+		case wire.TypeResponse:
+			if m.ID == 0 {
+				// Unsolicited server error (e.g. connection-limit
+				// rejection): terminal.
+				c.fail(fmt.Errorf("client: server error: %s", m.Error))
+				c.nc.Close()
+				return
+			}
+			c.mu.Lock()
+			ch := c.pending[m.ID]
+			delete(c.pending, m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = ErrClosed
+	}
+	c.fail(err)
+	c.notifyMu.Lock()
+	if c.notify != nil {
+		close(c.notify)
+		c.notify = nil
+	}
+	c.notifyMu.Unlock()
+}
+
+// call sends one request and waits for its response or the timeout.
+func (c *Client) call(req *wire.Request) (*wire.Message, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	req.ID = c.nextID
+	c.nextID++
+	ch := make(chan wire.Message, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+	err := c.enc.Encode(req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		c.fail(err)
+		c.nc.Close()
+		return nil, err
+	}
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		if m.Error != "" {
+			return &m, fmt.Errorf("client: %s", m.Error)
+		}
+		return &m, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: %s request timed out after %v", req.Op, c.timeout)
+	}
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// DeclareRelation declares a relation schema on the server.
+func (c *Client) DeclareRelation(rel *schema.Relation) error {
+	attrs := make([]wire.Attr, 0, rel.Arity())
+	for _, a := range rel.Attrs() {
+		attrs = append(attrs, wire.Attr{Name: a.Name, Type: a.Type.String()})
+	}
+	_, err := c.call(&wire.Request{Op: wire.OpDeclare, Relation: rel.Name(), Attrs: attrs})
+	return err
+}
+
+// CreateIndex builds a secondary storage index on rel.attr.
+func (c *Client) CreateIndex(rel, attr string) error {
+	_, err := c.call(&wire.Request{Op: wire.OpIndex, Relation: rel, Attr: attr})
+	return err
+}
+
+// DefineRule registers a rule from source text (the cmd/predmatch rule
+// grammar) and returns the parsed rule name.
+func (c *Client) DefineRule(source string) (string, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpRule, Source: source})
+	if err != nil {
+		return "", err
+	}
+	return m.Name, nil
+}
+
+// DropRule removes a rule by name.
+func (c *Client) DropRule(name string) error {
+	_, err := c.call(&wire.Request{Op: wire.OpDropRule, Name: name})
+	return err
+}
+
+// AddPredicate registers a bare predicate (p.ID is ignored) and returns
+// the server-assigned ID.
+func (c *Client) AddPredicate(p *pred.Predicate) (pred.ID, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpAddPred, Pred: wire.FromPredicate(p)})
+	if err != nil {
+		return 0, err
+	}
+	return pred.ID(m.PredID), nil
+}
+
+// RemovePredicate unregisters a predicate added with AddPredicate.
+func (c *Client) RemovePredicate(id pred.ID) error {
+	_, err := c.call(&wire.Request{Op: wire.OpRemovePred, PredID: int64(id)})
+	return err
+}
+
+// Insert adds a tuple, returning its ID and how many rules fired.
+func (c *Client) Insert(rel string, t tuple.Tuple) (tuple.ID, int, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpInsert, Relation: rel, Tuple: wire.FromTuple(t)})
+	if err != nil {
+		return 0, 0, err
+	}
+	return tuple.ID(m.TupleID), m.Firings, nil
+}
+
+// Update replaces the tuple stored under id, returning the rule firing
+// count.
+func (c *Client) Update(rel string, id tuple.ID, t tuple.Tuple) (int, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpUpdate, Relation: rel, TupleID: int64(id), Tuple: wire.FromTuple(t)})
+	if err != nil {
+		return 0, err
+	}
+	return m.Firings, nil
+}
+
+// Delete removes the tuple stored under id, returning the rule firing
+// count.
+func (c *Client) Delete(rel string, id tuple.ID) (int, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpDelete, Relation: rel, TupleID: int64(id)})
+	if err != nil {
+		return 0, err
+	}
+	return m.Firings, nil
+}
+
+// Match returns the IDs of all predicates matching the tuple, without
+// touching storage.
+func (c *Client) Match(rel string, t tuple.Tuple) ([]pred.ID, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpMatch, Relation: rel, Tuple: wire.FromTuple(t)})
+	if err != nil {
+		return nil, err
+	}
+	return wire.ToIDs(m.Matches), nil
+}
+
+// MatchBatch matches a batch of tuples against one index snapshot.
+func (c *Client) MatchBatch(rel string, tuples []tuple.Tuple) ([][]pred.ID, error) {
+	raw := make([][]any, len(tuples))
+	for i, t := range tuples {
+		raw[i] = wire.FromTuple(t)
+	}
+	m, err := c.call(&wire.Request{Op: wire.OpMatchBatch, Relation: rel, Tuples: raw})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]pred.ID, len(m.Batch))
+	for i, ids := range m.Batch {
+		out[i] = wire.ToIDs(ids)
+	}
+	return out, nil
+}
+
+// Subscribe starts the notification stream. rules filters by rule name
+// (none = all rules); preds additionally streams direct-predicate
+// matches. The returned channel is closed when the connection ends.
+func (c *Client) Subscribe(preds bool, rules ...string) (<-chan Notification, error) {
+	c.notifyMu.Lock()
+	if c.notify == nil {
+		c.notify = make(chan Notification, c.notifyCap)
+	}
+	ch := c.notify
+	c.notifyMu.Unlock()
+	if _, err := c.call(&wire.Request{Op: wire.OpSubscribe, Rules: rules, Preds: preds}); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Unsubscribe stops the stream, reporting the total notifications the
+// server generated for the subscription and how many it dropped.
+// Notifications already queued may still arrive afterwards.
+func (c *Client) Unsubscribe() (generated, dropped uint64, err error) {
+	m, err := c.call(&wire.Request{Op: wire.OpUnsubscribe})
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.Seq, m.Dropped, nil
+}
+
+// Stats fetches server statistics.
+func (c *Client) Stats() (*wire.Stats, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return m.Stats, nil
+}

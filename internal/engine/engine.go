@@ -50,6 +50,22 @@ type Firing struct {
 	Event storage.Event
 }
 
+// FiringEvent is the flattened form of one rule activation delivered to
+// OnFire hooks: which rule fired, on which operation against which
+// tuple, and how deep in a forward-chaining cascade the activation sits
+// (0 for a firing triggered directly by an external mutation).
+type FiringEvent struct {
+	Rule    string
+	Rel     string
+	Op      storage.Op
+	TupleID tuple.ID
+	// Tuple is the tuple the rule's predicate matched: the new image for
+	// inserts and updates, the old image for deletes. It must be treated
+	// as read-only.
+	Tuple tuple.Tuple
+	Depth int
+}
+
 // Logger receives rule "log" action output and firing traces.
 type Logger func(format string, args ...any)
 
@@ -69,6 +85,7 @@ type Engine struct {
 	firings    []Firing
 	traceAll   bool
 	scratch    []pred.ID
+	onFire     []func(FiringEvent)
 }
 
 // Option configures an Engine.
@@ -107,6 +124,18 @@ func New(db *storage.DB, funcs *pred.Registry, m matcher.Matcher, opts ...Option
 
 // Matcher returns the engine's matching strategy.
 func (e *Engine) Matcher() matcher.Matcher { return e.m }
+
+// OnFire registers a hook invoked synchronously for every rule
+// activation, before the rule's actions execute and in the same order
+// activations fire. Hooks must be registered before mutations start
+// flowing and must not mutate the database (they run inside the
+// triggering mutation). The rule service daemon uses this to stream
+// firings to subscribers; tests use it as a firing oracle.
+func (e *Engine) OnFire(fn func(FiringEvent)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onFire = append(e.onFire, fn)
+}
 
 // DefineRule parses and registers a rule from source text.
 func (e *Engine) DefineRule(src string) (*Rule, error) {
@@ -253,6 +282,16 @@ func (e *Engine) onEvent(ev storage.Event) error {
 	for _, r := range toFire {
 		if e.traceAll {
 			e.firings = append(e.firings, Firing{Rule: r.Name, Event: ev})
+		}
+		for _, fn := range e.onFire {
+			fn(FiringEvent{
+				Rule:    r.Name,
+				Rel:     ev.Rel,
+				Op:      ev.Op,
+				TupleID: ev.ID,
+				Tuple:   t,
+				Depth:   e.depth - 1,
+			})
 		}
 		if err := e.execute(r, ev, t); err != nil {
 			return err

@@ -460,3 +460,68 @@ func TestDerivedColumnRule(t *testing.T) {
 		t.Fatalf("watch fired %d times, want 1", count)
 	}
 }
+
+func TestOnFireHook(t *testing.T) {
+	_, eng, empTab, alertTab := setup(t, ibsMatcher)
+	// A cascading pair: the first rule's action inserts an alert, which
+	// fires the second rule one cascade level deeper.
+	if _, err := eng.DefineRule(
+		"rule rich on insert to emp when salary > 50000 do insert into alerts ('rich', 2)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.DefineRule(
+		"rule loud on insert to alerts when level > 1 do log 'loud'"); err != nil {
+		t.Fatal(err)
+	}
+	var got []engine.FiringEvent
+	eng.OnFire(func(ev engine.FiringEvent) { got = append(got, ev) })
+
+	if _, err := empTab.Insert(empT("a", 30, 60000, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empTab.Insert(empT("b", 30, 40000, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d firing events, want 2: %+v", len(got), got)
+	}
+	first, second := got[0], got[1]
+	if first.Rule != "rich" || first.Rel != "emp" || first.Op != storage.OpInsert || first.Depth != 0 {
+		t.Fatalf("first firing = %+v", first)
+	}
+	if first.TupleID != 1 || len(first.Tuple) != 4 || first.Tuple[2].AsInt() != 60000 {
+		t.Fatalf("first firing tuple = id=%d %v", first.TupleID, first.Tuple)
+	}
+	if second.Rule != "loud" || second.Rel != "alerts" || second.Op != storage.OpInsert || second.Depth != 1 {
+		t.Fatalf("second (cascaded) firing = %+v", second)
+	}
+	if alertTab.Len() != 1 {
+		t.Fatalf("alerts rows = %d, want 1", alertTab.Len())
+	}
+	// Hook order matches the recorded firing trace.
+	trace := eng.Firings()
+	if len(trace) != len(got) {
+		t.Fatalf("trace %d events, hook %d", len(trace), len(got))
+	}
+	for i := range trace {
+		if trace[i].Rule != got[i].Rule {
+			t.Fatalf("order mismatch at %d: trace %s, hook %s", i, trace[i].Rule, got[i].Rule)
+		}
+	}
+
+	// A delete firing carries the old tuple image.
+	if _, err := eng.DefineRule(
+		"rule gone on delete to emp do log 'gone'"); err != nil {
+		t.Fatal(err)
+	}
+	got = got[:0]
+	if err := empTab.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Rule != "gone" || got[0].Op != storage.OpDelete {
+		t.Fatalf("delete firing = %+v", got)
+	}
+	if got[0].Tuple[0].AsString() != "b" {
+		t.Fatalf("delete firing should carry old image, got %v", got[0].Tuple)
+	}
+}

@@ -162,6 +162,66 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("conformance", func(t *testing.T) { runRandomized(t, factory) })
 	t.Run("errors", func(t *testing.T) { runErrors(t, factory) })
 	t.Run("multiRelation", func(t *testing.T) { runMultiRelation(t, factory) })
+	t.Run("dstAppend", func(t *testing.T) { runDstAppend(t, factory) })
+}
+
+// runDstAppend pins the Match dst contract for every strategy: results
+// are appended to the caller's dst — an existing prefix is preserved
+// byte for byte, spare capacity may be reused but never clobbered, and
+// each matching ID appears exactly once in the appended suffix.
+func runDstAppend(t *testing.T, factory Factory) {
+	fix := NewFixture()
+	rng := rand.New(rand.NewSource(11))
+	m := factory(fix)
+	ref := &reference{fix: fix, preds: map[pred.ID]*pred.Bound{}}
+	for id := pred.ID(0); id < 60; id++ {
+		p := fix.RandomPredicate(rng, id)
+		if err := m.Add(p); err != nil {
+			t.Fatalf("Add(%v): %v", p, err)
+		}
+		b, err := p.Bind(fix.Catalog, fix.Funcs)
+		if err != nil {
+			t.Fatalf("Bind: %v", err)
+		}
+		ref.preds[p.ID] = b
+	}
+
+	// sentinel IDs can never be produced by a real match.
+	const sentinel = pred.ID(1) << 60
+	for i := 0; i < 200; i++ {
+		rel := fix.Rels[rng.Intn(len(fix.Rels))]
+		tup := fix.RandomTuple(rng, rel)
+		prefix := []pred.ID{sentinel, sentinel + pred.ID(i+1)}
+		// Alternate between an exactly-sized dst and one with spare
+		// capacity, so in-place append reuse is exercised both ways.
+		var dst []pred.ID
+		if i%2 == 0 {
+			dst = append([]pred.ID(nil), prefix...)
+		} else {
+			dst = make([]pred.ID, 0, 64)
+			dst = append(dst, prefix...)
+		}
+		got, err := m.Match(rel.Name(), tup, dst)
+		if err != nil {
+			t.Fatalf("probe %d: Match: %v", i, err)
+		}
+		if len(got) < len(prefix) || got[0] != prefix[0] || got[1] != prefix[1] {
+			t.Fatalf("probe %d: dst prefix clobbered: %v (want prefix %v)", i, got, prefix)
+		}
+		if dst[0] != prefix[0] || dst[1] != prefix[1] {
+			t.Fatalf("probe %d: caller's dst slice mutated: %v", i, dst)
+		}
+		suffix := append([]pred.ID(nil), got[len(prefix):]...)
+		sort.Slice(suffix, func(i, j int) bool { return suffix[i] < suffix[j] })
+		for j := 1; j < len(suffix); j++ {
+			if suffix[j] == suffix[j-1] {
+				t.Fatalf("probe %d: ID %d appended more than once: %v", i, suffix[j], got)
+			}
+		}
+		if want := ref.match(rel.Name(), tup); !equalIDs(suffix, want) {
+			t.Fatalf("probe %d: appended %v, want %v", i, suffix, want)
+		}
+	}
 }
 
 func runRandomized(t *testing.T, factory Factory) {

@@ -35,6 +35,7 @@ import (
 	"predmatch/internal/pred"
 	"predmatch/internal/query"
 	"predmatch/internal/schema"
+	"predmatch/internal/shard"
 	"predmatch/internal/storage"
 	"predmatch/internal/tuple"
 	"predmatch/internal/value"
@@ -410,6 +411,13 @@ func (in *Interp) execStats() error {
 		for _, ts := range ix.Trees() {
 			fmt.Fprintf(in.out, "  ibs-tree %s.%s: %d intervals, %d nodes, %d markers, height %d\n",
 				ts.Rel, ts.Attr, ts.Intervals, ts.Nodes, ts.Markers, ts.Height)
+		}
+	}
+	// The sharded matcher additionally reports per-relation shards.
+	if sm, ok := in.eng.Matcher().(interface{ Stats() []shard.ShardStats }); ok {
+		for _, s := range sm.Stats() {
+			fmt.Fprintf(in.out, "  shard %s: %d predicates, snapshot version %d\n",
+				s.Rel, s.Predicates, s.Version)
 		}
 	}
 	return nil

@@ -1,0 +1,813 @@
+// Package server implements predmatchd, the network rule-service
+// daemon: a TCP server that owns a storage.DB, a forward-chaining rule
+// engine and a shard.ShardedMatcher, and speaks the newline-delimited
+// JSON protocol of internal/wire (see docs/PROTOCOL.md).
+//
+// The paper's predicate index exists to serve a database rule system —
+// external clients register predicates and rules and are told when
+// tuples match. This package is that serving layer:
+//
+//   - Mutations (insert/update/delete) and DDL (declare, rule, addpred)
+//     are serialized through one server mutex, because the engine's
+//     cascade execution is single-threaded by design.
+//   - match/matchbatch requests bypass the mutex entirely and stab the
+//     sharded matcher's lock-free snapshots, so read traffic scales
+//     across connections regardless of write load.
+//   - Subscriptions stream rule firings (via the engine's OnFire hook)
+//     and predicate matches to clients. Every connection has a bounded
+//     notification queue with a drop-newest overflow policy: a slow
+//     consumer loses notifications (counted, and visible to the client
+//     as sequence-number gaps) but can never block the match path.
+//
+// Robustness contract: per-frame write deadlines, an idle read timeout
+// for unsubscribed connections, a connection limit that rejects rather
+// than queues, and context-driven graceful shutdown that drains
+// in-flight requests and queued notifications.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predmatch/internal/engine"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/shard"
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+	"predmatch/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// DirectPredBase is the first predicate ID handed to addpred requests.
+// The engine allocates rule-predicate IDs counting up from 1; direct
+// client predicates live in their own high range so the two allocators
+// never collide.
+const DirectPredBase pred.ID = 1 << 40
+
+// Config tunes a Server. The zero value picks the documented defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default :7341).
+	Addr string
+	// MaxConns bounds concurrent client connections; further dials are
+	// rejected with an error frame (default 128).
+	MaxConns int
+	// QueueLen is the per-connection notification queue capacity; when
+	// full, new notifications for that connection are dropped and
+	// counted (default 1024).
+	QueueLen int
+	// WriteTimeout bounds writing one frame to a client; a missed
+	// deadline tears the connection down (default 10s).
+	WriteTimeout time.Duration
+	// IdleTimeout closes connections with no active subscription that
+	// send no request for this long (default 0 = never).
+	IdleTimeout time.Duration
+	// Logf receives connection-level diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = ":7341"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 128
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is one rule-service daemon instance. Construct with New, drive
+// with ListenAndServe or Serve, stop with Shutdown or Close.
+type Server struct {
+	cfg   Config
+	db    *storage.DB
+	funcs *pred.Registry
+	sm    *shard.ShardedMatcher
+	eng   *engine.Engine
+
+	// mu serializes mutations and DDL through the engine. The match
+	// path never takes it.
+	mu sync.Mutex
+	// firings counts rule activations of the mutation currently being
+	// executed under mu.
+	firings int
+	// nextPredID allocates direct (addpred) predicate IDs.
+	nextPredID atomic.Int64
+
+	lnMu sync.Mutex
+	ln   net.Listener
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	subMu sync.Mutex
+	subs  map[*conn]*subscription
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// subscription is one connection's notification filter and counters,
+// all guarded by Server.subMu.
+type subscription struct {
+	rules map[string]bool // nil = every rule
+	preds bool            // also stream direct-predicate matches
+	seq   uint64          // notifications generated (delivered + dropped)
+	drops uint64          // notifications dropped by the overflow policy
+}
+
+// New builds a daemon with an empty database, the built-in function
+// registry and a sharded matcher.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:   cfg,
+		db:    storage.NewDB(),
+		funcs: pred.NewRegistry(),
+		done:  make(chan struct{}),
+		conns: make(map[*conn]struct{}),
+		subs:  make(map[*conn]*subscription),
+	}
+	s.nextPredID.Store(int64(DirectPredBase))
+	s.sm = shard.New(s.db.Catalog(), s.funcs)
+	s.eng = engine.New(s.db, s.funcs, s.sm)
+	s.eng.OnFire(s.onFire)
+	// Predicate-match streaming: a second observer (after the engine's)
+	// re-stabs the index for events whenever some subscriber asked for
+	// direct-predicate matches.
+	s.db.Observe(s.onEventPreds)
+	return s
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown/Close.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address once Serve is running (for tests
+// listening on ":0"), or nil before that.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown or Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	defer ln.Close()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return ErrServerClosed
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn admits or rejects one accepted connection.
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{
+		s:          s,
+		nc:         nc,
+		resp:       make(chan wire.Message, 16),
+		notes:      make(chan wire.Message, s.cfg.QueueLen),
+		readerDone: make(chan struct{}),
+		writerGone: make(chan struct{}),
+	}
+	s.connMu.Lock()
+	select {
+	case <-s.done:
+		s.connMu.Unlock()
+		nc.Close()
+		return
+	default:
+	}
+	if len(s.conns) >= s.cfg.MaxConns {
+		s.connMu.Unlock()
+		s.cfg.Logf("server: rejecting %s: connection limit %d reached", nc.RemoteAddr(), s.cfg.MaxConns)
+		nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		json.NewEncoder(nc).Encode(wire.Message{
+			Type: wire.TypeResponse, Error: "server at connection limit",
+		})
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+
+	s.wg.Add(2)
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// removeConn drops a finished connection from the registries.
+func (s *Server) removeConn(c *conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+	s.subMu.Lock()
+	delete(s.subs, c)
+	s.subMu.Unlock()
+}
+
+// Shutdown stops accepting, unblocks idle readers, and waits for every
+// connection to drain its in-flight request and queued responses. If
+// ctx expires first, remaining connections are closed forcibly and the
+// context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+	// Wake readers blocked waiting for the next request; readers in the
+	// middle of a request finish it first.
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() { s.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.connMu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Close shuts the server down without a drain grace period.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// onFire is the engine hook: fan one rule activation out to every
+// subscription whose filter accepts it. It runs inside the mutation
+// (under s.mu) and must never block, so queue overflow drops.
+func (s *Server) onFire(ev engine.FiringEvent) {
+	s.firings++
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for c, sub := range s.subs {
+		if sub.rules != nil && !sub.rules[ev.Rule] {
+			continue
+		}
+		sub.seq++
+		s.offer(c, sub, wire.Message{
+			Type:     wire.TypeNotify,
+			Seq:      sub.seq,
+			Rule:     ev.Rule,
+			Relation: ev.Rel,
+			EventOp:  ev.Op.String(),
+			EventID:  int64(ev.TupleID),
+			Tuple:    wire.FromTuple(ev.Tuple),
+			Depth:    ev.Depth,
+			Dropped:  sub.drops,
+		})
+	}
+}
+
+// onEventPreds streams direct-predicate matches: when any subscription
+// asked for them, re-match the event's tuple and report the matching
+// client-registered predicate IDs.
+func (s *Server) onEventPreds(ev storage.Event) error {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	wanted := false
+	for _, sub := range s.subs {
+		if sub.preds {
+			wanted = true
+			break
+		}
+	}
+	if !wanted {
+		return nil
+	}
+	t := ev.New
+	if ev.Op == storage.OpDelete {
+		t = ev.Old
+	}
+	if t == nil {
+		return nil
+	}
+	ids, err := s.sm.Match(ev.Rel, t, nil)
+	if err != nil {
+		return nil // matching problems surface on the engine path
+	}
+	var direct []int64
+	for _, id := range ids {
+		if id >= DirectPredBase {
+			direct = append(direct, int64(id))
+		}
+	}
+	if len(direct) == 0 {
+		return nil
+	}
+	for c, sub := range s.subs {
+		if !sub.preds {
+			continue
+		}
+		sub.seq++
+		s.offer(c, sub, wire.Message{
+			Type:     wire.TypeNotify,
+			Seq:      sub.seq,
+			Relation: ev.Rel,
+			EventOp:  ev.Op.String(),
+			EventID:  int64(ev.ID),
+			Tuple:    wire.FromTuple(t),
+			Matches:  direct,
+			Dropped:  sub.drops,
+		})
+	}
+	return nil
+}
+
+// offer enqueues a notification without ever blocking: the overflow
+// policy is drop-newest, counted per subscription and globally.
+// Callers hold subMu.
+func (s *Server) offer(c *conn, sub *subscription, m wire.Message) {
+	select {
+	case c.notes <- m:
+	default:
+		sub.drops++
+		s.dropped.Add(1)
+	}
+}
+
+// conn is one client connection: a reader goroutine that decodes and
+// executes requests, and a writer goroutine that owns the socket's
+// write side, multiplexing responses (never dropped) with notifications
+// (bounded queue).
+type conn struct {
+	s     *Server
+	nc    net.Conn
+	resp  chan wire.Message
+	notes chan wire.Message
+	// readerDone is closed when the reader stops issuing responses; the
+	// writer then drains and closes the socket.
+	readerDone chan struct{}
+	// writerGone is closed when the writer exits (write error or
+	// drain complete), unblocking a reader stuck on a full resp queue.
+	writerGone chan struct{}
+}
+
+// subscribed reports whether the connection has an active subscription
+// (which exempts it from the idle timeout).
+func (c *conn) subscribed() bool {
+	c.s.subMu.Lock()
+	defer c.s.subMu.Unlock()
+	_, ok := c.s.subs[c]
+	return ok
+}
+
+func (c *conn) readLoop() {
+	defer c.s.wg.Done()
+	defer close(c.readerDone)
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 0, 4096), wire.MaxLineBytes)
+	for {
+		if idle := c.s.cfg.IdleTimeout; idle > 0 && !c.subscribed() {
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+		} else {
+			c.nc.SetReadDeadline(time.Time{})
+		}
+		if !sc.Scan() {
+			// EOF, peer reset, idle timeout, shutdown wake-up, or an
+			// over-long line: the connection is done either way.
+			if err := sc.Err(); err != nil {
+				c.s.cfg.Logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var req wire.Request
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		if err := dec.Decode(&req); err != nil {
+			// Framing is broken; answer once and hang up.
+			c.send(errMsg(0, fmt.Errorf("bad request frame: %w", err)))
+			return
+		}
+		if !c.send(c.s.handle(c, &req)) {
+			return
+		}
+		select {
+		case <-c.s.done:
+			return
+		default:
+		}
+	}
+}
+
+// send queues a response for the writer. It blocks when the response
+// queue is full (backpressure on the request path) but aborts if the
+// writer is gone.
+func (c *conn) send(m wire.Message) bool {
+	select {
+	case c.resp <- m:
+		return true
+	case <-c.writerGone:
+		return false
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer c.s.wg.Done()
+	defer c.s.removeConn(c)
+	defer c.nc.Close()
+	defer close(c.writerGone)
+	enc := json.NewEncoder(c.nc)
+	write := func(m wire.Message) bool {
+		c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
+		if err := enc.Encode(m); err != nil {
+			// Write error or missed deadline: a partially written frame
+			// cannot be recovered under line framing, so tear down.
+			c.s.cfg.Logf("server: %s: write: %v", c.nc.RemoteAddr(), err)
+			return false
+		}
+		if m.Type == wire.TypeNotify {
+			c.s.delivered.Add(1)
+		}
+		return true
+	}
+	for {
+		// Responses take priority over notifications.
+		select {
+		case m := <-c.resp:
+			if !write(m) {
+				return
+			}
+			continue
+		default:
+		}
+		select {
+		case m := <-c.resp:
+			if !write(m) {
+				return
+			}
+		case m := <-c.notes:
+			if !write(m) {
+				return
+			}
+		case <-c.readerDone:
+			// Drain: the reader issues no further responses, so flush
+			// what is queued (responses first) and hang up.
+			for {
+				select {
+				case m := <-c.resp:
+					if !write(m) {
+						return
+					}
+				default:
+					for {
+						select {
+						case m := <-c.notes:
+							if !write(m) {
+								return
+							}
+						default:
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// errMsg builds an error response.
+func errMsg(id uint64, err error) wire.Message {
+	return wire.Message{Type: wire.TypeResponse, ID: id, Error: err.Error()}
+}
+
+func okMsg(id uint64) wire.Message {
+	return wire.Message{Type: wire.TypeResponse, ID: id, OK: true}
+}
+
+// handle executes one request and builds its response.
+func (s *Server) handle(c *conn, req *wire.Request) wire.Message {
+	switch req.Op {
+	case wire.OpPing:
+		return okMsg(req.ID)
+	case wire.OpDeclare:
+		return s.handleDeclare(req)
+	case wire.OpIndex:
+		return s.handleIndex(req)
+	case wire.OpRule:
+		return s.handleRule(req)
+	case wire.OpDropRule:
+		return s.handleDropRule(req)
+	case wire.OpAddPred:
+		return s.handleAddPred(req)
+	case wire.OpRemovePred:
+		return s.handleRemovePred(req)
+	case wire.OpInsert, wire.OpUpdate, wire.OpDelete:
+		return s.handleMutation(req)
+	case wire.OpMatch:
+		return s.handleMatch(req)
+	case wire.OpMatchBatch:
+		return s.handleMatchBatch(req)
+	case wire.OpSubscribe:
+		return s.handleSubscribe(c, req)
+	case wire.OpUnsubscribe:
+		return s.handleUnsubscribe(c, req)
+	case wire.OpStats:
+		return s.handleStats(req)
+	default:
+		return errMsg(req.ID, fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+func (s *Server) handleDeclare(req *wire.Request) wire.Message {
+	attrs := make([]schema.Attribute, 0, len(req.Attrs))
+	for _, a := range req.Attrs {
+		kind, err := value.KindFromName(a.Type)
+		if err != nil {
+			return errMsg(req.ID, err)
+		}
+		attrs = append(attrs, schema.Attribute{Name: a.Name, Type: kind})
+	}
+	rel, err := schema.NewRelation(req.Relation, attrs...)
+	if err != nil {
+		return errMsg(req.ID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.db.CreateRelation(rel); err != nil {
+		return errMsg(req.ID, err)
+	}
+	return okMsg(req.ID)
+}
+
+func (s *Server) handleIndex(req *wire.Request) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tab, ok := s.db.Table(req.Relation)
+	if !ok {
+		return errMsg(req.ID, fmt.Errorf("unknown relation %q", req.Relation))
+	}
+	if err := tab.CreateIndex(req.Attr); err != nil {
+		return errMsg(req.ID, err)
+	}
+	return okMsg(req.ID)
+}
+
+func (s *Server) handleRule(req *wire.Request) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.eng.DefineRule(req.Source)
+	if err != nil {
+		return errMsg(req.ID, err)
+	}
+	m := okMsg(req.ID)
+	m.Name = r.Name
+	return m
+}
+
+func (s *Server) handleDropRule(req *wire.Request) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.eng.DropRule(req.Name); err != nil {
+		return errMsg(req.ID, err)
+	}
+	return okMsg(req.ID)
+}
+
+func (s *Server) handleAddPred(req *wire.Request) wire.Message {
+	if req.Pred == nil {
+		return errMsg(req.ID, errors.New("addpred needs a pred"))
+	}
+	id := pred.ID(s.nextPredID.Add(1) - 1)
+	p, err := wire.ToPredicate(s.db.Catalog(), id, req.Pred)
+	if err != nil {
+		return errMsg(req.ID, err)
+	}
+	// The sharded matcher is safe for concurrent registration; no need
+	// for the mutation mutex.
+	if err := s.sm.Add(p); err != nil {
+		return errMsg(req.ID, err)
+	}
+	m := okMsg(req.ID)
+	m.PredID = int64(id)
+	return m
+}
+
+func (s *Server) handleRemovePred(req *wire.Request) wire.Message {
+	id := pred.ID(req.PredID)
+	if id < DirectPredBase {
+		return errMsg(req.ID, fmt.Errorf("predicate %d is not client-registered", req.PredID))
+	}
+	if err := s.sm.Remove(id); err != nil {
+		return errMsg(req.ID, err)
+	}
+	return okMsg(req.ID)
+}
+
+// handleMutation applies insert/update/delete through the engine under
+// the mutation mutex, reporting how many rules the change fired. Note
+// the storage contract: when a rule action fails (e.g. raise), the
+// triggering change itself stays applied and the error is reported.
+func (s *Server) handleMutation(req *wire.Request) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tab, ok := s.db.Table(req.Relation)
+	if !ok {
+		return errMsg(req.ID, fmt.Errorf("unknown relation %q", req.Relation))
+	}
+	s.firings = 0
+	m := okMsg(req.ID)
+	switch req.Op {
+	case wire.OpInsert:
+		t, err := wire.ToTuple(tab.Relation(), req.Tuple)
+		if err != nil {
+			return errMsg(req.ID, err)
+		}
+		id, err := tab.Insert(t)
+		if err != nil {
+			return errMsg(req.ID, err)
+		}
+		m.TupleID = int64(id)
+	case wire.OpUpdate:
+		t, err := wire.ToTuple(tab.Relation(), req.Tuple)
+		if err != nil {
+			return errMsg(req.ID, err)
+		}
+		if err := tab.Update(tuple.ID(req.TupleID), t); err != nil {
+			return errMsg(req.ID, err)
+		}
+	case wire.OpDelete:
+		if err := tab.Delete(tuple.ID(req.TupleID)); err != nil {
+			return errMsg(req.ID, err)
+		}
+	}
+	m.Firings = s.firings
+	return m
+}
+
+// handleMatch stabs the sharded matcher's lock-free snapshot; it never
+// touches the mutation mutex.
+func (s *Server) handleMatch(req *wire.Request) wire.Message {
+	rel, ok := s.db.Catalog().Get(req.Relation)
+	if !ok {
+		return errMsg(req.ID, fmt.Errorf("unknown relation %q", req.Relation))
+	}
+	t, err := wire.ToTuple(rel, req.Tuple)
+	if err != nil {
+		return errMsg(req.ID, err)
+	}
+	ids, err := s.sm.Match(req.Relation, t, nil)
+	if err != nil {
+		return errMsg(req.ID, err)
+	}
+	m := okMsg(req.ID)
+	m.Matches = wire.FromIDs(ids)
+	if m.Matches == nil {
+		m.Matches = []int64{}
+	}
+	return m
+}
+
+func (s *Server) handleMatchBatch(req *wire.Request) wire.Message {
+	rel, ok := s.db.Catalog().Get(req.Relation)
+	if !ok {
+		return errMsg(req.ID, fmt.Errorf("unknown relation %q", req.Relation))
+	}
+	tuples := make([]tuple.Tuple, len(req.Tuples))
+	for i, raw := range req.Tuples {
+		t, err := wire.ToTuple(rel, raw)
+		if err != nil {
+			return errMsg(req.ID, fmt.Errorf("tuple %d: %w", i, err))
+		}
+		tuples[i] = t
+	}
+	results, err := s.sm.MatchBatch(req.Relation, tuples)
+	if err != nil {
+		return errMsg(req.ID, err)
+	}
+	m := okMsg(req.ID)
+	m.Batch = make([][]int64, len(results))
+	for i, ids := range results {
+		m.Batch[i] = wire.FromIDs(ids)
+		if m.Batch[i] == nil {
+			m.Batch[i] = []int64{}
+		}
+	}
+	return m
+}
+
+func (s *Server) handleSubscribe(c *conn, req *wire.Request) wire.Message {
+	sub := &subscription{preds: req.Preds}
+	if len(req.Rules) > 0 {
+		sub.rules = make(map[string]bool, len(req.Rules))
+		for _, r := range req.Rules {
+			sub.rules[r] = true
+		}
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if _, dup := s.subs[c]; dup {
+		return errMsg(req.ID, errors.New("already subscribed"))
+	}
+	s.subs[c] = sub
+	return okMsg(req.ID)
+}
+
+// handleUnsubscribe stops the stream and reports the subscription's
+// final counters: Seq is the total notifications generated, Dropped how
+// many of those the overflow policy discarded. Notifications still in
+// the queue may be delivered after this response.
+func (s *Server) handleUnsubscribe(c *conn, req *wire.Request) wire.Message {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	m := okMsg(req.ID)
+	if sub, ok := s.subs[c]; ok {
+		m.Seq = sub.seq
+		m.Dropped = sub.drops
+		delete(s.subs, c)
+	}
+	return m
+}
+
+func (s *Server) handleStats(req *wire.Request) wire.Message {
+	st := &wire.Stats{
+		Rules:      s.eng.Rules(),
+		Matcher:    s.sm.Name(),
+		Predicates: s.sm.Len(),
+		Delivered:  s.delivered.Load(),
+		Dropped:    s.dropped.Load(),
+	}
+	for _, sh := range s.sm.Stats() {
+		st.Shards = append(st.Shards, wire.ShardStat{
+			Rel: sh.Rel, Predicates: sh.Predicates, Version: sh.Version,
+		})
+	}
+	s.connMu.Lock()
+	st.Conns = len(s.conns)
+	s.connMu.Unlock()
+	s.subMu.Lock()
+	st.Subs = len(s.subs)
+	s.subMu.Unlock()
+	m := okMsg(req.ID)
+	m.Stats = st
+	return m
+}

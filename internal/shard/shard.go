@@ -69,6 +69,10 @@ type relShard struct {
 	mu sync.Mutex // serializes clone-and-publish writers
 	// snap is the published immutable snapshot; nil until the first Add.
 	snap atomic.Pointer[core.Index]
+	// version counts published snapshots: it advances by one on every
+	// successful Add/Remove against this shard, so two reads observing
+	// the same version observed the same predicate set.
+	version atomic.Uint64
 }
 
 // Option configures a ShardedMatcher.
@@ -182,6 +186,7 @@ func (m *ShardedMatcher) Add(p *pred.Predicate) error {
 		return err
 	}
 	sh.snap.Store(next)
+	sh.version.Add(1)
 	return nil
 }
 
@@ -208,6 +213,7 @@ func (m *ShardedMatcher) Remove(id pred.ID) error {
 		return err
 	}
 	sh.snap.Store(next)
+	sh.version.Add(1)
 	return nil
 }
 
@@ -295,6 +301,32 @@ func (m *ShardedMatcher) Snapshot(rel string) *core.Index {
 		return nil
 	}
 	return sh.snap.Load()
+}
+
+// ShardStats describes one relation shard: how many predicates its
+// current snapshot holds and which snapshot version is published.
+type ShardStats struct {
+	Rel        string
+	Predicates int
+	Version    uint64
+}
+
+// Stats reports every shard's predicate count and snapshot version,
+// sorted by relation. Each shard's count/version pair is read
+// atomically-enough for monitoring (the two loads are not fenced
+// together, so a concurrent write may skew one entry by one).
+func (m *ShardedMatcher) Stats() []ShardStats {
+	dir := *m.dir.Load()
+	out := make([]ShardStats, 0, len(dir))
+	for rel, sh := range dir {
+		s := ShardStats{Rel: rel, Version: sh.version.Load()}
+		if snap := sh.snap.Load(); snap != nil {
+			s.Predicates = snap.Len()
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	return out
 }
 
 // Relations returns the relations that currently have a shard (any

@@ -256,3 +256,46 @@ func TestMatchBatchSeesOneVersion(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestStats(t *testing.T) {
+	f := matchertest.NewFixture()
+	m := shard.New(f.Catalog, f.Funcs)
+	if got := m.Stats(); len(got) != 0 {
+		t.Fatalf("empty matcher stats = %+v", got)
+	}
+	age := func(id pred.ID, lo int64) *pred.Predicate {
+		return pred.New(id, "emp", pred.IvClause("age", interval.AtLeast(value.Int(lo))))
+	}
+	for i, p := range []*pred.Predicate{
+		age(1, 10),
+		age(2, 20),
+		pred.New(3, "items", pred.IvClause("stock", interval.AtMost(value.Int(5)))),
+	} {
+		if err := m.Add(p); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+	}
+	want := []shard.ShardStats{
+		{Rel: "emp", Predicates: 2, Version: 2},
+		{Rel: "items", Predicates: 1, Version: 1},
+	}
+	if got := m.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stats after adds = %+v, want %+v", got, want)
+	}
+	if err := m.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	// A removal publishes a new snapshot: the count drops, the version
+	// still advances — the shard itself survives with zero predicates
+	// once its last predicate goes.
+	if err := m.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	want = []shard.ShardStats{
+		{Rel: "emp", Predicates: 1, Version: 3},
+		{Rel: "items", Predicates: 0, Version: 2},
+	}
+	if got := m.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stats after removes = %+v, want %+v", got, want)
+	}
+}

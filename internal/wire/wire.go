@@ -1,0 +1,344 @@
+// Package wire defines the predmatchd network protocol: the message
+// types exchanged between the rule-service daemon (internal/server) and
+// its clients (internal/client), plus the codecs that translate between
+// JSON literals and the engine's typed values, tuples and predicates.
+//
+// Framing is newline-delimited JSON: every message is one JSON object
+// followed by '\n', at most MaxLineBytes long. The client sends Request
+// objects; the server sends Message objects, which are either responses
+// (correlated to a request by ID) or asynchronous subscription
+// notifications. See docs/PROTOCOL.md for the full protocol contract,
+// including subscription ordering and the overflow/drop policy.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// MaxLineBytes bounds one framed message. Requests above the limit are
+// rejected; the bound keeps a hostile or buggy client from ballooning
+// server memory.
+const MaxLineBytes = 1 << 20
+
+// Request operation names.
+const (
+	OpDeclare     = "declare"     // declare a relation schema
+	OpIndex       = "index"       // create a secondary storage index
+	OpRule        = "rule"        // define a rule from source text
+	OpDropRule    = "droprule"    // drop a rule by name
+	OpAddPred     = "addpred"     // register a bare predicate (server assigns the ID)
+	OpRemovePred  = "rmpred"      // unregister a bare predicate
+	OpInsert      = "insert"      // insert a tuple (fires rules)
+	OpUpdate      = "update"      // update a tuple (fires rules)
+	OpDelete      = "delete"      // delete a tuple (fires rules)
+	OpMatch       = "match"       // match one tuple, no storage change
+	OpMatchBatch  = "matchbatch"  // match a batch of tuples
+	OpSubscribe   = "subscribe"   // start streaming firing notifications
+	OpUnsubscribe = "unsubscribe" // stop the notification stream
+	OpStats       = "stats"       // server + shard statistics
+	OpPing        = "ping"        // liveness probe
+)
+
+// Attr is one attribute of a relation declaration.
+type Attr struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // int, float, string, bool (value.KindFromName)
+}
+
+// Bound is one end of a predicate clause interval; a nil *Bound means
+// the end is unbounded (±infinity).
+type Bound struct {
+	Value any  `json:"value"`
+	Open  bool `json:"open,omitempty"` // exclusive endpoint when true
+}
+
+// Clause is one conjunct of a wire predicate. Exactly one of Fn / Eq /
+// (Lo,Hi) families is meaningful: Fn names a registered boolean
+// function, Eq is a point equality, otherwise the clause is the
+// interval [Lo, Hi] with nil meaning unbounded.
+type Clause struct {
+	Attr string `json:"attr"`
+	Fn   string `json:"fn,omitempty"`
+	Eq   any    `json:"eq,omitempty"`
+	Lo   *Bound `json:"lo,omitempty"`
+	Hi   *Bound `json:"hi,omitempty"`
+}
+
+// Predicate is the wire form of a disjunction-free predicate. The
+// server assigns the ID on addpred and returns it in the response.
+type Predicate struct {
+	Rel     string   `json:"rel"`
+	Clauses []Clause `json:"clauses,omitempty"`
+}
+
+// Request is one client command. Only the fields of the given Op are
+// consulted; the rest stay at their zero values and are omitted on the
+// wire.
+type Request struct {
+	ID uint64 `json:"id"`
+	Op string `json:"op"`
+
+	Relation string     `json:"relation,omitempty"` // declare, index, insert/update/delete, match*
+	Attrs    []Attr     `json:"attrs,omitempty"`    // declare
+	Attr     string     `json:"attr,omitempty"`     // index
+	Source   string     `json:"source,omitempty"`   // rule
+	Name     string     `json:"name,omitempty"`     // droprule
+	Pred     *Predicate `json:"pred,omitempty"`     // addpred
+	PredID   int64      `json:"pred_id,omitempty"`  // rmpred
+	TupleID  int64      `json:"tuple_id,omitempty"` // update, delete
+	Tuple    []any      `json:"tuple,omitempty"`    // insert, update, match
+	Tuples   [][]any    `json:"tuples,omitempty"`   // matchbatch
+	Rules    []string   `json:"rules,omitempty"`    // subscribe filter (empty = all rules)
+	Preds    bool       `json:"preds,omitempty"`    // subscribe: also stream direct-predicate matches
+}
+
+// Message type discriminators.
+const (
+	TypeResponse = "response"
+	TypeNotify   = "notify"
+)
+
+// ShardStat mirrors shard.ShardStats for the stats response.
+type ShardStat struct {
+	Rel        string `json:"rel"`
+	Predicates int    `json:"predicates"`
+	Version    uint64 `json:"version"`
+}
+
+// Stats is the payload of a stats response.
+type Stats struct {
+	Rules      []string    `json:"rules"`
+	Matcher    string      `json:"matcher"`
+	Predicates int         `json:"predicates"`
+	Shards     []ShardStat `json:"shards,omitempty"`
+	Conns      int         `json:"conns"`
+	Subs       int         `json:"subs"`
+	Delivered  uint64      `json:"delivered"`
+	Dropped    uint64      `json:"dropped"`
+}
+
+// Message is one server-to-client frame: a response when Type is
+// "response" (ID echoes the request), a subscription notification when
+// Type is "notify".
+type Message struct {
+	Type string `json:"type"`
+
+	// Response fields.
+	ID      uint64    `json:"id,omitempty"`
+	OK      bool      `json:"ok,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	TupleID int64     `json:"tuple_id,omitempty"` // insert result
+	PredID  int64     `json:"pred_id,omitempty"`  // addpred result
+	Name    string    `json:"name,omitempty"`     // rule result: parsed rule name
+	Matches []int64   `json:"matches,omitempty"`  // match result
+	Batch   [][]int64 `json:"batch,omitempty"`    // matchbatch result
+	Stats   *Stats    `json:"stats,omitempty"`    // stats result
+	Firings int       `json:"firings,omitempty"`  // rules fired by a mutation
+
+	// Notification fields. Seq numbers every notification generated for
+	// the subscription (starting at 1), assigned before the overflow
+	// policy decides whether to deliver or drop: a gap in received Seq
+	// values is exactly the set of dropped notifications. Dropped is the
+	// cumulative drop count for the subscription at send time.
+	Seq      uint64 `json:"seq,omitempty"`
+	Rule     string `json:"rule,omitempty"`
+	Relation string `json:"relation,omitempty"`
+	EventOp  string `json:"event_op,omitempty"` // insert, update, delete
+	EventID  int64  `json:"event_id,omitempty"` // tuple ID of the triggering event
+	Tuple    []any  `json:"tuple,omitempty"`    // matched tuple image
+	Depth    int    `json:"depth,omitempty"`    // forward-chaining cascade depth
+	Dropped  uint64 `json:"dropped,omitempty"`
+}
+
+// FromValue converts an engine value to its JSON literal: numbers for
+// int/float, a string for string, a bool for bool.
+func FromValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindFloat:
+		return v.AsFloat()
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		return v.AsBool()
+	default:
+		return nil
+	}
+}
+
+// FromTuple converts a tuple to its wire form.
+func FromTuple(t tuple.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		out[i] = FromValue(v)
+	}
+	return out
+}
+
+// ToValue converts a decoded JSON literal to a value of the given kind.
+// Numbers may arrive as json.Number (a decoder with UseNumber, as the
+// server and client both use) or float64 (a plain decoder).
+func ToValue(kind value.Kind, raw any) (value.Value, error) {
+	switch kind {
+	case value.KindInt:
+		switch n := raw.(type) {
+		case json.Number:
+			i, err := n.Int64()
+			if err != nil {
+				return value.Value{}, fmt.Errorf("wire: %v is not an int", raw)
+			}
+			return value.Int(i), nil
+		case float64:
+			if n != float64(int64(n)) {
+				return value.Value{}, fmt.Errorf("wire: %v is not an int", raw)
+			}
+			return value.Int(int64(n)), nil
+		case int64:
+			return value.Int(n), nil
+		}
+	case value.KindFloat:
+		switch n := raw.(type) {
+		case json.Number:
+			f, err := n.Float64()
+			if err != nil {
+				return value.Value{}, fmt.Errorf("wire: %v is not a float", raw)
+			}
+			return value.Float(f), nil
+		case float64:
+			return value.Float(n), nil
+		case int64:
+			return value.Float(float64(n)), nil
+		}
+	case value.KindString:
+		if s, ok := raw.(string); ok {
+			return value.String_(s), nil
+		}
+	case value.KindBool:
+		if b, ok := raw.(bool); ok {
+			return value.Bool(b), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("wire: cannot decode %T %v as %s", raw, raw, kind)
+}
+
+// ToTuple decodes a wire tuple against a relation schema.
+func ToTuple(rel *schema.Relation, raw []any) (tuple.Tuple, error) {
+	attrs := rel.Attrs()
+	if len(raw) != len(attrs) {
+		return nil, fmt.Errorf("wire: tuple arity %d does not match relation %s (arity %d)",
+			len(raw), rel.Name(), len(attrs))
+	}
+	t := make(tuple.Tuple, len(raw))
+	for i, r := range raw {
+		v, err := ToValue(attrs[i].Type, r)
+		if err != nil {
+			return nil, fmt.Errorf("wire: attribute %s of %s: %w", attrs[i].Name, rel.Name(), err)
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+// FromPredicate converts an engine predicate to its wire form (the ID is
+// not carried; the server assigns IDs).
+func FromPredicate(p *pred.Predicate) *Predicate {
+	wp := &Predicate{Rel: p.Rel}
+	for _, c := range p.Clauses {
+		wc := Clause{Attr: c.Attr}
+		switch c.Kind {
+		case pred.KindFunc:
+			wc.Fn = c.Func
+		default:
+			if c.Iv.IsPoint(value.Compare) {
+				wc.Eq = FromValue(c.Iv.Lo.Value)
+			} else {
+				if c.Iv.Lo.Kind == interval.Finite {
+					wc.Lo = &Bound{Value: FromValue(c.Iv.Lo.Value), Open: !c.Iv.Lo.Closed}
+				}
+				if c.Iv.Hi.Kind == interval.Finite {
+					wc.Hi = &Bound{Value: FromValue(c.Iv.Hi.Value), Open: !c.Iv.Hi.Closed}
+				}
+			}
+		}
+		wp.Clauses = append(wp.Clauses, wc)
+	}
+	return wp
+}
+
+// ToPredicate decodes a wire predicate against a schema catalog,
+// assigning it the given ID. Typing errors (unknown relation or
+// attribute, mismatched bound kinds) surface here, before the predicate
+// reaches the matcher.
+func ToPredicate(cat *schema.Catalog, id pred.ID, wp *Predicate) (*pred.Predicate, error) {
+	rel, ok := cat.Get(wp.Rel)
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown relation %q", wp.Rel)
+	}
+	var clauses []pred.Clause
+	for _, wc := range wp.Clauses {
+		kind, ok := rel.AttrType(wc.Attr)
+		if !ok {
+			return nil, fmt.Errorf("wire: relation %s has no attribute %q", wp.Rel, wc.Attr)
+		}
+		switch {
+		case wc.Fn != "":
+			clauses = append(clauses, pred.FnClause(wc.Attr, wc.Fn))
+		case wc.Eq != nil:
+			v, err := ToValue(kind, wc.Eq)
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, pred.EqClause(wc.Attr, v))
+		default:
+			iv := interval.All[value.Value]()
+			if wc.Lo != nil {
+				v, err := ToValue(kind, wc.Lo.Value)
+				if err != nil {
+					return nil, err
+				}
+				iv.Lo = interval.FiniteBound(v, !wc.Lo.Open)
+			}
+			if wc.Hi != nil {
+				v, err := ToValue(kind, wc.Hi.Value)
+				if err != nil {
+					return nil, err
+				}
+				iv.Hi = interval.FiniteBound(v, !wc.Hi.Open)
+			}
+			clauses = append(clauses, pred.IvClause(wc.Attr, iv))
+		}
+	}
+	return pred.New(id, wp.Rel, clauses...), nil
+}
+
+// FromIDs converts predicate IDs to the wire integer form.
+func FromIDs(ids []pred.ID) []int64 {
+	if ids == nil {
+		return nil
+	}
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+// ToIDs converts wire integers back to predicate IDs.
+func ToIDs(raw []int64) []pred.ID {
+	if raw == nil {
+		return nil
+	}
+	out := make([]pred.ID, len(raw))
+	for i, id := range raw {
+		out[i] = pred.ID(id)
+	}
+	return out
+}
