@@ -8,6 +8,7 @@ package schema
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"predmatch/internal/value"
 )
@@ -84,7 +85,12 @@ func (r *Relation) AttrType(name string) (value.Kind, bool) {
 }
 
 // Catalog is the set of relation schemas known to a database instance.
+// It is safe for concurrent use: one catalog is shared by the storage
+// engine, every matcher strategy and the server's lock-free match path,
+// where lookups race with DDL-driven Adds. Relation values themselves
+// are immutable after construction.
 type Catalog struct {
+	mu   sync.RWMutex
 	rels map[string]*Relation
 }
 
@@ -93,6 +99,8 @@ func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]*Relation)} }
 
 // Add registers a relation schema; duplicate names are an error.
 func (c *Catalog) Add(r *Relation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.rels[r.name]; dup {
 		return fmt.Errorf("schema: relation %s already defined", r.name)
 	}
@@ -102,12 +110,16 @@ func (c *Catalog) Add(r *Relation) error {
 
 // Get returns the named relation schema.
 func (c *Catalog) Get(name string) (*Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	r, ok := c.rels[name]
 	return r, ok
 }
 
 // Names returns the relation names in sorted order.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.rels))
 	for n := range c.rels {
 		out = append(out, n)
@@ -117,4 +129,8 @@ func (c *Catalog) Names() []string {
 }
 
 // Len returns the number of relations.
-func (c *Catalog) Len() int { return len(c.rels) }
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.rels)
+}

@@ -235,9 +235,12 @@ func (s *Server) startConn(nc net.Conn) {
 		return
 	}
 	s.conns[c] = struct{}{}
+	// Increment while still holding connMu: Shutdown closes done and then
+	// takes connMu before starting wg.Wait, so a connection admitted here
+	// is always counted before that Wait can observe a zero counter.
+	s.wg.Add(2)
 	s.connMu.Unlock()
 
-	s.wg.Add(2)
 	go c.readLoop()
 	go c.writeLoop()
 }
@@ -428,6 +431,15 @@ func (c *conn) readLoop() {
 		} else {
 			c.nc.SetReadDeadline(time.Time{})
 		}
+		// Check done only after arming the deadline: Shutdown closes done
+		// before setting its wake-up deadline, so if the line above
+		// overwrote that wake-up, done is already observably closed here
+		// and we return instead of blocking in Scan forever.
+		select {
+		case <-c.s.done:
+			return
+		default:
+		}
 		if !sc.Scan() {
 			// EOF, peer reset, idle timeout, shutdown wake-up, or an
 			// over-long line: the connection is done either way.
@@ -450,11 +462,6 @@ func (c *conn) readLoop() {
 		}
 		if !c.send(c.s.handle(c, &req)) {
 			return
-		}
-		select {
-		case <-c.s.done:
-			return
-		default:
 		}
 	}
 }

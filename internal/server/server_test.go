@@ -398,6 +398,79 @@ func TestServerMatchAndPredicates(t *testing.T) {
 	}
 }
 
+// TestServerDeclareMatchRace: DDL must be safe against live match
+// traffic. match/matchbatch/addpred resolve relations through the
+// shared catalog without the mutation mutex, so concurrent declares
+// exercise the catalog's internal synchronization (a regression here
+// is a concurrent map read/write that kills the daemon under -race).
+func TestServerDeclareMatchRace(t *testing.T) {
+	_, addr, stop := startServer(t, server.Config{})
+	defer stop()
+
+	setup := dial(t, addr)
+	defer setup.Close()
+	if err := setup.DeclareRelation(empRel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.AddPredicate(pred.New(0, "emp",
+		pred.IvClause("age", interval.Less(value.Int(30))))); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// DDL storm: declare fresh relations for the whole test duration.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		ddl := dial(t, addr)
+		defer ddl.Close()
+		for i := 0; i < 300; i++ {
+			rel := schema.MustRelation(fmt.Sprintf("rel%d", i),
+				schema.Attribute{Name: "k", Type: value.KindInt})
+			if err := ddl.DeclareRelation(rel); err != nil {
+				t.Errorf("declare rel%d: %v", i, err)
+				return
+			}
+			if _, err := ddl.AddPredicate(pred.New(0, rel.Name(),
+				pred.IvClause("k", interval.Less(value.Int(int64(i)))))); err != nil {
+				t.Errorf("addpred rel%d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Read storm: match and matchbatch against the shared catalog.
+	tp := tuple.New(value.String_("a"), value.Int(25), value.Int(1000), value.String_("shoe"))
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := dial(t, addr)
+			defer c.Close()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ids, err := c.Match("emp", tp)
+				if err != nil || len(ids) != 1 {
+					t.Errorf("match = %v, %v", ids, err)
+					return
+				}
+				if _, err := c.MatchBatch("emp", []tuple.Tuple{tp, tp}); err != nil {
+					t.Errorf("matchbatch: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestServerRuleLifecycle covers declare/rule/droprule error paths.
 func TestServerRuleLifecycle(t *testing.T) {
 	_, addr, stop := startServer(t, server.Config{})
