@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,9 +26,17 @@ type record struct {
 }
 
 func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run converts bench text on r to indented JSON on w.
+func run(r io.Reader, w io.Writer) error {
 	meta := map[string]string{}
 	var out []record
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -46,8 +55,8 @@ func main() {
 		if len(fields) < 3 {
 			continue
 		}
-		r := record{Name: fields[0], Metrics: map[string]float64{}}
-		r.Runs, _ = strconv.ParseInt(fields[1], 10, 64)
+		rec := record{Name: fields[0], Metrics: map[string]float64{}}
+		rec.Runs, _ = strconv.ParseInt(fields[1], 10, 64)
 		// Remaining fields come in value/unit pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -55,28 +64,24 @@ func main() {
 				continue
 			}
 			if fields[i+1] == "ns/op" {
-				r.NsPerOp = v
+				rec.NsPerOp = v
 			} else {
-				r.Metrics[fields[i+1]] = v
+				rec.Metrics[fields[i+1]] = v
 			}
 		}
-		if len(r.Metrics) == 0 {
-			r.Metrics = nil
+		if len(rec.Metrics) == 0 {
+			rec.Metrics = nil
 		}
-		out = append(out, r)
+		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	payload := struct {
 		Meta    map[string]string `json:"meta,omitempty"`
 		Results []record          `json:"results"`
 	}{meta, out}
-	if err := enc.Encode(payload); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(payload)
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// TestGolden pins the exact JSON benchjson emits for a representative
+// `go test -bench` transcript, so CI's bench.json schema cannot drift
+// silently. Regenerate with `go test ./cmd/benchjson -update`.
+func TestGolden(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var got bytes.Buffer
+	if err := run(in, &got); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden := filepath.Join("testdata", "bench.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("output differs from %s:\ngot:\n%s\nwant:\n%s", golden, got.Bytes(), want)
+	}
+}
+
+// TestEmptyInput pins the no-benchmarks shape: meta omitted, results
+// null — consumers must handle both.
+func TestEmptyInput(t *testing.T) {
+	var got bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok  \tpredmatch\t0.1s\n"), &got); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := "{\n  \"results\": null\n}\n"
+	if got.String() != want {
+		t.Errorf("empty input: got %q, want %q", got.String(), want)
+	}
+}

@@ -1,0 +1,38 @@
+// Command predmatchvet is the repository's static-analysis suite: a
+// multichecker that machine-checks the concurrency and mark-discipline
+// invariants the hot path relies on (see docs/INVARIANTS.md).
+//
+// Run it standalone over package patterns:
+//
+//	go run ./cmd/predmatchvet ./...
+//
+// or install it and let the go command drive it over every package and
+// test variant:
+//
+//	go build -o "$(go env GOPATH)/bin/predmatchvet" ./cmd/predmatchvet
+//	go vet -vettool="$(which predmatchvet)" ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or internal error. Findings
+// can be suppressed case by case with
+//
+//	//predmatchvet:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it.
+package main
+
+import (
+	"predmatch/internal/analysis"
+	"predmatch/internal/analysis/guardedby"
+	"predmatch/internal/analysis/markdiscipline"
+	"predmatch/internal/analysis/snapshotmut"
+	"predmatch/internal/analysis/wireexhaustive"
+)
+
+func main() {
+	analysis.Main(
+		guardedby.Analyzer,
+		markdiscipline.Analyzer,
+		snapshotmut.Analyzer,
+		wireexhaustive.Analyzer,
+	)
+}

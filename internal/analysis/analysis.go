@@ -1,0 +1,196 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface used by this repository's
+// static checkers (cmd/predmatchvet). The repo deliberately has no
+// module dependencies, so instead of pulling in x/tools the package
+// provides the three pieces the checkers need:
+//
+//   - the Analyzer / Pass / Diagnostic API (analysis.go);
+//   - a package loader built on `go list -export` plus the standard
+//     library's gc export-data importer (load.go);
+//   - a driver that runs either standalone over package patterns or as
+//     a `go vet -vettool` backend speaking cmd/go's vet .cfg protocol
+//     (run.go, vet.go).
+//
+// The sibling package analysistest runs an analyzer over a fixture tree
+// and checks its diagnostics against `// want` comments, mirroring
+// x/tools' analysistest.
+//
+// # Suppression
+//
+// Every diagnostic can be silenced at the reporting site with a comment
+// on the flagged line or the line directly above it:
+//
+//	//predmatchvet:ignore <analyzer> <reason>
+//
+// where <analyzer> is the analyzer's name or "all". The reason is
+// mandatory prose; suppressions without one are themselves reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer run with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	supp   *suppressions
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a suppression comment covers
+// that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.supp != nil && p.supp.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// suppressionPrefix starts every inline suppression comment.
+const suppressionPrefix = "predmatchvet:ignore"
+
+// suppressions indexes //predmatchvet:ignore comments by file and line.
+type suppressions struct {
+	// byLine maps filename -> line -> analyzer names suppressed there
+	// ("all" suppresses every analyzer).
+	byLine map[string]map[int][]string
+}
+
+// covers reports whether a suppression on pos's line or the line above
+// names the analyzer (or "all").
+func (s *suppressions) covers(analyzer string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans the files' comments for suppression
+// directives. Malformed directives (no analyzer, or no reason) are
+// reported as badDirective diagnostics so they cannot silently rot.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, badDirective func(Diagnostic)) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, suppressionPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, suppressionPrefix))
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					badDirective(Diagnostic{
+						Pos:      pos,
+						Analyzer: "predmatchvet",
+						Message:  fmt.Sprintf("malformed suppression %q: need %q", text, suppressionPrefix+" <analyzer> <reason>"),
+					})
+					continue
+				}
+				m := s.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					s.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], fields[0])
+			}
+		}
+	}
+	return s
+}
+
+// Check applies every analyzer to one loaded package and returns the
+// surviving diagnostics sorted by position. It is the hook the
+// analysistest fixture runner drives.
+func Check(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(pkg, analyzers)
+}
+
+// runAnalyzers applies every analyzer to one loaded package and returns
+// the surviving diagnostics sorted by position.
+func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	supp := collectSuppressions(pkg.Fset, pkg.Files, report)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report:    report,
+			supp:      supp,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,301 @@
+// Package analysistest runs an analyzer over a fixture package tree and
+// checks its diagnostics against expectations written in the fixture
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone.
+//
+// Fixtures live under <testdata>/src/<importpath>/, GOPATH style:
+// an import of "predmatch/internal/core" inside a fixture resolves to
+// <testdata>/src/predmatch/internal/core/, letting a fixture vendor a
+// miniature copy of a real package under its real import path. Imports
+// with no fixture directory (the standard library) are resolved from gc
+// export data via one `go list -export` invocation.
+//
+// Expectations are comments of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" `second`
+//
+// Every diagnostic reported on a line must be matched by a distinct
+// regexp on that line, and every regexp must match some diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"predmatch/internal/analysis"
+)
+
+// Run loads the fixture package pkgpath from testdata/src, applies the
+// analyzer, and reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	diags, pkg, err := run(testdata, a, pkgpath)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	compare(t, pkg, diags)
+}
+
+func run(testdata string, a *analysis.Analyzer, pkgpath string) ([]analysis.Diagnostic, *analysis.Package, error) {
+	srcRoot := filepath.Join(testdata, "src")
+	ld, err := newLoader(srcRoot, pkgpath)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := analysis.Check(pkg, a)
+	return diags, pkg, err
+}
+
+// loader resolves fixture packages from source and everything else from
+// export data, memoizing so shared fixture imports type-check once.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*analysis.Package
+	std     types.Importer
+}
+
+func newLoader(srcRoot, rootPkg string) (*loader, error) {
+	ld := &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*analysis.Package),
+	}
+	std, err := ld.externalImporter(rootPkg)
+	if err != nil {
+		return nil, err
+	}
+	ld.std = std
+	return ld, nil
+}
+
+// externalImporter pre-scans the fixture import graph for paths with no
+// fixture directory and builds an export-data importer covering them.
+func (ld *loader) externalImporter(rootPkg string) (types.Importer, error) {
+	external := make(map[string]bool)
+	seen := make(map[string]bool)
+	var scan func(pkgpath string) error
+	scan = func(pkgpath string) error {
+		if seen[pkgpath] {
+			return nil
+		}
+		seen[pkgpath] = true
+		files, err := ld.goFiles(pkgpath)
+		if err != nil {
+			return err
+		}
+		for _, file := range files {
+			f, err := parser.ParseFile(ld.fset, file, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ld.isFixture(path) {
+					if err := scan(path); err != nil {
+						return err
+					}
+				} else {
+					external[path] = true
+				}
+			}
+		}
+		return nil
+	}
+	if err := scan(rootPkg); err != nil {
+		return nil, err
+	}
+	if len(external) == 0 {
+		return nil, nil
+	}
+	paths := make([]string, 0, len(external))
+	for p := range external {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return analysis.ExportDataImporter(ld.fset, paths)
+}
+
+func (ld *loader) isFixture(pkgpath string) bool {
+	st, err := os.Stat(filepath.Join(ld.srcRoot, filepath.FromSlash(pkgpath)))
+	return err == nil && st.IsDir()
+}
+
+func (ld *loader) goFiles(pkgpath string) ([]string, error) {
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %w", pkgpath, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no Go files", pkgpath)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Import implements types.Importer over the fixture tree.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if ld.isFixture(path) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if ld.std == nil {
+		return nil, fmt.Errorf("analysistest: unresolved import %q", path)
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(pkgpath string) (*analysis.Package, error) {
+	if pkg, ok := ld.pkgs[pkgpath]; ok {
+		return pkg, nil
+	}
+	files, err := ld.goFiles(pkgpath)
+	if err != nil {
+		return nil, err
+	}
+	var parsed []*ast.File
+	for _, file := range files {
+		f, err := parser.ParseFile(ld.fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	pkg, err := analysis.TypeCheck(ld.fset, ld, pkgpath, parsed)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[pkgpath] = pkg
+	return pkg, nil
+}
+
+// expectation is one `// want` regexp with its location.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func compare(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWants(text[len("want "):])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants parses a sequence of Go-quoted strings ("..." or `...`)
+// into compiled regexps.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var quoted string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			quoted = s[:end+1]
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			quoted = s[:end+2]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		raw, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", quoted, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+}

@@ -1,0 +1,380 @@
+// Package guardedby defines an analyzer for the repository's mutex
+// annotation convention: a struct field whose comment carries
+//
+//	// guarded-by: mu
+//
+// may only be accessed in functions that lock the named mutex (a
+// sync.Mutex or sync.RWMutex field of the same struct) before the
+// access. Reads additionally accept RLock on an RWMutex; writes —
+// assignments, ++/--, delete(), taking the address, or calling a
+// mutating method (Store, Swap, CompareAndSwap, Add) on the field —
+// require the exclusive Lock. The variant
+//
+//	// write-guarded-by: mu
+//
+// guards only writes, for fields whose reads are made safe some other
+// way (e.g. an atomic.Pointer that is copy-on-write swapped under a
+// growth mutex but loaded lock-free).
+//
+// Functions that run with the lock already held by contract declare it
+// in their doc comment:
+//
+//	//predmatchvet:holds mu
+//
+// The check is intraprocedural and position-based: a Lock call
+// anywhere earlier in the same function body satisfies accesses after
+// it. That deliberately simple rule still catches the real bug class —
+// a code path that never takes the lock at all — at compile time.
+package guardedby
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"predmatch/internal/analysis"
+)
+
+// Analyzer is the guardedby analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `guarded-by: mu` must only be accessed while holding the named mutex",
+	Run:  run,
+}
+
+// directives recognized in field comments.
+const (
+	directiveGuarded      = "guarded-by:"
+	directiveWriteGuarded = "write-guarded-by:"
+	directiveHolds        = "predmatchvet:holds"
+)
+
+// mutatingMethods are method calls on a guarded field that count as
+// writes (the atomic mutators).
+var mutatingMethods = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true, "Add": true,
+}
+
+// annotation is one guarded field of one struct.
+type annotation struct {
+	structType *types.Named
+	field      string
+	mutex      string
+	writeOnly  bool // write-guarded variant; reads are lock-free by design
+	rw         bool // mutex is an RWMutex (RLock satisfies reads)
+}
+
+func run(pass *analysis.Pass) error {
+	anns := collectAnnotations(pass)
+	if len(anns) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, anns, fd)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations parses guarded-by directives from struct field
+// comments and validates the named mutex field.
+func collectAnnotations(pass *analysis.Pass) []*annotation {
+	var anns []*annotation
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex, writeOnly, ok := fieldDirective(field)
+				if !ok {
+					continue
+				}
+				rw, err := mutexKind(named, mutex)
+				if err != nil {
+					pass.Reportf(field.Pos(), "bad guarded-by annotation: %v", err)
+					continue
+				}
+				for _, name := range field.Names {
+					anns = append(anns, &annotation{
+						structType: named,
+						field:      name.Name,
+						mutex:      mutex,
+						writeOnly:  writeOnly,
+						rw:         rw,
+					})
+				}
+			}
+			return true
+		})
+	}
+	return anns
+}
+
+// fieldDirective extracts a guarded-by directive from a field's doc or
+// trailing line comment.
+func fieldDirective(field *ast.Field) (mutex string, writeOnly bool, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			// Order matters: guarded-by is a suffix of write-guarded-by.
+			if i := strings.Index(text, directiveWriteGuarded); i >= 0 {
+				return firstField(text[i+len(directiveWriteGuarded):]), true, true
+			}
+			if i := strings.Index(text, directiveGuarded); i >= 0 {
+				return firstField(text[i+len(directiveGuarded):]), false, true
+			}
+		}
+	}
+	return "", false, false
+}
+
+func firstField(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return ""
+	}
+	return strings.TrimSuffix(fields[0], ".")
+}
+
+// mutexKind checks that the named struct has a sync.Mutex or
+// sync.RWMutex field called mutex, reporting whether it is an RWMutex.
+func mutexKind(structType *types.Named, mutex string) (rw bool, err error) {
+	if mutex == "" {
+		return false, fmt.Errorf("missing mutex field name")
+	}
+	st, ok := structType.Underlying().(*types.Struct)
+	if !ok {
+		return false, fmt.Errorf("%s is not a struct", structType.Obj().Name())
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != mutex {
+			continue
+		}
+		switch {
+		case analysis.IsNamed(f.Type(), "sync", "RWMutex"):
+			return true, nil
+		case analysis.IsNamed(f.Type(), "sync", "Mutex"):
+			return false, nil
+		default:
+			return false, fmt.Errorf("field %s.%s is not a sync.Mutex or sync.RWMutex", structType.Obj().Name(), mutex)
+		}
+	}
+	return false, fmt.Errorf("struct %s has no field %s", structType.Obj().Name(), mutex)
+}
+
+// lockEvent is one mu.Lock/mu.RLock call site.
+type lockEvent struct {
+	structType *types.Named
+	mutex      string
+	exclusive  bool // Lock rather than RLock
+	pos        token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, anns []*annotation, fd *ast.FuncDecl) {
+	held := holdsDirectives(fd)
+	var locks []lockEvent
+	writes := writeSet(pass, fd.Body)
+
+	// Pass 1: collect lock events.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		exclusive := fun.Sel.Name == "Lock"
+		if !exclusive && fun.Sel.Name != "RLock" {
+			return true
+		}
+		// Shape: <base>.<mutexField>.Lock()
+		msel, ok := fun.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base := analysis.NamedOf(pass.TypeOf(msel.X))
+		if base == nil {
+			return true
+		}
+		locks = append(locks, lockEvent{
+			structType: base,
+			mutex:      msel.Sel.Name,
+			exclusive:  exclusive,
+			pos:        call.Pos(),
+		})
+		return true
+	})
+
+	// Pass 2: check guarded accesses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ann := annotationFor(pass, anns, sel)
+		if ann == nil {
+			return true
+		}
+		isWrite := writes[sel]
+		if ann.writeOnly && !isWrite {
+			return true
+		}
+		if held[ann.mutex] {
+			return true
+		}
+		var sawShared bool
+		for _, l := range locks {
+			if l.mutex != ann.mutex || l.pos >= sel.Pos() {
+				continue
+			}
+			if !identicalNamed(l.structType, ann.structType) {
+				continue
+			}
+			if l.exclusive || (!isWrite && ann.rw) {
+				return true
+			}
+			sawShared = true
+		}
+		verb := "access to"
+		if isWrite {
+			verb = "write to"
+		}
+		if isWrite && sawShared {
+			pass.Reportf(sel.Pos(), "write to %s.%s under %s.RLock: writes need the exclusive Lock",
+				ann.structType.Obj().Name(), ann.field, ann.mutex)
+		} else {
+			pass.Reportf(sel.Pos(), "%s %s.%s without holding %s (annotate the function with `//%s %s` if the caller holds it)",
+				verb, ann.structType.Obj().Name(), ann.field, ann.mutex, directiveHolds, ann.mutex)
+		}
+		return true
+	})
+}
+
+// annotationFor returns the annotation matching a field selection, if
+// any: base type equals the annotated struct and the selected name is
+// the guarded field.
+func annotationFor(pass *analysis.Pass, anns []*annotation, sel *ast.SelectorExpr) *annotation {
+	// Only real field selections count (not methods, not package
+	// qualifiers).
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		if s.Kind() != types.FieldVal {
+			return nil
+		}
+	} else {
+		return nil
+	}
+	base := analysis.NamedOf(pass.TypeOf(sel.X))
+	if base == nil {
+		return nil
+	}
+	for _, ann := range anns {
+		if ann.field == sel.Sel.Name && identicalNamed(base, ann.structType) {
+			return ann
+		}
+	}
+	return nil
+}
+
+func identicalNamed(a, b *types.Named) bool {
+	return a.Origin().Obj() == b.Origin().Obj()
+}
+
+// holdsDirectives parses `//predmatchvet:holds mu` lines from the
+// function's doc comment.
+func holdsDirectives(fd *ast.FuncDecl) map[string]bool {
+	held := make(map[string]bool)
+	if fd.Doc == nil {
+		return held
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, directiveHolds) {
+			continue
+		}
+		for _, mu := range strings.Fields(text[len(directiveHolds):]) {
+			held[strings.TrimSuffix(mu, ",")] = true
+		}
+	}
+	return held
+}
+
+// writeSet walks body once and records every selector expression that
+// appears in a write position: assignment LHS, ++/--, delete() target,
+// &-operand, or receiver of an atomic mutating method call.
+func writeSet(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		if sel, ok := unwrap(e).(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					mark(n.Args[0])
+				}
+			}
+			if fun, ok := n.Fun.(*ast.SelectorExpr); ok && mutatingMethods[fun.Sel.Name] {
+				mark(fun.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// unwrap strips index, paren and star wrappers so `c.rels[k] = v` marks
+// the c.rels selector itself.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}

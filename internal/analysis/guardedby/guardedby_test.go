@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"predmatch/internal/analysis/analysistest"
+	"predmatch/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "guarded")
+}

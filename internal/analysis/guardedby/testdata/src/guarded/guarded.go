@@ -1,0 +1,96 @@
+// Package guarded seeds guarded-by violations for the analyzer fixture
+// test, modeled on the real repository's schema catalog, server
+// connection registry and copy-on-write shard directory.
+package guarded
+
+import "sync"
+
+// catalog mirrors schema.Catalog: an RWMutex-guarded relation map.
+type catalog struct {
+	mu   sync.RWMutex
+	rels map[string]string // guarded-by: mu
+}
+
+func (c *catalog) get(name string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.rels[name]
+	return r, ok
+}
+
+func (c *catalog) add(name, rel string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rels[name] = rel
+}
+
+// getUnlocked reads the guarded map with no lock at all.
+func (c *catalog) getUnlocked(name string) string {
+	return c.rels[name] // want `access to catalog.rels without holding mu`
+}
+
+// writeUnderRLock writes while holding only the shared lock.
+func (c *catalog) writeUnderRLock(name, rel string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.rels[name] = rel // want `write to catalog.rels under mu.RLock: writes need the exclusive Lock`
+}
+
+// deleteUnlocked deletes without the lock.
+func (c *catalog) deleteUnlocked(name string) {
+	delete(c.rels, name) // want `write to catalog.rels without holding mu`
+}
+
+// registry mirrors the server's plain-mutex connection registry.
+type registry struct {
+	connMu sync.Mutex
+	conns  map[int]struct{} // guarded-by: connMu
+}
+
+func (r *registry) register(id int) {
+	r.connMu.Lock()
+	r.conns[id] = struct{}{}
+	r.connMu.Unlock()
+}
+
+// leak registers a connection without the lock.
+func (r *registry) leak(id int) {
+	r.conns[id] = struct{}{} // want `write to registry.conns without holding connMu`
+}
+
+// sweep runs with the lock already held by its caller, declared via the
+// holds directive: no diagnostics expected.
+//
+//predmatchvet:holds connMu
+func (r *registry) sweep() {
+	for id := range r.conns {
+		delete(r.conns, id)
+	}
+}
+
+// pub mirrors the sharded matcher's copy-on-write directory: reads are
+// lock-free by design, growth serializes under dirMu.
+type pub struct {
+	dirMu sync.Mutex
+	dir   map[string]int // write-guarded-by: dirMu
+}
+
+// read is lock-free and legal: the annotation guards writes only.
+func (p *pub) read(k string) int { return p.dir[k] }
+
+// grow swaps the map without the growth lock.
+func (p *pub) grow(k string) {
+	p.dir[k] = 1 // want `write to pub.dir without holding dirMu`
+}
+
+func (p *pub) growLocked(k string) {
+	p.dirMu.Lock()
+	defer p.dirMu.Unlock()
+	p.dir[k] = 1
+}
+
+// broken carries an annotation naming a mutex field that does not
+// exist; the annotation itself is diagnosed.
+type broken struct {
+	n int /* guarded-by: nope */ // want `bad guarded-by annotation`
+}

@@ -1,0 +1,12 @@
+package markdiscipline_test
+
+import (
+	"testing"
+
+	"predmatch/internal/analysis/analysistest"
+	"predmatch/internal/analysis/markdiscipline"
+)
+
+func TestMarkDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", markdiscipline.Analyzer, "predmatch/internal/ibs")
+}

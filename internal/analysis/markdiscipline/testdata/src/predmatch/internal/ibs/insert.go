@@ -1,0 +1,15 @@
+package ibs
+
+// insert seeds out-of-file mark writes: this file is not on the
+// analyzer's allow list, so every mark mutation below is a violation
+// while the reads stay legal.
+func insert(root *node, key, id int) {
+	n := &node{key: key}
+	n.marks[0] = make(set)   // want `direct write to node.marks outside the mark fix-up files`
+	n.marks[1].Add(id)       // want `Add on a node mark set outside the mark fix-up files`
+	root.marks[2].Remove(id) // want `Remove on a node mark set outside the mark fix-up files`
+	if root.marks[0].Has(id) {
+		mark(root, 0, id)
+	}
+	root.left = n
+}

@@ -1,0 +1,15 @@
+package ibs
+
+// mark records id in n's which-set — the centralized mark registry.
+// This file is on the analyzer's allow list, so its writes are legal.
+func mark(n *node, which, id int) {
+	if n.marks[which] == nil {
+		n.marks[which] = make(set)
+	}
+	n.marks[which].Add(id)
+}
+
+// unmark removes id from n's which-set.
+func unmark(n *node, which, id int) {
+	n.marks[which].Remove(id)
+}

@@ -1,0 +1,24 @@
+// Package ibs is a fixture miniature of the real IBS-tree package: a
+// node carrying the paper's three per-node mark sets ('<', '=', '>')
+// plus the allowed fix-up file (marks.go) and a violating file
+// (insert.go) for the markdiscipline analyzer test.
+package ibs
+
+// set is a mark set.
+type set map[int]bool
+
+// Add marks id (mutating).
+func (s set) Add(id int) { s[id] = true }
+
+// Remove unmarks id (mutating).
+func (s set) Remove(id int) { delete(s, id) }
+
+// Has reports membership (read-only).
+func (s set) Has(id int) bool { return s[id] }
+
+// node is one tree node with the three mark sets.
+type node struct {
+	key         int
+	marks       [3]set
+	left, right *node
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Main is the entry point of a multichecker binary. It supports three
+// invocation shapes:
+//
+//	predmatchvet [packages]        standalone, like `go build` patterns
+//	predmatchvet -V=full           version handshake for cmd/go
+//	predmatchvet [flags] foo.cfg   one vet unit, driven by `go vet -vettool`
+//
+// Exit status: 0 clean, 1 findings, 2 usage or internal error.
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+
+	// cmd/go probes the tool's identity and flag surface before using
+	// it as a vettool.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			printVersion()
+			return
+		}
+		if a == "-flags" || a == "--flags" {
+			// JSON list of tool flags vet may forward; the suite has none.
+			fmt.Println("[]")
+			return
+		}
+		if a == "-help" || a == "--help" || a == "-h" {
+			usage(os.Stdout, analyzers)
+			return
+		}
+	}
+
+	// A single *.cfg argument means cmd/go is driving one vet unit.
+	// Ignore any analyzer flags vet forwards; the suite has none.
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		diags, err := runVetUnit(args[n-1], analyzers)
+		exitWith(diags, err)
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "predmatchvet: unknown flag %s\n\n", p)
+			usage(os.Stderr, analyzers)
+			os.Exit(2)
+		}
+	}
+	diags, err := Run(".", patterns, analyzers)
+	exitWith(diags, err)
+}
+
+func exitWith(diags []Diagnostic, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predmatchvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Run loads the packages matching patterns and applies every analyzer,
+// returning the diagnostics sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}
+
+func printVersion() {
+	// cmd/go expects `path version <id>` from -V=full and folds the id
+	// into its build cache key. The id only needs to change when the
+	// tool's behavior does; tie it to the repo's release tag.
+	path, err := os.Executable()
+	if err != nil {
+		path = os.Args[0]
+	}
+	fmt.Printf("%s version devel predmatchvet-1 buildID=predmatchvet-1\n", path)
+}
+
+func usage(w io.Writer, analyzers []*Analyzer) {
+	fmt.Fprintf(w, "predmatchvet: machine-checked predmatch invariants\n\n")
+	fmt.Fprintf(w, "usage:\n")
+	fmt.Fprintf(w, "  predmatchvet [packages]       # standalone, e.g. predmatchvet ./...\n")
+	fmt.Fprintf(w, "  go vet -vettool=$(which predmatchvet) ./...\n\n")
+	fmt.Fprintf(w, "analyzers:\n")
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(w, "  %-16s %s\n", a.Name, summary)
+	}
+	fmt.Fprintf(w, "\nsuppress one finding with `//%s <analyzer> <reason>` on the\nflagged line or the line above it.\n", suppressionPrefix)
+}

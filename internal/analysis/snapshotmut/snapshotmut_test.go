@@ -1,0 +1,12 @@
+package snapshotmut_test
+
+import (
+	"testing"
+
+	"predmatch/internal/analysis/analysistest"
+	"predmatch/internal/analysis/snapshotmut"
+)
+
+func TestSnapshotMut(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotmut.Analyzer, "snapmut")
+}

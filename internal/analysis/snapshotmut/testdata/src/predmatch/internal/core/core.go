@@ -1,0 +1,44 @@
+// Package core is a fixture miniature of the real predicate index: just
+// enough surface for the snapshotmut analyzer — the mutating (Add,
+// Remove, Match, Candidates), fresh (New, Clone) and read-only
+// (MatchSnapshot) method sets on the copy-on-write Index type.
+package core
+
+// Index is the copy-on-write predicate index.
+type Index struct {
+	IDs []int
+}
+
+// New returns a fresh mutable index.
+func New() *Index { return &Index{} }
+
+// Clone returns a fresh mutable copy.
+func (ix *Index) Clone() *Index {
+	return &Index{IDs: append([]int(nil), ix.IDs...)}
+}
+
+// Add registers a predicate id (mutating).
+func (ix *Index) Add(id int) error {
+	ix.IDs = append(ix.IDs, id)
+	return nil
+}
+
+// Remove drops a predicate id (mutating).
+func (ix *Index) Remove(id int) error {
+	for i, v := range ix.IDs {
+		if v == id {
+			ix.IDs = append(ix.IDs[:i], ix.IDs[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// Match stabs the index, reusing an internal scratch buffer (mutating).
+func (ix *Index) Match(rel string) []int { return ix.IDs }
+
+// Candidates is Match without residual evaluation (mutating).
+func (ix *Index) Candidates(rel string) []int { return ix.IDs }
+
+// MatchSnapshot is the read-only stab, legal on frozen snapshots.
+func (ix *Index) MatchSnapshot(rel string) []int { return nil }

@@ -1,0 +1,81 @@
+// Package snapmut seeds copy-on-write discipline violations for the
+// snapshotmut analyzer fixture test: mutation after an atomic publish,
+// mutation of atomic Load results and of Snapshot accessor results.
+package snapmut
+
+import (
+	"sync/atomic"
+
+	"predmatch/internal/core"
+)
+
+type shard struct {
+	snap atomic.Pointer[core.Index]
+}
+
+// Snapshot returns the published frozen index.
+func (s *shard) Snapshot() *core.Index { return s.snap.Load() }
+
+// goodAdd is the legal clone-and-publish write path.
+func (s *shard) goodAdd(id int) {
+	var next *core.Index
+	if cur := s.snap.Load(); cur != nil {
+		next = cur.Clone()
+	} else {
+		next = core.New()
+	}
+	_ = next.Add(id)
+	s.snap.Store(next)
+}
+
+// mutateAfterPublish mutates the fresh index after the atomic Store.
+func (s *shard) mutateAfterPublish(id int) {
+	next := core.New()
+	s.snap.Store(next)
+	_ = next.Add(id) // want `after it was published with an atomic Store`
+}
+
+// mutateLoadChain mutates the Load result directly.
+func (s *shard) mutateLoadChain(id int) {
+	_ = s.snap.Load().Add(id) // want `frozen snapshot returned by atomic Load`
+}
+
+// mutateLoadVar mutates through a variable assigned from Load.
+func (s *shard) mutateLoadVar(id int) {
+	snap := s.snap.Load()
+	_ = snap.Remove(id) // want `frozen snapshot obtained from a published location`
+}
+
+// mutateSnapshotResult mutates a Snapshot accessor result; Match counts
+// as a mutation because it reuses the index scratch buffer.
+func (s *shard) mutateSnapshotResult() {
+	ix := s.Snapshot()
+	ix.Match("r") // want `frozen snapshot obtained from a published location`
+}
+
+// writeFrozenField writes a field of a frozen snapshot.
+func (s *shard) writeFrozenField() {
+	snap := s.snap.Load()
+	snap.IDs = nil // want `write to field IDs`
+}
+
+// cloneResets shows Clone returning a frozen variable to mutable.
+func (s *shard) cloneResets(id int) {
+	snap := s.snap.Load()
+	snap = snap.Clone()
+	_ = snap.Add(id)
+	s.snap.Store(snap)
+}
+
+// readOnly stabs are fine on frozen snapshots.
+func (s *shard) readOnly() []int {
+	return s.snap.Load().MatchSnapshot("r")
+}
+
+// suppressed exercises the inline suppression escape hatch: the
+// violation below must NOT be reported.
+func (s *shard) suppressed(id int) {
+	next := core.New()
+	s.snap.Store(next)
+	_ = next.Add(id) //predmatchvet:ignore snapshotmut fixture exercises the suppression path
+}

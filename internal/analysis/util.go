@@ -1,0 +1,47 @@
+package analysis
+
+import "go/types"
+
+// Deref returns the pointee type of t if t is a pointer, else t.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns the (possibly instantiated) named type of t, looking
+// through one level of pointer, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := Deref(t).(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (or *t) is the named type pkgPath.name.
+// For instantiated generics the origin type's identity is compared, so
+// atomic.Pointer[X] matches ("sync/atomic", "Pointer").
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Origin().Obj()
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// TypeArg returns the i'th type argument of t's named type, or nil.
+func TypeArg(t types.Type, i int) types.Type {
+	n := NamedOf(t)
+	if n == nil {
+		return nil
+	}
+	args := n.TypeArgs()
+	if args == nil || i >= args.Len() {
+		return nil
+	}
+	return args.At(i)
+}

@@ -1,0 +1,55 @@
+// Package dispatch seeds non-exhaustive wire-kind switches for the
+// wireexhaustive analyzer fixture test.
+package dispatch
+
+import "predmatch/internal/wire"
+
+// handle misses OpPing and has no default: violation.
+func handle(op string) string {
+	switch op { // want `switch on wire.Op\* kinds is not exhaustive: missing OpPing`
+	case wire.OpInsert:
+		return "i"
+	case wire.OpDelete:
+		return "d"
+	}
+	return ""
+}
+
+// handleAll covers every Op kind: legal.
+func handleAll(op string) string {
+	switch op {
+	case wire.OpInsert, wire.OpDelete:
+		return "mut"
+	case wire.OpPing:
+		return "ping"
+	}
+	return ""
+}
+
+// handleDefault is incomplete but declares a default: legal.
+func handleDefault(op string) string {
+	switch op {
+	case wire.OpInsert:
+		return "i"
+	default:
+		return ""
+	}
+}
+
+// route misses TypeNotify: violation in the Type group.
+func route(t string) bool {
+	switch t { // want `switch on wire.Type\* kinds is not exhaustive: missing TypeNotify`
+	case wire.TypeResult:
+		return true
+	}
+	return false
+}
+
+// unrelated never trips the check: Openness is not an Op* kind.
+func unrelated(s string) bool {
+	switch s {
+	case wire.Openness:
+		return true
+	}
+	return false
+}

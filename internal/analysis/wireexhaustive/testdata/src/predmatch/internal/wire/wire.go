@@ -1,0 +1,21 @@
+// Package wire is a fixture miniature of the real protocol package:
+// string kind constants grouped by name prefix (Op* requests, Type*
+// server frames) for the wireexhaustive analyzer test.
+package wire
+
+// Request operations.
+const (
+	OpInsert = "insert"
+	OpDelete = "delete"
+	OpPing   = "ping"
+)
+
+// Server frame types.
+const (
+	TypeResult = "result"
+	TypeNotify = "notify"
+)
+
+// Openness must never be claimed by the Op group: the prefix match
+// requires an exported-looking remainder.
+const Openness = "openness"

@@ -1,0 +1,181 @@
+// Package wireexhaustive defines an analyzer that checks exhaustiveness
+// of switches over the wire protocol's message kinds.
+//
+// The internal/wire package groups its kind constants by name prefix:
+// Op* are the request operations, Type* the server frame types. A
+// switch that dispatches on one of these groups but covers only some
+// kinds and has no default clause silently drops the missing kinds on
+// the floor — for a network protocol that is an invisible
+// compatibility bug, not a compile error. The analyzer reports every
+// switch that references at least one kind constant of a group and
+// neither covers the whole group nor declares a default case.
+package wireexhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"predmatch/internal/analysis"
+)
+
+// Configuration. Defaults describe the real repository; the analyzer
+// tests point them at fixture packages.
+var (
+	// WirePkg is the import path of the protocol package.
+	WirePkg = "predmatch/internal/wire"
+	// Groups are the constant-name prefixes that form kind groups.
+	Groups = []string{"Op", "Type"}
+)
+
+// Analyzer is the wireexhaustive analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireexhaustive",
+	Doc:  "switches over internal/wire message kinds must cover every kind or have a default case",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	wirePkg := findWirePkg(pass.Pkg)
+	if wirePkg == nil {
+		return nil
+	}
+	groups := collectGroups(wirePkg)
+	if len(groups) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, wirePkg, groups, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// findWirePkg locates the protocol package among the checked package
+// and its direct imports.
+func findWirePkg(pkg *types.Package) *types.Package {
+	if pkg.Path() == WirePkg {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == WirePkg {
+			return imp
+		}
+	}
+	return nil
+}
+
+// collectGroups gathers the exported kind constants of the protocol
+// package by name prefix.
+func collectGroups(wirePkg *types.Package) map[string][]*types.Const {
+	groups := make(map[string][]*types.Const)
+	scope := wirePkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		if b, ok := c.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			continue
+		}
+		for _, prefix := range Groups {
+			rest := strings.TrimPrefix(name, prefix)
+			// Require an exported-looking remainder so a prefix like
+			// "Op" cannot claim a constant named "Openness".
+			if rest != name && rest != "" && rest[0] >= 'A' && rest[0] <= 'Z' {
+				groups[prefix] = append(groups[prefix], c)
+				break
+			}
+		}
+	}
+	for _, cs := range groups {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Name() < cs[j].Name() })
+	}
+	return groups
+}
+
+func checkSwitch(pass *analysis.Pass, wirePkg *types.Package, groups map[string][]*types.Const, sw *ast.SwitchStmt) {
+	covered := make(map[string]bool)
+	var group string
+	hasDefault := false
+	mixed := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			c := constOf(pass, e)
+			if c == nil || c.Pkg() != wirePkg {
+				continue
+			}
+			g, ok := groupOf(groups, c)
+			if !ok {
+				continue
+			}
+			if group == "" {
+				group = g
+			} else if group != g {
+				mixed = true
+			}
+			covered[c.Name()] = true
+		}
+	}
+	if group == "" || hasDefault || mixed {
+		return
+	}
+	var missing []string
+	for _, c := range groups[group] {
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Pos(), "switch on %s%s* kinds is not exhaustive: missing %s (add the cases or an explicit default)",
+		pkgBase(wirePkg), group, strings.Join(missing, ", "))
+}
+
+// constOf resolves a case expression to the constant it names, or nil.
+func constOf(pass *analysis.Pass, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, _ := pass.TypesInfo.Uses[id].(*types.Const)
+	return c
+}
+
+func groupOf(groups map[string][]*types.Const, c *types.Const) (string, bool) {
+	for g, cs := range groups {
+		for _, m := range cs {
+			if m == c {
+				return g, true
+			}
+		}
+	}
+	return "", false
+}
+
+func pkgBase(p *types.Package) string {
+	parts := strings.Split(p.Path(), "/")
+	return fmt.Sprintf("%s.", parts[len(parts)-1])
+}

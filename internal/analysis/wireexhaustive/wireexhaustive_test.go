@@ -1,0 +1,12 @@
+package wireexhaustive_test
+
+import (
+	"testing"
+
+	"predmatch/internal/analysis/analysistest"
+	"predmatch/internal/analysis/wireexhaustive"
+)
+
+func TestWireExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", wireexhaustive.Analyzer, "dispatch")
+}

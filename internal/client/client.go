@@ -75,13 +75,13 @@ type Client struct {
 	enc     *json.Encoder
 
 	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan wire.Message
-	err     error // terminal connection error, set once
-	closed  bool
+	nextID  uint64                       // guarded-by: mu
+	pending map[uint64]chan wire.Message // guarded-by: mu
+	err     error                        // guarded-by: mu (terminal connection error, set once)
+	closed  bool                         // guarded-by: mu
 
 	notifyMu sync.Mutex
-	notify   chan Notification
+	notify   chan Notification // guarded-by: notifyMu
 
 	// dying is closed when the connection is marked dead, unblocking a
 	// read loop stuck delivering to an undrained notification channel.

@@ -76,8 +76,8 @@ type Engine struct {
 	db         *storage.DB
 	funcs      *pred.Registry
 	m          matcher.Matcher
-	rules      map[string]*Rule
-	byPred     map[pred.ID]*Rule
+	rules      map[string]*Rule  // guarded-by: mu
+	byPred     map[pred.ID]*Rule // guarded-by: mu
 	nextPredID pred.ID
 	log        Logger
 	maxDepth   int
@@ -236,7 +236,11 @@ func (e *Engine) ResetFirings() {
 }
 
 // onEvent is the storage observer: match the affected tuple, collect the
-// owning rules, and fire their actions.
+// owning rules, and fire their actions. Mutations are serialized by the
+// caller (the server runs them under its own mutex; the embedded engine
+// is single-writer), which is what makes the unlocked byPred read safe.
+//
+//predmatchvet:holds mu
 func (e *Engine) onEvent(ev storage.Event) error {
 	// Deletes match against the old tuple; inserts and updates against
 	// the new one (the paper's focus is new and modified tuples).

@@ -616,7 +616,7 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	}
 	// Foreign mark in an '=' slot (unsound + registry mismatch).
 	tr := build()
-	tr.root.marks[slotEQ].Add(99)
+	tr.root.marks[slotEQ].Add(99) //predmatchvet:ignore markdiscipline deliberate corruption to exercise CheckInvariants
 	if err := tr.CheckInvariants(); err == nil {
 		t.Error("foreign '=' mark not detected")
 	}
@@ -624,6 +624,7 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	tr = build()
 	for _, s := range []slot{slotLT, slotEQ, slotGT} {
 		if tr.root.marks[s].Len() > 0 {
+			//predmatchvet:ignore markdiscipline deliberate corruption to exercise CheckInvariants
 			tr.root.marks[s].Remove(tr.root.marks[s].IDs()[0])
 			break
 		}

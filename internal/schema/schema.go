@@ -91,7 +91,7 @@ func (r *Relation) AttrType(name string) (value.Kind, bool) {
 // are immutable after construction.
 type Catalog struct {
 	mu   sync.RWMutex
-	rels map[string]*Relation
+	rels map[string]*Relation // guarded-by: mu
 }
 
 // NewCatalog returns an empty catalog.

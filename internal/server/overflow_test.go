@@ -18,7 +18,7 @@ func TestServerOverflowPolicy(t *testing.T) {
 	s := New(Config{QueueLen: 2})
 	c := &conn{s: s, notes: make(chan wire.Message, 2)}
 	sub := &subscription{}
-	s.subs[c] = sub
+	s.subs[c] = sub //predmatchvet:ignore guardedby single-goroutine test, nothing else sees s yet
 
 	for i := 1; i <= 5; i++ {
 		s.onFire(engine.FiringEvent{
@@ -53,7 +53,7 @@ func TestServerOverflowPolicy(t *testing.T) {
 	// A filtered subscription never even generates a sequence number
 	// for rules outside its filter.
 	filtered := &subscription{rules: map[string]bool{"other": true}}
-	s.subs[c] = filtered
+	s.subs[c] = filtered //predmatchvet:ignore guardedby single-goroutine test, nothing else sees s yet
 	s.onFire(engine.FiringEvent{Rule: "r", Rel: "emp", Op: storage.OpInsert})
 	if filtered.seq != 0 {
 		t.Fatalf("filtered seq = %d, want 0", filtered.seq)

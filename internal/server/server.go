@@ -109,22 +109,22 @@ type Server struct {
 	mu sync.Mutex
 	// firings counts rule activations of the mutation currently being
 	// executed under mu.
-	firings int
+	firings int // guarded-by: mu
 	// nextPredID allocates direct (addpred) predicate IDs.
 	nextPredID atomic.Int64
 
 	lnMu sync.Mutex
-	ln   net.Listener
+	ln   net.Listener // guarded-by: lnMu
 
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
 	connMu sync.Mutex
-	conns  map[*conn]struct{}
+	conns  map[*conn]struct{} // guarded-by: connMu
 
 	subMu sync.Mutex
-	subs  map[*conn]*subscription
+	subs  map[*conn]*subscription // guarded-by: subMu
 
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -304,6 +304,8 @@ func (s *Server) Close() error {
 // onFire is the engine hook: fan one rule activation out to every
 // subscription whose filter accepts it. It runs inside the mutation
 // (under s.mu) and must never block, so queue overflow drops.
+//
+//predmatchvet:holds mu
 func (s *Server) onFire(ev engine.FiringEvent) {
 	s.firings++
 	s.subMu.Lock()
@@ -706,6 +708,10 @@ func (s *Server) handleMutation(req *wire.Request) wire.Message {
 		if err := tab.Delete(tuple.ID(req.TupleID)); err != nil {
 			return errMsg(req.ID, err)
 		}
+	default:
+		// handle() only routes the three mutation ops here; a new op
+		// reaching this switch is a dispatch bug, not a client error.
+		return errMsg(req.ID, fmt.Errorf("op %q is not a mutation", req.Op))
 	}
 	m.Firings = s.firings
 	return m

@@ -52,14 +52,15 @@ type ShardedMatcher struct {
 
 	// dir is the immutable relation→shard directory. Shards are only
 	// ever added (a relation's shard survives its last predicate), so
-	// growing it is a copy-on-write map swap under dirMu.
+	// growing it is a copy-on-write map swap under dirMu; loads are
+	// lock-free by design.
 	dirMu sync.Mutex
-	dir   atomic.Pointer[map[string]*relShard]
+	dir   atomic.Pointer[map[string]*relShard] // write-guarded-by: dirMu
 
 	// ids routes Remove calls to the owning relation and doubles as the
 	// cross-shard duplicate-ID check and the Len source.
 	idMu sync.Mutex
-	ids  map[pred.ID]string
+	ids  map[pred.ID]string // guarded-by: idMu
 }
 
 var _ matcher.Matcher = (*ShardedMatcher)(nil)
@@ -109,7 +110,7 @@ func New(catalog *schema.Catalog, funcs *pred.Registry, opts ...Option) *Sharded
 		ids:     make(map[pred.ID]string),
 	}
 	empty := make(map[string]*relShard)
-	m.dir.Store(&empty)
+	m.dir.Store(&empty) //predmatchvet:ignore guardedby constructor publish; m is not shared yet
 	for _, o := range opts {
 		o(m)
 	}
