@@ -35,6 +35,7 @@ import (
 	"predmatch/internal/join"
 	"predmatch/internal/markset"
 	"predmatch/internal/matcher"
+	"predmatch/internal/obs"
 	"predmatch/internal/phylock"
 	"predmatch/internal/pred"
 	"predmatch/internal/pst"
@@ -500,6 +501,18 @@ func BenchmarkConcurrentMatchers(b *testing.B) {
 		},
 		"sharded": func() matcher.Matcher {
 			return shard.New(pop.Catalog, pop.Funcs)
+		},
+		// The fully instrumented daemon configuration: per-relation
+		// latency histograms plus shared IBS stab counters. Compare
+		// against "sharded" to price the telemetry (<5% is the budget,
+		// recorded in BENCH_PR4.json).
+		"sharded-instrumented": func() matcher.Matcher {
+			reg := obs.NewRegistry()
+			return shard.New(pop.Catalog, pop.Funcs,
+				shard.WithMetrics(reg),
+				shard.WithIndexOptions(core.WithTreeOptions(
+					ibs.Instrument(ibs.RegisterCounters(reg)))),
+				shard.WithName("sharded-instrumented"))
 		},
 	}
 	for name, mk := range wrappers {

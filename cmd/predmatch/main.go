@@ -13,6 +13,14 @@
 // With no script arguments, statements are read from standard input.
 // Run with -demo for a built-in scenario based on the paper's EMP
 // examples.
+//
+// The stats subcommand queries a running predmatchd daemon instead of
+// executing a script:
+//
+//	predmatch stats [-addr 127.0.0.1:7341]
+//
+// printing shard, IBS-tree and per-connection statistics (the remote
+// form of the script interpreter's local `stats` statement).
 package main
 
 import (
@@ -102,6 +110,9 @@ func matcherFactory(name string) (func(*storage.DB, *pred.Registry) matcher.Matc
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		os.Exit(runStats(os.Args[2:]))
+	}
 	matcherName := flag.String("matcher", "ibs", "matching strategy: ibs, ibs-unbalanced, hashseq, seqscan, rtree, sharded")
 	runDemo := flag.Bool("demo", false, "run the built-in demo scenario and exit")
 	flag.Parse()

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"predmatch/internal/client"
+	"predmatch/internal/obs"
 	"predmatch/internal/pred"
 	"predmatch/internal/schema"
 	"predmatch/internal/server"
@@ -134,7 +135,11 @@ func main() {
 		mutations atomic.Uint64
 		probes    atomic.Uint64
 		matched   atomic.Uint64
+		errs      atomic.Uint64
 	)
+	// One shared request-latency histogram across all workers; obs
+	// histograms are lock-free, so contention is a few atomic adds.
+	lat := obs.NewHistogram(obs.DefBuckets...)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
@@ -144,6 +149,7 @@ func main() {
 			c, err := client.Dial(target)
 			if err != nil {
 				logger.Printf("worker %d: dial: %v", w, err)
+				errs.Add(1)
 				return
 			}
 			defer c.Close()
@@ -157,6 +163,7 @@ func main() {
 				}
 				tp := randomEmp(rng)
 				var err error
+				t0 := time.Now()
 				switch r := rng.Intn(10); {
 				case r < 5 || len(live) < 5: // insert
 					var id tuple.ID
@@ -190,9 +197,11 @@ func main() {
 					case <-stop:
 					default:
 						logger.Printf("worker %d: %v", w, err)
+						errs.Add(1)
 					}
 					return
 				}
+				lat.ObserveSince(t0)
 			}
 		}(w)
 	}
@@ -229,6 +238,8 @@ report:
 	fmt.Printf("loadgen: %d workers, %s\n", *workers, elapsed.Round(time.Millisecond))
 	fmt.Printf("  mutations   %8d  (%.0f/s)\n", muts, float64(muts)/elapsed.Seconds())
 	fmt.Printf("  match probes%8d  (%.0f/s), %d predicate hits\n", prb, float64(prb)/elapsed.Seconds(), matched.Load())
+	fmt.Printf("  latency     p50 %s  p95 %s  p99 %s  (%d requests)\n",
+		quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99), lat.Count())
 	fmt.Printf("  firings     %8d generated, %d received, %d dropped\n", generated, received.Load(), dropped)
 	fmt.Printf("  server      %d rules, %d predicates, %d conns, matcher %s\n",
 		len(st.Rules), st.Predicates, st.Conns, st.Matcher)
@@ -239,6 +250,15 @@ report:
 	if err := errors.Join(admin.Err(), sub.Err()); err != nil {
 		logger.Fatalf("connection error: %v", err)
 	}
+	if n := errs.Load(); n > 0 {
+		logger.Printf("%d request errors", n)
+		os.Exit(1)
+	}
+}
+
+// quantile renders a histogram quantile estimate as a duration.
+func quantile(h *obs.Histogram, q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
 }
 
 func randomEmp(rng *rand.Rand) tuple.Tuple {

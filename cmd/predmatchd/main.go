@@ -7,7 +7,13 @@
 // Usage:
 //
 //	predmatchd [-addr :7341] [-max-conns 128] [-queue 1024]
-//	           [-write-timeout 10s] [-idle-timeout 0] [-drain 10s] [-v]
+//	           [-write-timeout 10s] [-idle-timeout 0] [-drain 10s]
+//	           [-admin addr] [-slowreq 0] [-v]
+//
+// With -admin, a second HTTP listener serves the operational surface:
+// /metrics (Prometheus), /varz (JSON), /healthz and /debug/pprof (see
+// docs/OBSERVABILITY.md for the metric catalogue). -slowreq logs every
+// request slower than the threshold. Structured logs go to stderr.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests for up to -drain, then force-closes stragglers.
@@ -18,12 +24,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"predmatch/internal/obs"
 	"predmatch/internal/server"
 )
 
@@ -34,7 +42,9 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "deadline for writing one frame to a client")
 	idleTimeout := flag.Duration("idle-timeout", 0, "close unsubscribed connections idle for this long (0 = never)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before force-closing connections")
-	verbose := flag.Bool("v", false, "log connection-level diagnostics")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address for /metrics, /varz, /healthz and /debug/pprof (empty = disabled)")
+	slowReq := flag.Duration("slowreq", 0, "log requests slower than this threshold (0 = disabled)")
+	verbose := flag.Bool("v", false, "log connection-level diagnostics (debug level)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: predmatchd [flags]")
@@ -42,16 +52,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	logger := log.New(os.Stderr, "predmatchd: ", log.LstdFlags)
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// Metrics are always collected: the daemon is the one binary whose
+	// instrumentation overhead was budgeted for (see BENCH_PR4.json);
+	// -admin only controls whether they are exposed.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+
 	cfg := server.Config{
 		Addr:         *addr,
 		MaxConns:     *maxConns,
 		QueueLen:     *queue,
 		WriteTimeout: *writeTimeout,
 		IdleTimeout:  *idleTimeout,
+		Registry:     reg,
+		Logger:       logger,
+		SlowRequest:  *slowReq,
 	}
 	if *verbose {
-		cfg.Logf = logger.Printf
+		cfg.Logf = func(format string, args ...any) {
+			logger.Debug(fmt.Sprintf(format, args...))
+		}
 	}
 	srv := server.New(cfg)
 
@@ -64,27 +90,69 @@ func main() {
 		// Addr is nil until Serve installs the listener.
 		for range 500 {
 			if a := srv.Addr(); a != nil {
-				logger.Printf("listening on %s", a)
+				logger.Info("listening", "addr", a.String())
 				return
 			}
 			time.Sleep(10 * time.Millisecond)
 		}
 	}()
 
+	var admin *server.Admin
+	adminErr := make(chan error, 1)
+	if *adminAddr != "" {
+		admin = server.NewAdmin(*adminAddr, reg, srv)
+		go func() { adminErr <- admin.ListenAndServe() }()
+		go func() {
+			for range 500 {
+				if a := admin.Addr(); a != nil {
+					logger.Info("admin listening", "addr", a.String())
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+	}
+
+	shutdown := func() int {
+		logger.Info("draining", "budget", drain.String())
+		sctx, scancel := context.WithTimeout(context.Background(), *drain)
+		defer scancel()
+		code := 0
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", "err", err)
+			code = 1
+		}
+		<-errc
+		if admin != nil {
+			// The admin listener stops last so /healthz can report
+			// "stopping" for the whole drain window.
+			if err := admin.Shutdown(sctx); err != nil {
+				logger.Error("admin shutdown", "err", err)
+				code = 1
+			}
+			if err := <-adminErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin", "err", err)
+				code = 1
+			}
+		}
+		logger.Info("stopped")
+		return code
+	}
+
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, server.ErrServerClosed) {
-			logger.Fatal(err)
-		}
-	case <-ctx.Done():
-		logger.Printf("signal received; draining for up to %s", *drain)
-		sctx, scancel := context.WithTimeout(context.Background(), *drain)
-		defer scancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("serve", "err", err)
 			os.Exit(1)
 		}
-		<-errc
-		logger.Printf("stopped")
+	case err := <-adminErr:
+		// The admin listener failing (port clash, bad address) is fatal:
+		// an operator who asked for observability should not get a
+		// silently blind daemon.
+		logger.Error("admin serve", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		logger.Info("signal received")
+		os.Exit(shutdown())
 	}
 }

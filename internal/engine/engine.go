@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"predmatch/internal/matcher"
+	"predmatch/internal/obs"
 	"predmatch/internal/parser"
 	"predmatch/internal/pred"
 	"predmatch/internal/storage"
@@ -42,6 +43,10 @@ type Rule struct {
 	// rule's condition (one per DNF conjunct; a single always-true
 	// predicate when the rule has no condition).
 	predIDs []pred.ID
+	// fires is the rule's activation counter, resolved once when the
+	// rule is defined so the firing loop never touches the vec's lookup
+	// lock. nil when the engine is uninstrumented.
+	fires *obs.Counter
 }
 
 // Firing describes one rule activation, for logging and tests.
@@ -86,6 +91,8 @@ type Engine struct {
 	traceAll   bool
 	scratch    []pred.ID
 	onFire     []func(FiringEvent)
+	firingsVec *obs.CounterVec // per-rule activation counters; nil when uninstrumented
+	events     *obs.Counter    // storage events observed
 }
 
 // Option configures an Engine.
@@ -101,6 +108,28 @@ func WithMaxCascadeDepth(d int) Option { return func(e *Engine) { e.maxDepth = d
 // WithFiringTrace records every rule activation for inspection via
 // Firings (intended for tests and examples).
 func WithFiringTrace(on bool) Option { return func(e *Engine) { e.traceAll = on } }
+
+// WithMetrics registers the engine's metric families on reg: per-rule
+// activation counters, a storage-event counter, and a defined-rule
+// gauge sampled at scrape time. A nil reg leaves the engine
+// uninstrumented.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(e *Engine) {
+		if reg == nil {
+			return
+		}
+		e.firingsVec = reg.CounterVec("predmatch_rule_firings_total",
+			"Rule activations by rule name.", "rule")
+		e.events = reg.Counter("predmatch_engine_events_total",
+			"Storage mutations observed by the rule engine (including cascades).")
+		reg.GaugeFunc("predmatch_rules",
+			"Rules currently defined.", func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				return float64(len(e.rules))
+			})
+	}
+}
 
 // New builds an engine over db using m as the predicate-matching
 // strategy and registers it as a storage observer.
@@ -164,6 +193,9 @@ func (e *Engine) DefineRuleAST(ast *parser.RuleAST) (*Rule, error) {
 	}
 	for _, ev := range ast.Events {
 		r.Events[ev] = true
+	}
+	if e.firingsVec != nil {
+		r.fires = e.firingsVec.With(ast.Name)
 	}
 
 	var preds []*pred.Predicate
@@ -251,6 +283,7 @@ func (e *Engine) onEvent(ev storage.Event) error {
 	if t == nil {
 		return nil
 	}
+	e.events.Inc()
 
 	if e.depth >= e.maxDepth {
 		return fmt.Errorf("engine: cascade depth limit %d exceeded at %s on %s", e.maxDepth, ev.Op, ev.Rel)
@@ -284,6 +317,7 @@ func (e *Engine) onEvent(ev storage.Event) error {
 	e.depth++
 	defer func() { e.depth-- }()
 	for _, r := range toFire {
+		r.fires.Inc()
 		if e.traceAll {
 			e.firings = append(e.firings, Firing{Rule: r.Name, Event: ev})
 		}

@@ -99,6 +99,7 @@ type Tree[T any] struct {
 	cmp      interval.Cmp[T]
 	newSet   markset.Factory
 	balanced bool
+	instr    *Counters // optional; shared across clones (see metrics.go)
 	root     *node[T]
 	recs     map[ID]*record[T]
 	nodes    int
@@ -117,6 +118,7 @@ type Option func(*config)
 type config struct {
 	newSet   markset.Factory
 	balanced bool
+	instr    *Counters
 }
 
 // Balanced enables AVL balancing with the paper's Figure-6 mark rotation
@@ -138,6 +140,7 @@ func New[T any](cmp interval.Cmp[T], opts ...Option) *Tree[T] {
 		cmp:       cmp,
 		newSet:    c.newSet,
 		balanced:  c.balanced,
+		instr:     c.instr,
 		recs:      make(map[ID]*record[T]),
 		universal: make(map[ID]bool),
 	}
@@ -265,13 +268,20 @@ func (t *Tree[T]) Stab(x T) []ID {
 // StabAppend appends the identifiers of all intervals containing x to
 // dst and returns it, allowing allocation-free reuse across queries.
 // The result is sorted and duplicate-free within the appended region.
+//
+// Counting is done in locals and flushed as a handful of atomic adds
+// per query (see Counters), keeping the instrumented walk as cheap as
+// the bare one.
 func (t *Tree[T]) StabAppend(x T, dst []ID) []ID {
 	start := len(dst)
 	for id := range t.universal {
 		dst = append(dst, id)
 	}
+	var visited, cmps int
 	n := t.root
 	for n != nil {
+		visited++
+		cmps++
 		c := t.cmp(x, n.value)
 		switch {
 		case c == 0:
@@ -279,7 +289,7 @@ func (t *Tree[T]) StabAppend(x T, dst []ID) []ID {
 				dst = append(dst, id)
 				return true
 			})
-			return dedupeSorted(dst, start)
+			n = nil
 		case c < 0:
 			n.marks[slotLT].Each(func(id ID) bool {
 				dst = append(dst, id)
@@ -294,7 +304,13 @@ func (t *Tree[T]) StabAppend(x T, dst []ID) []ID {
 			n = n.right
 		}
 	}
-	return dedupeSorted(dst, start)
+	dst, dcmps := dedupeSortedCount(dst, start)
+	if t.instr != nil {
+		t.instr.Stabs.Inc()
+		t.instr.NodesVisited.Add(uint64(visited))
+		t.instr.Comparisons.Add(uint64(cmps + dcmps))
+	}
+	return dst
 }
 
 // StabFunc calls fn for every interval containing x. Identifiers may be
@@ -334,25 +350,40 @@ func (t *Tree[T]) StabFunc(x T, fn func(ID) bool) {
 
 // dedupeSorted sorts dst[start:] and removes duplicates in place.
 func dedupeSorted(dst []ID, start int) []ID {
+	dst, _ = dedupeSortedCount(dst, start)
+	return dst
+}
+
+// dedupeSortedCount is dedupeSorted plus the number of identifier
+// comparisons spent, which feeds the Comparisons counter: the sort term
+// is the per-query cost of the L overlapping intervals in the paper's
+// O(log N + L) bound.
+func dedupeSortedCount(dst []ID, start int) ([]ID, int) {
 	s := dst[start:]
 	if len(s) < 2 {
-		return dst
+		return dst, 0
 	}
+	cmps := 0
 	// Insertion sort: collected sets are already sorted runs, and result
 	// sizes are small (L overlapping intervals).
 	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+		for j := i; j > 0; j-- {
+			cmps++
+			if s[j] >= s[j-1] {
+				break
+			}
 			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}
 	w := 1
 	for i := 1; i < len(s); i++ {
+		cmps++
 		if s[i] != s[w-1] {
 			s[w] = s[i]
 			w++
 		}
 	}
-	return dst[:start+w]
+	return dst[:start+w], cmps
 }
 
 // newNode allocates a node with empty mark and endpoint sets.

@@ -1,0 +1,52 @@
+package ibs
+
+import "predmatch/internal/obs"
+
+// Counters aggregates the tree's operational counters. All fields are
+// optional (nil fields are skipped, and a nil *Counters disables
+// counting entirely); the tree batches per-query tallies into single
+// atomic adds at the end of each stab, so one Counters value can be
+// shared by many trees — including copy-on-write clones — without
+// per-node contention.
+//
+// NodesVisited and Comparisons together validate the paper's Section
+// 5.1 claim that a stabbing query costs O(log N + L): nodes visited
+// per stab should track the tree height reported by Height, and
+// comparisons exceed it only by the insertion-sort work on the L
+// collected identifiers.
+type Counters struct {
+	// Stabs counts StabAppend/Stab calls.
+	Stabs *obs.Counter
+	// NodesVisited counts tree nodes touched on stab root-to-leaf walks.
+	NodesVisited *obs.Counter
+	// Comparisons counts comparator calls during stab descent plus the
+	// identifier comparisons spent sorting and deduplicating results.
+	Comparisons *obs.Counter
+	// Rotations counts AVL rotations (each double rotation counts as
+	// two singles, matching the paper's Figure 6 accounting).
+	Rotations *obs.Counter
+}
+
+// Instrument attaches c to the tree. Trees are instrumented through
+// their construction Options so that index factories (internal/core)
+// propagate the same Counters to every clone they build.
+func Instrument(c *Counters) Option { return func(cfg *config) { cfg.instr = c } }
+
+// RegisterCounters registers the standard IBS-tree counter families on
+// reg and returns a Counters ready to pass to Instrument. A nil reg
+// returns nil, which disables counting.
+func RegisterCounters(reg *obs.Registry) *Counters {
+	if reg == nil {
+		return nil
+	}
+	return &Counters{
+		Stabs: reg.Counter("predmatch_ibs_stabs_total",
+			"Stabbing queries executed against IBS-trees."),
+		NodesVisited: reg.Counter("predmatch_ibs_nodes_visited_total",
+			"IBS-tree nodes visited by stabbing queries (the log N term of the paper's O(log N + L) bound)."),
+		Comparisons: reg.Counter("predmatch_ibs_comparisons_total",
+			"Comparator calls during stab descent plus result sort/dedupe comparisons (the +L term)."),
+		Rotations: reg.Counter("predmatch_ibs_rotations_total",
+			"AVL rotations performed while rebalancing IBS-trees (Figure 6 mark adjustments)."),
+	}
+}

@@ -35,6 +35,9 @@ package ibs
 
 // rotateRight rotates right about z and returns the new subtree root.
 func (t *Tree[T]) rotateRight(z *node[T]) *node[T] {
+	if t.instr != nil {
+		t.instr.Rotations.Inc()
+	}
 	y := z.left
 
 	// Snapshot the slots the rules read before mutating anything.
@@ -68,6 +71,9 @@ func (t *Tree[T]) rotateRight(z *node[T]) *node[T] {
 
 // rotateLeft is the mirror image of rotateRight, about z with y = z.right.
 func (t *Tree[T]) rotateLeft(z *node[T]) *node[T] {
+	if t.instr != nil {
+		t.instr.Rotations.Inc()
+	}
 	y := z.right
 
 	zGT := z.marks[slotGT].IDs()

@@ -1,0 +1,306 @@
+// Package obs is the repository's telemetry layer: dependency-free
+// (stdlib only, like internal/analysis) metric primitives — atomic
+// Counter, Gauge and fixed-bucket Histogram — plus a Registry that
+// exposes them in Prometheus text format and as a JSON snapshot.
+//
+// The paper's empirical case (Section 5.2, Figures 7–9) is built on
+// counting comparisons and measuring match latency as N and L grow;
+// this package makes those quantities observable on a live daemon
+// instead of only in offline benchmarks. See docs/OBSERVABILITY.md for
+// the catalogue of metrics the rest of the repository registers.
+//
+// # Disabled-by-default contract
+//
+// Instrumentation must cost nothing when nobody asked for it. Every
+// hot-path method (Counter.Add, Gauge.Set, Histogram.Observe, ...) is
+// safe on a nil receiver and returns immediately, and every Registry
+// constructor method on a nil *Registry returns a nil handle. A
+// library user who never wires a Registry therefore pays one nil check
+// per instrumentation point — no atomics, no allocation, no locks.
+//
+// # Concurrency
+//
+// All metric types are safe for concurrent use. Counters and
+// histograms are striped across cache-line-padded cells so that
+// concurrent writers (the sharded matcher runs one goroutine per
+// core) do not serialize on a single cache line; readers sum the
+// stripes. Float sums use compare-and-swap on the bit pattern, which
+// under striping almost always succeeds on the first attempt. Handle
+// lookup (the *Vec types' With) takes a mutex and allocates a key —
+// callers on hot paths resolve their handles once, up front, and keep
+// them.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// numStripes spreads hot-path atomic updates across cache lines. A
+// power of two (the stripe pick is a mask) sized to cover typical
+// core counts without bloating per-metric memory (~1 KiB a counter).
+const numStripes = 8
+
+// stripeIdx picks the stripe for this call by hashing the goroutine's
+// stack address (stacks are allocated in distinct 8 KiB blocks).
+// Affinity, not balance, is what matters: a goroutine that keeps
+// hitting the same stripe keeps the cache line in its own core, so
+// the stripe update is an uncontended L1 add instead of a bounced
+// one. Random picks would land on lines other cores just wrote. If
+// the stack grows or moves the goroutine simply adopts a new stripe;
+// totals are unaffected.
+func stripeIdx() uint32 {
+	var marker byte
+	p := uintptr(unsafe.Pointer(&marker))
+	return uint32((p>>13)*0x9E3779B1>>24) & (numStripes - 1)
+}
+
+// counterCell is one stripe of a Counter, padded to its own cache
+// line (128 bytes covers spatial prefetcher pairing on amd64).
+type counterCell struct {
+	n atomic.Uint64
+	_ [120]byte
+}
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; a nil *Counter discards all updates.
+type Counter struct {
+	cells [numStripes]counterCell
+}
+
+// NewCounter returns a standalone counter (not attached to a
+// registry; use Registry.Counter for an exported one).
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.cells[stripeIdx()].n.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.cells[stripeIdx()].n.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter). Stripe loads
+// are not fenced against concurrent Adds; the total may trail
+// in-flight updates, which is fine for monitoring.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var n uint64
+	for i := range c.cells {
+		n += c.cells[i].n.Load()
+	}
+	return n
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; a nil *Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a standalone gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are latency buckets in seconds, spanning 50µs–10s: wide
+// enough for a network round trip, fine enough near the bottom to
+// resolve the paper's "2.1 msec" whole-scheme cost model.
+var DefBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 10,
+}
+
+// ExponentialBuckets returns n buckets starting at start, each factor
+// times the previous (for size-like distributions).
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// histStripe is one stripe of a Histogram: its own bucket array
+// (separately allocated, so stripes never share bucket cache lines)
+// and float sum. The pad keeps adjacent stripes' sums apart.
+type histStripe struct {
+	sumBits atomic.Uint64 // float64 bit pattern, CAS-updated
+	counts  []atomic.Uint64
+	_       [96]byte
+}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics: bucket i counts observations <= bounds[i], plus an
+// implicit +Inf bucket. Recording is one atomic add on a striped
+// bucket and one CAS on the stripe's float sum; a nil *Histogram
+// discards observations.
+type Histogram struct {
+	bounds  []float64
+	stripes [numStripes]histStripe // counts are len(bounds)+1; last is +Inf
+}
+
+// NewHistogram returns a standalone histogram with the given ascending
+// bucket upper bounds (+Inf is always added implicitly).
+func NewHistogram(bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]atomic.Uint64, len(bs)+1)
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Smallest bucket whose bound is >= v; everything past the finite
+	// bounds lands in +Inf. Bucket counts are the small fixed per-metric
+	// cost; the search is over ~16 bounds.
+	i := sort.SearchFloat64s(h.bounds, v)
+	s := &h.stripes[stripeIdx()]
+	s.counts[i].Add(1)
+	for {
+		old := s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0, in seconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	counts, _ := h.snapshot()
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	_, sum := h.snapshot()
+	return sum
+}
+
+// snapshot returns per-bucket (non-cumulative) counts and the sum,
+// aggregated across stripes. The loads are not fenced against
+// concurrent Observe calls; totals may be off by in-flight
+// observations, which is fine for monitoring.
+func (h *Histogram) snapshot() (counts []uint64, sum float64) {
+	counts = make([]uint64, len(h.bounds)+1)
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for j := range s.counts {
+			counts[j] += s.counts[j].Load()
+		}
+		sum += math.Float64frombits(s.sumBits.Load())
+	}
+	return counts, sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank, the same
+// estimate Prometheus's histogram_quantile computes. Returns NaN on an
+// empty (or nil) histogram. Values in the +Inf bucket clamp to the
+// largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	counts, _ := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.bounds) { // +Inf bucket
+			if len(h.bounds) == 0 {
+				return math.NaN()
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge()
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+}
+
+// TestNilHandles pins the disabled-registry contract: every method of
+// every handle type must be a no-op on nil, so uninstrumented library
+// users pay nothing and crash never.
+func TestNilHandles(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Error("nil counter Value != 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Error("nil gauge Value != 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram not empty")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram Quantile != NaN")
+	}
+
+	var r *Registry
+	if r.Counter("x", "") != nil {
+		t.Error("nil registry Counter != nil")
+	}
+	if r.Gauge("x", "") != nil {
+		t.Error("nil registry Gauge != nil")
+	}
+	if r.Histogram("x", "") != nil {
+		t.Error("nil registry Histogram != nil")
+	}
+	r.GaugeFunc("x", "", func() float64 { return 0 })
+	r.CounterFunc("x", "", func() uint64 { return 0 })
+	r.GaugeSet("x", "", nil, func(Emit) {})
+	if r.CounterVec("x", "", "l").With("v") != nil {
+		t.Error("nil registry CounterVec child != nil")
+	}
+	if r.GaugeVec("x", "", "l").With("v") != nil {
+		t.Error("nil registry GaugeVec child != nil")
+	}
+	if r.HistogramVec("x", "", nil, "l").With("v") != nil {
+		t.Error("nil registry HistogramVec child != nil")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Errorf("nil registry WriteJSON: %v", err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 2, 5)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	counts, sum := h.snapshot()
+	want := []uint64{2, 2, 1, 1} // le=1: {0.5,1}; le=2: {1.5,2}; le=5: {3}; +Inf: {100}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+	if sum != 108 {
+		t.Errorf("sum = %g, want 108", sum)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExponentialBuckets(1, 2, 10)...) // 1,2,4,...,512
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i % 100))
+	}
+	// The true p50 is ~50; the estimate must land inside the bucket
+	// (32, 64] that holds the median rank.
+	if q := h.Quantile(0.5); q < 32 || q > 64 {
+		t.Errorf("p50 = %g, want within (32, 64]", q)
+	}
+	if q := h.Quantile(0.99); q < 64 || q > 128 {
+		t.Errorf("p99 = %g, want within (64, 128]", q)
+	}
+	empty := NewHistogram(1, 2)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram Quantile != NaN")
+	}
+}
+
+func TestVecHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("predmatch_test_total", "help", "op")
+	a, b := v.With("match"), v.With("match")
+	if a != b {
+		t.Fatal("With returned distinct children for identical labels")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("children not shared")
+	}
+	if v.With("insert") == a {
+		t.Fatal("distinct labels share a child")
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("dup_total", "h") != r.Counter("dup_total", "h") {
+		t.Fatal("re-registering an identical counter did not return the same handle")
+	}
+	mustPanic(t, func() { r.Gauge("dup_total", "h") })
+	mustPanic(t, func() { r.Counter("bad name", "h") })
+	mustPanic(t, func() { r.CounterVec("ok_total", "h", "bad label") })
+	v := r.CounterVec("labeled_total", "h", "a", "b")
+	mustPanic(t, func() { v.With("only-one") })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestGaugeSetAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("simple", "h", func() float64 { return 2.5 })
+	r.CounterFunc("derived_total", "h", func() uint64 { return 7 })
+	r.GaugeSet("per_rel", "h", []string{"rel"}, func(emit Emit) {
+		emit(3, "emp")
+		emit(1, "dept")
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"simple 2.5\n",
+		"derived_total 7\n",
+		`per_rel{rel="dept"} 1` + "\n",
+		`per_rel{rel="emp"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("esc", "h", "v").With("a\"b\\c\nd").Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("got %q, want substring %q", buf.String(), want)
+	}
+}
+
+// TestWriteJSON checks the /varz form round-trips through encoding/json
+// and carries histogram buckets cumulatively.
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help a").Add(3)
+	h := r.Histogram("lat_seconds", "latency", 1, 2)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name    string `json:"name"`
+			Type    string `json:"type"`
+			Samples []struct {
+				Value   *float64 `json:"value"`
+				Count   *uint64  `json:"count"`
+				Sum     *float64 `json:"sum"`
+				Buckets []struct {
+					LE    any    `json:"le"`
+					Count uint64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"samples"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("got %d metric families, want 2", len(doc.Metrics))
+	}
+	// Sorted by name: a_total first.
+	if doc.Metrics[0].Name != "a_total" || *doc.Metrics[0].Samples[0].Value != 3 {
+		t.Errorf("a_total sample wrong: %+v", doc.Metrics[0])
+	}
+	hs := doc.Metrics[1].Samples[0]
+	if *hs.Count != 3 || *hs.Sum != 101 {
+		t.Errorf("histogram count/sum = %d/%g, want 3/101", *hs.Count, *hs.Sum)
+	}
+	if len(hs.Buckets) != 3 || hs.Buckets[2].Count != 3 || hs.Buckets[2].LE != "+Inf" {
+		t.Errorf("histogram buckets wrong: %+v", hs.Buckets)
+	}
+}

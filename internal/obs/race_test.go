@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistry hammers one registry from many goroutines —
+// handle resolution, every update kind, and concurrent exposition —
+// and then checks the totals. Run with -race: the package's whole
+// value is that the match path can update these types lock-free.
+func TestConcurrentRegistry(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("storm_total", "")
+	g := r.Gauge("storm_gauge", "")
+	h := r.Histogram("storm_seconds", "", 0.25, 0.5, 1)
+	cv := r.CounterVec("storm_by_op_total", "", "op")
+	hv := r.HistogramVec("storm_lat_seconds", "", []float64{1, 2}, "rel")
+	r.GaugeFunc("storm_func", "", func() float64 { return 1 })
+	r.GaugeSet("storm_set", "", []string{"k"}, func(emit Emit) { emit(1, "a") })
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			op := fmt.Sprintf("op%d", i%4)
+			// Resolve mid-storm too: With must be safe concurrently
+			// with other With calls and with exposition.
+			cc := cv.With(op)
+			hh := hv.With("emp")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j%4) / 4)
+				cc.Inc()
+				hh.Observe(float64(j % 3))
+			}
+		}(i)
+	}
+	// Scrape concurrently with the writers.
+	var scrape sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		scrape.Add(1)
+		go func() {
+			defer scrape.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.WriteJSON(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrape.Wait()
+
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	var byOp uint64
+	for i := 0; i < 4; i++ {
+		byOp += cv.With(fmt.Sprintf("op%d", i)).Value()
+	}
+	if byOp != total {
+		t.Errorf("counter vec total = %d, want %d", byOp, total)
+	}
+	if got := hv.With("emp").Count(); got != total {
+		t.Errorf("histogram vec count = %d, want %d", got, total)
+	}
+	// The float-sum CAS must not lose updates: each goroutine observed
+	// perG values of mean 0.375 into h.
+	if want := float64(total) * 0.375; h.Sum() != want {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntime exports a small set of Go runtime gauges on reg:
+// goroutine count, heap in use, total GC pauses and process uptime.
+// ReadMemStats costs a brief stop-the-world, which is paid per scrape,
+// not per request.
+func RegisterRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	start := time.Now()
+	reg.GaugeFunc("predmatch_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("predmatch_uptime_seconds",
+		"Seconds since the registry was initialized.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("predmatch_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("predmatch_gc_pause_total_seconds",
+		"Cumulative GC stop-the-world pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"predmatch/internal/obs"
+)
+
+// Admin is the daemon's operational HTTP listener, separate from the
+// client protocol port so that scraping and profiling never compete
+// with match traffic for the protocol listener's accept loop. It
+// serves:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/varz          the same registry as a JSON document
+//	/healthz       200 while serving, 503 once shutdown has begun
+//	/debug/pprof/  the standard net/http/pprof profile endpoints
+//
+// The endpoints are unauthenticated; bind the admin listener to
+// loopback or an operations network, never the public interface.
+type Admin struct {
+	addr string
+	srv  *http.Server
+
+	lnMu sync.Mutex
+	ln   net.Listener // guarded-by: lnMu
+}
+
+// NewAdmin builds the admin endpoint for s, exposing reg. reg may be
+// nil (the metric endpoints then serve empty documents); s may be nil
+// (healthz then always reports healthy), which tests use to probe the
+// mux in isolation.
+func NewAdmin(addr string, reg *obs.Registry, s *Server) *Admin {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s != nil && s.Stopping() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("stopping\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &Admin{
+		addr: addr,
+		srv: &http.Server{
+			Handler: mux,
+			// Scrapes and health checks are small; pprof profile/trace
+			// streams run long, so only the read side is bounded.
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+}
+
+// ListenAndServe listens on the configured address and serves until
+// Shutdown. It returns http.ErrServerClosed after a clean shutdown.
+func (a *Admin) ListenAndServe() error {
+	ln, err := net.Listen("tcp", a.addr)
+	if err != nil {
+		return err
+	}
+	return a.Serve(ln)
+}
+
+// Serve serves the admin endpoints on ln until Shutdown.
+func (a *Admin) Serve(ln net.Listener) error {
+	a.lnMu.Lock()
+	a.ln = ln
+	a.lnMu.Unlock()
+	return a.srv.Serve(ln)
+}
+
+// Addr returns the listener address once Serve is running (for tests
+// listening on ":0"), or nil before that.
+func (a *Admin) Addr() net.Addr {
+	a.lnMu.Lock()
+	defer a.lnMu.Unlock()
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// Shutdown gracefully stops the admin listener; it shares the daemon's
+// drain context so both listeners wind down together.
+func (a *Admin) Shutdown(ctx context.Context) error {
+	return a.srv.Shutdown(ctx)
+}

@@ -32,12 +32,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"predmatch/internal/core"
 	"predmatch/internal/engine"
+	"predmatch/internal/ibs"
+	"predmatch/internal/obs"
 	"predmatch/internal/pred"
 	"predmatch/internal/schema"
 	"predmatch/internal/shard"
@@ -75,6 +81,17 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Logf receives connection-level diagnostics (default: discard).
 	Logf func(format string, args ...any)
+	// Registry receives the daemon's metrics and turns on hot-path
+	// instrumentation down through the matcher and the IBS-trees
+	// (default nil = fully uninstrumented; see internal/obs).
+	Registry *obs.Registry
+	// Logger receives structured lifecycle events: connection
+	// accept/reject/close, slow requests, shutdown phases (default:
+	// discard).
+	Logger *slog.Logger
+	// SlowRequest logs any request slower than this threshold at Warn
+	// level via Logger (default 0 = disabled).
+	SlowRequest time.Duration
 }
 
 func (c *Config) fill() {
@@ -92,6 +109,12 @@ func (c *Config) fill() {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Logger == nil {
+		// A handler whose level no record reaches: Enabled() fails before
+		// any attribute is assembled, so the default logger costs nothing.
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard,
+			&slog.HandlerOptions{Level: slog.Level(127)}))
 	}
 }
 
@@ -128,6 +151,10 @@ type Server struct {
 
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+
+	// met holds the request-path metric handles; nil when cfg.Registry
+	// is nil, which compiles the instrumentation down to nil checks.
+	met *serverMetrics
 }
 
 // subscription is one connection's notification filter and counters,
@@ -152,8 +179,21 @@ func New(cfg Config) *Server {
 		subs:  make(map[*conn]*subscription),
 	}
 	s.nextPredID.Store(int64(DirectPredBase))
-	s.sm = shard.New(s.db.Catalog(), s.funcs)
-	s.eng = engine.New(s.db, s.funcs, s.sm)
+	var smOpts []shard.Option
+	var engOpts []engine.Option
+	if cfg.Registry != nil {
+		// One ibs.Counters is shared by every tree of every copy-on-write
+		// snapshot: the index factory bakes the Instrument option in, so
+		// clones keep feeding the same counters.
+		smOpts = append(smOpts,
+			shard.WithMetrics(cfg.Registry),
+			shard.WithIndexOptions(core.WithTreeOptions(
+				ibs.Instrument(ibs.RegisterCounters(cfg.Registry)))))
+		engOpts = append(engOpts, engine.WithMetrics(cfg.Registry))
+	}
+	s.sm = shard.New(s.db.Catalog(), s.funcs, smOpts...)
+	s.eng = engine.New(s.db, s.funcs, s.sm, engOpts...)
+	s.met = newServerMetrics(cfg.Registry, s)
 	s.eng.OnFire(s.onFire)
 	// Predicate-match streaming: a second observer (after the engine's)
 	// re-stabs the index for events whenever some subscriber asked for
@@ -227,6 +267,11 @@ func (s *Server) startConn(nc net.Conn) {
 	if len(s.conns) >= s.cfg.MaxConns {
 		s.connMu.Unlock()
 		s.cfg.Logf("server: rejecting %s: connection limit %d reached", nc.RemoteAddr(), s.cfg.MaxConns)
+		s.cfg.Logger.Warn("connection rejected",
+			"remote", nc.RemoteAddr().String(), "limit", s.cfg.MaxConns)
+		if s.met != nil {
+			s.met.rejected.Inc()
+		}
 		nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		json.NewEncoder(nc).Encode(wire.Message{
 			Type: wire.TypeResponse, Error: "server at connection limit",
@@ -235,11 +280,14 @@ func (s *Server) startConn(nc net.Conn) {
 		return
 	}
 	s.conns[c] = struct{}{}
+	n := len(s.conns)
 	// Increment while still holding connMu: Shutdown closes done and then
 	// takes connMu before starting wg.Wait, so a connection admitted here
 	// is always counted before that Wait can observe a zero counter.
 	s.wg.Add(2)
 	s.connMu.Unlock()
+	s.cfg.Logger.Debug("connection accepted",
+		"remote", nc.RemoteAddr().String(), "conns", n)
 
 	go c.readLoop()
 	go c.writeLoop()
@@ -253,6 +301,19 @@ func (s *Server) removeConn(c *conn) {
 	s.subMu.Lock()
 	delete(s.subs, c)
 	s.subMu.Unlock()
+	s.cfg.Logger.Debug("connection closed",
+		"remote", c.nc.RemoteAddr().String(), "delivered", c.delivered.Load())
+}
+
+// Stopping reports whether Shutdown or Close has begun; the admin
+// endpoint's health check flips to unhealthy on it.
+func (s *Server) Stopping() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Shutdown stops accepting, unblocks idle readers, and waits for every
@@ -266,25 +327,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.ln.Close()
 	}
 	s.lnMu.Unlock()
+	s.cfg.Logger.Info("shutdown: listener closed, draining connections")
 	// Wake readers blocked waiting for the next request; readers in the
 	// middle of a request finish it first.
 	s.connMu.Lock()
+	waking := len(s.conns)
 	for c := range s.conns {
 		c.nc.SetReadDeadline(time.Now())
 	}
 	s.connMu.Unlock()
+	if waking > 0 {
+		s.cfg.Logger.Info("shutdown: waking idle readers", "conns", waking)
+	}
 
 	drained := make(chan struct{})
 	go func() { s.wg.Wait(); close(drained) }()
 	select {
 	case <-drained:
+		s.cfg.Logger.Info("shutdown: drained")
 		return nil
 	case <-ctx.Done():
 		s.connMu.Lock()
+		forced := len(s.conns)
 		for c := range s.conns {
 			c.nc.Close()
 		}
 		s.connMu.Unlock()
+		s.cfg.Logger.Warn("shutdown: drain deadline expired, closing connections",
+			"conns", forced)
 		<-drained
 		return ctx.Err()
 	}
@@ -411,6 +481,9 @@ type conn struct {
 	// writerGone is closed when the writer exits (write error or
 	// drain complete), unblocking a reader stuck on a full resp queue.
 	writerGone chan struct{}
+	// delivered counts notifications written to this connection, for
+	// the per-connection stats breakdown.
+	delivered atomic.Uint64
 }
 
 // subscribed reports whether the connection has an active subscription
@@ -496,6 +569,7 @@ func (c *conn) writeLoop() {
 		}
 		if m.Type == wire.TypeNotify {
 			c.s.delivered.Add(1)
+			c.delivered.Add(1)
 		}
 		return true
 	}
@@ -553,8 +627,34 @@ func okMsg(id uint64) wire.Message {
 	return wire.Message{Type: wire.TypeResponse, ID: id, OK: true}
 }
 
-// handle executes one request and builds its response.
+// handle executes one request, builds its response, and records the
+// request's latency and the slow-request log line. The uninstrumented
+// fast path (no Registry, no SlowRequest) skips even the clock reads.
 func (s *Server) handle(c *conn, req *wire.Request) wire.Message {
+	if s.met == nil && s.cfg.SlowRequest <= 0 {
+		return s.dispatch(c, req)
+	}
+	t0 := time.Now()
+	m := s.dispatch(c, req)
+	elapsed := time.Since(t0)
+	if s.met != nil {
+		if h := s.met.reqLat[req.Op]; h != nil {
+			h.Observe(elapsed.Seconds())
+		}
+		if m.Error != "" {
+			s.met.reqErrors.Inc()
+		}
+	}
+	if sr := s.cfg.SlowRequest; sr > 0 && elapsed >= sr {
+		s.cfg.Logger.Warn("slow request",
+			"op", req.Op, "id", req.ID, "relation", req.Relation,
+			"remote", c.nc.RemoteAddr().String(), "elapsed", elapsed)
+	}
+	return m
+}
+
+// dispatch routes one request to its handler.
+func (s *Server) dispatch(c *conn, req *wire.Request) wire.Message {
 	switch req.Op {
 	case wire.OpPing:
 		return okMsg(req.ID)
@@ -814,12 +914,45 @@ func (s *Server) handleStats(req *wire.Request) wire.Message {
 			Rel: sh.Rel, Predicates: sh.Predicates, Version: sh.Version,
 		})
 	}
+	for _, ts := range s.sm.Trees() {
+		st.Trees = append(st.Trees, wire.TreeStat{
+			Rel: ts.Rel, Attr: ts.Attr, Intervals: ts.Intervals,
+			Nodes: ts.Nodes, Markers: ts.Markers, Height: ts.Height,
+		})
+	}
+	// Snapshot the connection set first, then read each connection's
+	// subscription under subMu — the lock order every other path uses.
 	s.connMu.Lock()
 	st.Conns = len(s.conns)
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.connMu.Unlock()
 	s.subMu.Lock()
 	st.Subs = len(s.subs)
+	for _, c := range conns {
+		cs := wire.ConnStat{
+			Remote:    c.nc.RemoteAddr().String(),
+			Queue:     len(c.notes),
+			QueueCap:  cap(c.notes),
+			Delivered: c.delivered.Load(),
+		}
+		if sub, ok := s.subs[c]; ok {
+			cs.Subscribed = true
+			cs.Dropped = sub.drops
+			cs.LastSeq = sub.seq
+			for r := range sub.rules {
+				cs.Rules = append(cs.Rules, r)
+			}
+			sort.Strings(cs.Rules)
+		}
+		st.Connections = append(st.Connections, cs)
+	}
 	s.subMu.Unlock()
+	sort.Slice(st.Connections, func(i, j int) bool {
+		return st.Connections[i].Remote < st.Connections[j].Remote
+	})
 	m := okMsg(req.ID)
 	m.Stats = st
 	return m

@@ -29,9 +29,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"predmatch/internal/core"
 	"predmatch/internal/matcher"
+	"predmatch/internal/obs"
 	"predmatch/internal/pred"
 	"predmatch/internal/schema"
 	"predmatch/internal/tuple"
@@ -49,6 +51,7 @@ type ShardedMatcher struct {
 	opts    []core.Option
 	workers int
 	name    string
+	met     *metrics // nil unless built with WithMetrics
 
 	// dir is the immutable relation→shard directory. Shards are only
 	// ever added (a relation's shard survives its last predicate), so
@@ -74,6 +77,10 @@ type relShard struct {
 	// successful Add/Remove against this shard, so two reads observing
 	// the same version observed the same predicate set.
 	version atomic.Uint64
+	// lat is the relation's match-latency histogram handle, resolved
+	// once at shard creation so Match never takes the vec's lookup
+	// lock. nil when the matcher is uninstrumented.
+	lat *obs.Histogram
 }
 
 // Option configures a ShardedMatcher.
@@ -150,6 +157,9 @@ func (m *ShardedMatcher) shardOrCreate(rel string) *relShard {
 		next[k] = v
 	}
 	sh := &relShard{}
+	if m.met != nil {
+		sh.lat = m.met.lat.With(rel)
+	}
 	next[rel] = sh
 	m.dir.Store(&next)
 	return sh
@@ -188,6 +198,9 @@ func (m *ShardedMatcher) Add(p *pred.Predicate) error {
 	}
 	sh.snap.Store(next)
 	sh.version.Add(1)
+	if m.met != nil {
+		m.met.swaps.Inc()
+	}
 	return nil
 }
 
@@ -215,6 +228,9 @@ func (m *ShardedMatcher) Remove(id pred.ID) error {
 	}
 	sh.snap.Store(next)
 	sh.version.Add(1)
+	if m.met != nil {
+		m.met.swaps.Inc()
+	}
 	return nil
 }
 
@@ -228,7 +244,13 @@ func (m *ShardedMatcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred
 	if snap == nil {
 		return dst, nil
 	}
-	return snap.MatchSnapshot(rel, t, dst)
+	if sh.lat == nil {
+		return snap.MatchSnapshot(rel, t, dst)
+	}
+	t0 := time.Now()
+	out, err := snap.MatchSnapshot(rel, t, dst)
+	sh.lat.ObserveSince(t0)
+	return out, err
 }
 
 // MatchBatch matches every tuple of rel against one snapshot acquired
@@ -240,6 +262,10 @@ func (m *ShardedMatcher) MatchBatch(rel string, tuples []tuple.Tuple) ([][]pred.
 	sh := m.shard(rel)
 	if sh == nil || len(tuples) == 0 {
 		return results, nil
+	}
+	if m.met != nil {
+		m.met.batchTuples.Observe(float64(len(tuples)))
+		defer m.met.batchSecs.ObserveSince(time.Now())
 	}
 	snap := sh.snap.Load()
 	if snap == nil {

@@ -112,16 +112,51 @@ type ShardStat struct {
 	Version    uint64 `json:"version"`
 }
 
+// ConnStat describes one client connection in the stats response: its
+// notification-queue occupancy and delivery counters, which is what an
+// operator reads to find the subscriber that is falling behind.
+type ConnStat struct {
+	Remote     string `json:"remote"`
+	Subscribed bool   `json:"subscribed"`
+	// Queue/QueueCap are the notification queue's current depth and
+	// capacity; a queue pinned at capacity is a slow consumer.
+	Queue    int `json:"queue"`
+	QueueCap int `json:"queue_cap"`
+	// Delivered counts notifications actually written to this
+	// connection; Dropped those the overflow policy discarded; LastSeq
+	// is the last sequence number generated for its subscription
+	// (LastSeq - Delivered - Queue ≈ Dropped).
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped,omitempty"`
+	LastSeq   uint64 `json:"last_seq,omitempty"`
+	// Rules is the subscription's rule filter (empty = every rule).
+	Rules []string `json:"rules,omitempty"`
+}
+
+// TreeStat mirrors core.TreeStats: the shape of one attribute IBS-tree,
+// exposed so remote clients can check the paper's space and balance
+// claims without shell access to the daemon.
+type TreeStat struct {
+	Rel       string `json:"rel"`
+	Attr      string `json:"attr"`
+	Intervals int    `json:"intervals"`
+	Nodes     int    `json:"nodes"`
+	Markers   int    `json:"markers"`
+	Height    int    `json:"height"`
+}
+
 // Stats is the payload of a stats response.
 type Stats struct {
-	Rules      []string    `json:"rules"`
-	Matcher    string      `json:"matcher"`
-	Predicates int         `json:"predicates"`
-	Shards     []ShardStat `json:"shards,omitempty"`
-	Conns      int         `json:"conns"`
-	Subs       int         `json:"subs"`
-	Delivered  uint64      `json:"delivered"`
-	Dropped    uint64      `json:"dropped"`
+	Rules       []string    `json:"rules"`
+	Matcher     string      `json:"matcher"`
+	Predicates  int         `json:"predicates"`
+	Shards      []ShardStat `json:"shards,omitempty"`
+	Trees       []TreeStat  `json:"trees,omitempty"`
+	Conns       int         `json:"conns"`
+	Subs        int         `json:"subs"`
+	Delivered   uint64      `json:"delivered"`
+	Dropped     uint64      `json:"dropped"`
+	Connections []ConnStat  `json:"connections,omitempty"`
 }
 
 // Message is one server-to-client frame: a response when Type is
