@@ -14,13 +14,18 @@
 // Run with -demo for a built-in scenario based on the paper's EMP
 // examples.
 //
-// The stats subcommand queries a running predmatchd daemon instead of
-// executing a script:
+// Three subcommands talk to durable daemon state instead of executing
+// a script:
 //
 //	predmatch stats [-addr 127.0.0.1:7341]
+//	predmatch backup [-addr 127.0.0.1:7341] [-o file]
+//	predmatch restore [-data-dir dir] snapshot.ckpt
 //
-// printing shard, IBS-tree and per-connection statistics (the remote
-// form of the script interpreter's local `stats` statement).
+// stats prints shard, IBS-tree, relation, WAL and per-connection
+// statistics (the remote form of the script interpreter's local
+// `stats` statement). backup forces a checkpoint on a running daemon;
+// restore inspects a checkpoint file and optionally seeds a fresh data
+// directory from it (see docs/DURABILITY.md).
 package main
 
 import (
@@ -110,8 +115,15 @@ func matcherFactory(name string) (func(*storage.DB, *pred.Registry) matcher.Matc
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "stats" {
-		os.Exit(runStats(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "stats":
+			os.Exit(runStats(os.Args[2:]))
+		case "backup":
+			os.Exit(runBackup(os.Args[2:]))
+		case "restore":
+			os.Exit(runRestore(os.Args[2:]))
+		}
 	}
 	matcherName := flag.String("matcher", "ibs", "matching strategy: ibs, ibs-unbalanced, hashseq, seqscan, rtree, sharded")
 	runDemo := flag.Bool("demo", false, "run the built-in demo scenario and exit")

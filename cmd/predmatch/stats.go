@@ -60,6 +60,20 @@ func printStats(w io.Writer, st *wire.Stats) {
 				t.Rel, t.Attr, t.Intervals, t.Nodes, t.Markers, t.Height)
 		}
 	}
+	if len(st.Relations) > 0 {
+		fmt.Fprintf(w, "relations:\n")
+		for _, r := range st.Relations {
+			fmt.Fprintf(w, "  %-12s %6d rows  next id %d\n", r.Name, r.Rows, r.NextID)
+		}
+	}
+	if st.WAL != nil {
+		fmt.Fprintf(w, "wal: sync=%s, seq %d (%d durable), %d segments",
+			st.WAL.Sync, st.WAL.LastSeq, st.WAL.DurableSeq, st.WAL.Segments)
+		if st.WAL.SnapshotSeq > 0 {
+			fmt.Fprintf(w, ", snapshot at seq %d", st.WAL.SnapshotSeq)
+		}
+		fmt.Fprintf(w, "\n")
+	}
 	if len(st.Connections) > 0 {
 		fmt.Fprintf(w, "connections:\n")
 		fmt.Fprintf(w, "  %-22s %5s %9s %9s %8s %8s\n",

@@ -25,6 +25,13 @@ func TestPrintStats(t *testing.T) {
 		Trees: []wire.TreeStat{
 			{Rel: "emp", Attr: "salary", Intervals: 3, Nodes: 5, Markers: 8, Height: 3},
 		},
+		Relations: []wire.RelStat{
+			{Name: "emp", Rows: 42, NextID: 57},
+		},
+		WAL: &wire.WALStat{
+			LastSeq: 230, DurableSeq: 229, SnapshotSeq: 100,
+			Segments: 2, Sync: "interval",
+		},
 		Connections: []wire.ConnStat{
 			{Remote: "127.0.0.1:50001", Subscribed: true, Queue: 128, QueueCap: 128,
 				Delivered: 90, Dropped: 10, LastSeq: 228},
@@ -43,6 +50,8 @@ func TestPrintStats(t *testing.T) {
 		"127.0.0.1:50001",
 		"128/128", // queue pinned at capacity: the slow consumer
 		"228",
+		"42 rows",
+		"wal: sync=interval, seq 230 (229 durable), 2 segments, snapshot at seq 100",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("printStats output missing %q:\n%s", want, out)

@@ -9,11 +9,21 @@
 //	predmatchd [-addr :7341] [-max-conns 128] [-queue 1024]
 //	           [-write-timeout 10s] [-idle-timeout 0] [-drain 10s]
 //	           [-admin addr] [-slowreq 0] [-v]
+//	           [-data-dir dir] [-fsync always|interval|off]
+//	           [-fsync-interval 100ms] [-wal-segment 64MiB]
+//	           [-snapshot-every 0]
 //
 // With -admin, a second HTTP listener serves the operational surface:
 // /metrics (Prometheus), /varz (JSON), /healthz and /debug/pprof (see
 // docs/OBSERVABILITY.md for the metric catalogue). -slowreq logs every
 // request slower than the threshold. Structured logs go to stderr.
+//
+// With -data-dir, the daemon is durable: it recovers the directory's
+// snapshot and write-ahead log before listening, and appends every
+// state-changing request to the log before acknowledging it. -fsync
+// picks the sync policy (see docs/DURABILITY.md for the guarantees of
+// each), -snapshot-every adds periodic background checkpoints on top
+// of the shutdown and on-demand (backup op) ones.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests for up to -drain, then force-closes stragglers.
@@ -33,6 +43,7 @@ import (
 
 	"predmatch/internal/obs"
 	"predmatch/internal/server"
+	"predmatch/internal/wal"
 )
 
 func main() {
@@ -45,6 +56,11 @@ func main() {
 	adminAddr := flag.String("admin", "", "admin HTTP listen address for /metrics, /varz, /healthz and /debug/pprof (empty = disabled)")
 	slowReq := flag.Duration("slowreq", 0, "log requests slower than this threshold (0 = disabled)")
 	verbose := flag.Bool("v", false, "log connection-level diagnostics (debug level)")
+	dataDir := flag.String("data-dir", "", "durable state directory: WAL + snapshots (empty = memory only)")
+	fsync := flag.String("fsync", "always", "WAL sync policy: always (fsync before ack), interval (periodic), off (OS decides)")
+	fsyncEvery := flag.Duration("fsync-interval", wal.DefaultSyncEvery, "fsync cadence under -fsync interval")
+	walSegment := flag.Int64("wal-segment", wal.DefaultSegmentBytes, "target WAL segment size in bytes before rotation")
+	snapEvery := flag.Duration("snapshot-every", 0, "background checkpoint cadence (0 = only on shutdown and backup op)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: predmatchd [flags]")
@@ -79,7 +95,23 @@ func main() {
 			logger.Debug(fmt.Sprintf(format, args...))
 		}
 	}
-	srv := server.New(cfg)
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predmatchd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.DataDir = *dataDir
+		cfg.Sync = policy
+		cfg.SyncEvery = *fsyncEvery
+		cfg.WALSegmentBytes = *walSegment
+		cfg.SnapshotEvery = *snapEvery
+	}
+	srv, err := server.Open(cfg)
+	if err != nil {
+		logger.Error("recovery", "err", err)
+		os.Exit(1)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()

@@ -1,0 +1,15 @@
+// Package wal is a fixture miniature of the real WAL package: string
+// record-kind constants under the Kind* prefix for the wireexhaustive
+// analyzer test.
+package wal
+
+// Log record kinds.
+const (
+	KindDeclare = "declare"
+	KindRule    = "rule"
+	KindMutate  = "mutate"
+)
+
+// Kindness must never be claimed by the Kind group: the prefix match
+// requires an exported-looking remainder.
+const Kindness = "kindness"

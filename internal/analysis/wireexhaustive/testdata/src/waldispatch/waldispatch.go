@@ -1,0 +1,49 @@
+// Package waldispatch seeds non-exhaustive WAL record-kind switches
+// for the wireexhaustive analyzer fixture test: the replay dispatch
+// pattern where a missing case means recovery silently skips a record
+// class.
+package waldispatch
+
+import "predmatch/internal/wal"
+
+// replay misses KindMutate and has no default: violation.
+func replay(kind string) string {
+	switch kind { // want `switch on wal.Kind\* kinds is not exhaustive: missing KindMutate`
+	case wal.KindDeclare:
+		return "ddl"
+	case wal.KindRule:
+		return "rule"
+	}
+	return ""
+}
+
+// replayAll covers every Kind: legal.
+func replayAll(kind string) string {
+	switch kind {
+	case wal.KindDeclare, wal.KindRule:
+		return "cmd"
+	case wal.KindMutate:
+		return "events"
+	}
+	return ""
+}
+
+// replayDefault is incomplete but rejects unknown kinds explicitly:
+// legal, and the shape the real applyRecord uses.
+func replayDefault(kind string) string {
+	switch kind {
+	case wal.KindMutate:
+		return "events"
+	default:
+		return "error"
+	}
+}
+
+// unrelated never trips the check: Kindness is not a Kind* kind.
+func unrelated(s string) bool {
+	switch s {
+	case wal.Kindness:
+		return true
+	}
+	return false
+}

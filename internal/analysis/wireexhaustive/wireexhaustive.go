@@ -1,14 +1,15 @@
 // Package wireexhaustive defines an analyzer that checks exhaustiveness
-// of switches over the wire protocol's message kinds.
+// of switches over the repository's string kind constants.
 //
-// The internal/wire package groups its kind constants by name prefix:
-// Op* are the request operations, Type* the server frame types. A
-// switch that dispatches on one of these groups but covers only some
-// kinds and has no default clause silently drops the missing kinds on
-// the floor — for a network protocol that is an invisible
-// compatibility bug, not a compile error. The analyzer reports every
-// switch that references at least one kind constant of a group and
-// neither covers the whole group nor declares a default case.
+// Several packages group kind constants by name prefix: internal/wire
+// has Op* request operations and Type* server frames; internal/wal has
+// Kind* log-record kinds. A switch that dispatches on one of these
+// groups but covers only some kinds and has no default clause silently
+// drops the missing kinds on the floor — for a network protocol that
+// is an invisible compatibility bug, and for the WAL it is recovery
+// quietly skipping a record class. The analyzer reports every switch
+// that references at least one kind constant of a group and neither
+// covers the whole group nor declares a default case.
 package wireexhaustive
 
 import (
@@ -21,14 +22,20 @@ import (
 	"predmatch/internal/analysis"
 )
 
-// Configuration. Defaults describe the real repository; the analyzer
-// tests point them at fixture packages.
-var (
-	// WirePkg is the import path of the protocol package.
-	WirePkg = "predmatch/internal/wire"
-	// Groups are the constant-name prefixes that form kind groups.
-	Groups = []string{"Op", "Type"}
-)
+// Spec names one package whose kind constants form prefix groups.
+type Spec struct {
+	// Pkg is the package's import path.
+	Pkg string
+	// Prefixes are the constant-name prefixes that form kind groups.
+	Prefixes []string
+}
+
+// Specs configures the analyzer. Defaults describe the real
+// repository; the analyzer tests point them at fixture packages.
+var Specs = []Spec{
+	{Pkg: "predmatch/internal/wire", Prefixes: []string{"Op", "Type"}},
+	{Pkg: "predmatch/internal/wal", Prefixes: []string{"Kind"}},
+}
 
 // Analyzer is the wireexhaustive analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -38,46 +45,48 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	wirePkg := findWirePkg(pass.Pkg)
-	if wirePkg == nil {
-		return nil
-	}
-	groups := collectGroups(wirePkg)
-	if len(groups) == 0 {
-		return nil
-	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			sw, ok := n.(*ast.SwitchStmt)
-			if !ok || sw.Tag == nil {
+	for _, spec := range Specs {
+		kindPkg := findKindPkg(pass.Pkg, spec.Pkg)
+		if kindPkg == nil {
+			continue
+		}
+		groups := collectGroups(kindPkg, spec.Prefixes)
+		if len(groups) == 0 {
+			continue
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(pass, kindPkg, groups, sw)
 				return true
-			}
-			checkSwitch(pass, wirePkg, groups, sw)
-			return true
-		})
+			})
+		}
 	}
 	return nil
 }
 
-// findWirePkg locates the protocol package among the checked package
-// and its direct imports.
-func findWirePkg(pkg *types.Package) *types.Package {
-	if pkg.Path() == WirePkg {
+// findKindPkg locates the kind-constant package among the checked
+// package and its direct imports.
+func findKindPkg(pkg *types.Package, path string) *types.Package {
+	if pkg.Path() == path {
 		return pkg
 	}
 	for _, imp := range pkg.Imports() {
-		if imp.Path() == WirePkg {
+		if imp.Path() == path {
 			return imp
 		}
 	}
 	return nil
 }
 
-// collectGroups gathers the exported kind constants of the protocol
-// package by name prefix.
-func collectGroups(wirePkg *types.Package) map[string][]*types.Const {
+// collectGroups gathers the exported kind constants of the package by
+// name prefix.
+func collectGroups(kindPkg *types.Package, prefixes []string) map[string][]*types.Const {
 	groups := make(map[string][]*types.Const)
-	scope := wirePkg.Scope()
+	scope := kindPkg.Scope()
 	for _, name := range scope.Names() {
 		c, ok := scope.Lookup(name).(*types.Const)
 		if !ok || !c.Exported() {
@@ -86,7 +95,7 @@ func collectGroups(wirePkg *types.Package) map[string][]*types.Const {
 		if b, ok := c.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
 			continue
 		}
-		for _, prefix := range Groups {
+		for _, prefix := range prefixes {
 			rest := strings.TrimPrefix(name, prefix)
 			// Require an exported-looking remainder so a prefix like
 			// "Op" cannot claim a constant named "Openness".

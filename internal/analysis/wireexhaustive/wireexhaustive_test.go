@@ -9,4 +9,5 @@ import (
 
 func TestWireExhaustive(t *testing.T) {
 	analysistest.Run(t, "testdata", wireexhaustive.Analyzer, "dispatch")
+	analysistest.Run(t, "testdata", wireexhaustive.Analyzer, "waldispatch")
 }

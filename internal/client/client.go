@@ -421,3 +421,15 @@ func (c *Client) Stats() (*wire.Stats, error) {
 	}
 	return m.Stats, nil
 }
+
+// Backup forces the server to write a durable checkpoint snapshot,
+// returning where it landed (server-side path), the log sequence it
+// covers, and its size. Fails when the server runs without a data
+// directory.
+func (c *Client) Backup() (*wire.BackupInfo, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpBackup})
+	if err != nil {
+		return nil, err
+	}
+	return m.Backup, nil
+}

@@ -251,6 +251,25 @@ func (e *Engine) Rules() []string {
 	return out
 }
 
+// Sources returns the source text of every defined rule, ordered by
+// rule name. Rule semantics are order-insensitive (priority lives in
+// the source), so redefining them in this order — as the durability
+// layer's snapshots do — rebuilds an equivalent rule network.
+func (e *Engine) Sources() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.rules))
+	for n := range e.rules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = e.rules[n].Source
+	}
+	return out
+}
+
 // Firings returns the recorded rule activations (WithFiringTrace).
 func (e *Engine) Firings() []Firing {
 	e.mu.Lock()

@@ -45,11 +45,10 @@ import (
 	"predmatch/internal/ibs"
 	"predmatch/internal/obs"
 	"predmatch/internal/pred"
-	"predmatch/internal/schema"
 	"predmatch/internal/shard"
 	"predmatch/internal/storage"
 	"predmatch/internal/tuple"
-	"predmatch/internal/value"
+	"predmatch/internal/wal"
 	"predmatch/internal/wire"
 )
 
@@ -92,6 +91,21 @@ type Config struct {
 	// SlowRequest logs any request slower than this threshold at Warn
 	// level via Logger (default 0 = disabled).
 	SlowRequest time.Duration
+	// DataDir enables durability: state-changing requests are written to
+	// a write-ahead log in this directory before they are acked, and Open
+	// recovers the directory's snapshot + log on start (default "" =
+	// fully in-memory, the pre-durability behavior).
+	DataDir string
+	// Sync is the WAL fsync policy: always, interval or off (default
+	// always). Ignored without DataDir.
+	Sync wal.SyncPolicy
+	// SyncEvery is the fsync period under the interval policy.
+	SyncEvery time.Duration
+	// WALSegmentBytes is the log segment rotation size (default 64 MiB).
+	WALSegmentBytes int64
+	// SnapshotEvery checkpoints the full state on this period (default
+	// 0 = only on shutdown and on explicit backup requests).
+	SnapshotEvery time.Duration
 }
 
 func (c *Config) fill() {
@@ -116,6 +130,9 @@ func (c *Config) fill() {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard,
 			&slog.HandlerOptions{Level: slog.Level(127)}))
 	}
+	if c.Sync == "" {
+		c.Sync = wal.SyncAlways
+	}
 }
 
 // Server is one rule-service daemon instance. Construct with New, drive
@@ -133,8 +150,25 @@ type Server struct {
 	// firings counts rule activations of the mutation currently being
 	// executed under mu.
 	firings int // guarded-by: mu
-	// nextPredID allocates direct (addpred) predicate IDs.
+	// pending accumulates the storage events applied by the mutation
+	// currently executing, captured by onEventWAL for its log record.
+	pending []wal.Event // guarded-by: mu
+	// directPreds tracks client-registered predicates in wire form, for
+	// checkpoint snapshots.
+	directPreds map[int64]*wire.Predicate // guarded-by: mu
+	// nextPredID allocates direct (addpred) predicate IDs. Writers hold
+	// mu; reads are lock-free.
 	nextPredID atomic.Int64
+
+	// wal is the durability log; nil without Config.DataDir. The handle
+	// is set once before Serve and never changes; the Log is internally
+	// synchronized.
+	wal      *wal.Log
+	recovery wal.RecoveryInfo
+	// snapMu serializes checkpoints (the timer vs. backup requests).
+	snapMu       sync.Mutex
+	walOnce      sync.Once
+	snapLoopDone chan struct{}
 
 	lnMu sync.Mutex
 	ln   net.Listener // guarded-by: lnMu
@@ -167,18 +201,36 @@ type subscription struct {
 }
 
 // New builds a daemon with an empty database, the built-in function
-// registry and a sharded matcher.
+// registry and a sharded matcher. For a durable daemon (Config.DataDir
+// set) use Open, which can report recovery errors; New panics on them.
 func New(cfg Config) *Server {
-	cfg.fill()
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server.New: %v (use Open to handle recovery errors)", err))
+	}
+	return s
+}
+
+// newServer assembles the in-memory daemon; Open layers recovery and
+// the WAL on top. cfg must already be filled.
+func newServer(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg,
-		db:    storage.NewDB(),
-		funcs: pred.NewRegistry(),
-		done:  make(chan struct{}),
-		conns: make(map[*conn]struct{}),
-		subs:  make(map[*conn]*subscription),
+		cfg:         cfg,
+		db:          storage.NewDB(),
+		funcs:       pred.NewRegistry(),
+		done:        make(chan struct{}),
+		conns:       make(map[*conn]struct{}),
+		subs:        make(map[*conn]*subscription),
+		directPreds: make(map[int64]*wire.Predicate),
 	}
 	s.nextPredID.Store(int64(DirectPredBase))
+	if cfg.DataDir != "" {
+		// The WAL capture observer must be registered before the engine's:
+		// the notify chain aborts at the first observer error (a rule
+		// raise), and the log must still see every event applied before
+		// the abort.
+		s.db.Observe(s.onEventWAL)
+	}
 	var smOpts []shard.Option
 	var engOpts []engine.Option
 	if cfg.Registry != nil {
@@ -345,6 +397,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 		s.cfg.Logger.Info("shutdown: drained")
+		s.closeWAL()
 		return nil
 	case <-ctx.Done():
 		s.connMu.Lock()
@@ -356,6 +409,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.cfg.Logger.Warn("shutdown: drain deadline expired, closing connections",
 			"conns", forced)
 		<-drained
+		s.closeWAL()
 		return ctx.Err()
 	}
 }
@@ -682,27 +736,29 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Message {
 		return s.handleUnsubscribe(c, req)
 	case wire.OpStats:
 		return s.handleStats(req)
+	case wire.OpBackup:
+		return s.handleBackup(req)
 	default:
 		return errMsg(req.ID, fmt.Errorf("unknown op %q", req.Op))
 	}
 }
 
+// Every DDL handler follows the log-before-ack shape: apply under mu,
+// append the command record under mu (so log order equals apply order),
+// release mu, then wait for durability — the group-commit window, in
+// which other mutators append and share the fsync.
+
 func (s *Server) handleDeclare(req *wire.Request) wire.Message {
-	attrs := make([]schema.Attribute, 0, len(req.Attrs))
-	for _, a := range req.Attrs {
-		kind, err := value.KindFromName(a.Type)
-		if err != nil {
-			return errMsg(req.ID, err)
-		}
-		attrs = append(attrs, schema.Attribute{Name: a.Name, Type: kind})
-	}
-	rel, err := schema.NewRelation(req.Relation, attrs...)
-	if err != nil {
+	s.mu.Lock()
+	if err := s.declareRelation(req.Relation, req.Attrs); err != nil {
+		s.mu.Unlock()
 		return errMsg(req.ID, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.db.CreateRelation(rel); err != nil {
+	seq, werr := s.logCommand(&wal.Record{
+		Kind: wal.KindDeclare, Relation: req.Relation, Attrs: req.Attrs,
+	})
+	s.mu.Unlock()
+	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
 	return okMsg(req.ID)
@@ -710,12 +766,20 @@ func (s *Server) handleDeclare(req *wire.Request) wire.Message {
 
 func (s *Server) handleIndex(req *wire.Request) wire.Message {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	tab, ok := s.db.Table(req.Relation)
 	if !ok {
+		s.mu.Unlock()
 		return errMsg(req.ID, fmt.Errorf("unknown relation %q", req.Relation))
 	}
 	if err := tab.CreateIndex(req.Attr); err != nil {
+		s.mu.Unlock()
+		return errMsg(req.ID, err)
+	}
+	seq, werr := s.logCommand(&wal.Record{
+		Kind: wal.KindIndex, Relation: req.Relation, Attr: req.Attr,
+	})
+	s.mu.Unlock()
+	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
 	return okMsg(req.ID)
@@ -723,9 +787,14 @@ func (s *Server) handleIndex(req *wire.Request) wire.Message {
 
 func (s *Server) handleRule(req *wire.Request) wire.Message {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	r, err := s.eng.DefineRule(req.Source)
 	if err != nil {
+		s.mu.Unlock()
+		return errMsg(req.ID, err)
+	}
+	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindRule, Source: req.Source})
+	s.mu.Unlock()
+	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
 	m := okMsg(req.ID)
@@ -735,25 +804,39 @@ func (s *Server) handleRule(req *wire.Request) wire.Message {
 
 func (s *Server) handleDropRule(req *wire.Request) wire.Message {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.eng.DropRule(req.Name); err != nil {
+		s.mu.Unlock()
+		return errMsg(req.ID, err)
+	}
+	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindDropRule, Name: req.Name})
+	s.mu.Unlock()
+	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
 	return okMsg(req.ID)
 }
 
+// handleAddPred registers a client predicate. It takes the mutation
+// mutex (although the sharded matcher tolerates concurrent
+// registration) so that ID allocation, the snapshot registry, and the
+// WAL record are one atomic step with respect to checkpoints — a
+// snapshot can never capture a predicate whose log record lies after
+// the snapshot's sequence.
 func (s *Server) handleAddPred(req *wire.Request) wire.Message {
 	if req.Pred == nil {
 		return errMsg(req.ID, errors.New("addpred needs a pred"))
 	}
-	id := pred.ID(s.nextPredID.Add(1) - 1)
-	p, err := wire.ToPredicate(s.db.Catalog(), id, req.Pred)
-	if err != nil {
+	s.mu.Lock()
+	id := pred.ID(s.nextPredID.Load())
+	if err := s.addDirectPred(id, req.Pred); err != nil {
+		s.mu.Unlock()
 		return errMsg(req.ID, err)
 	}
-	// The sharded matcher is safe for concurrent registration; no need
-	// for the mutation mutex.
-	if err := s.sm.Add(p); err != nil {
+	seq, werr := s.logCommand(&wal.Record{
+		Kind: wal.KindAddPred, PredID: int64(id), Pred: req.Pred,
+	})
+	s.mu.Unlock()
+	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
 	m := okMsg(req.ID)
@@ -766,7 +849,15 @@ func (s *Server) handleRemovePred(req *wire.Request) wire.Message {
 	if id < DirectPredBase {
 		return errMsg(req.ID, fmt.Errorf("predicate %d is not client-registered", req.PredID))
 	}
+	s.mu.Lock()
 	if err := s.sm.Remove(id); err != nil {
+		s.mu.Unlock()
+		return errMsg(req.ID, err)
+	}
+	delete(s.directPreds, req.PredID)
+	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindRemovePred, PredID: req.PredID})
+	s.mu.Unlock()
+	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
 	return okMsg(req.ID)
@@ -776,9 +867,32 @@ func (s *Server) handleRemovePred(req *wire.Request) wire.Message {
 // the mutation mutex, reporting how many rules the change fired. Note
 // the storage contract: when a rule action fails (e.g. raise), the
 // triggering change itself stays applied and the error is reported.
+//
+// Durability: the events the request applied (captured by onEventWAL,
+// including rule cascades) are appended as one atomic WAL record while
+// mu is still held, and the response is not sent until the record is
+// durable under the sync policy — log-before-ack. A mutation whose
+// rule raised still applied events, so it is logged and committed even
+// though the response carries the rule's error.
 func (s *Server) handleMutation(req *wire.Request) wire.Message {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pending = s.pending[:0]
+	m := s.applyMutation(req)
+	seq, werr := s.logPending()
+	s.mu.Unlock()
+	if err := s.commit(seq, werr); err != nil {
+		// The in-memory state changed but cannot be made durable; the log
+		// is poisoned and every further state change will fail the same
+		// way. Surface the WAL error over the rule-level outcome.
+		return errMsg(req.ID, fmt.Errorf("wal: %w", err))
+	}
+	return m
+}
+
+// applyMutation executes the storage change and rule cascade.
+//
+//predmatchvet:holds mu
+func (s *Server) applyMutation(req *wire.Request) wire.Message {
 	tab, ok := s.db.Table(req.Relation)
 	if !ok {
 		return errMsg(req.ID, fmt.Errorf("unknown relation %q", req.Relation))
@@ -920,6 +1034,17 @@ func (s *Server) handleStats(req *wire.Request) wire.Message {
 			Nodes: ts.Nodes, Markers: ts.Markers, Height: ts.Height,
 		})
 	}
+	// Row counts and ID cursors move under the mutation mutex; read them
+	// under it so the stats frame is a consistent cut.
+	s.mu.Lock()
+	for _, name := range s.db.Relations() {
+		tab, _ := s.db.Table(name)
+		st.Relations = append(st.Relations, wire.RelStat{
+			Name: name, Rows: tab.Len(), NextID: int64(tab.NextID()),
+		})
+	}
+	s.mu.Unlock()
+	st.WAL = s.walStat()
 	// Snapshot the connection set first, then read each connection's
 	// subscription under subMu — the lock order every other path uses.
 	s.connMu.Lock()

@@ -1,0 +1,142 @@
+// Replay and snapshot support for the durability layer: applying a
+// logged change without re-notifying observers, and reading a table's
+// contents in a deterministic order. During WAL recovery the rule
+// engine must not re-fire — every cascaded change a rule produced was
+// itself logged and replays as its own event — so these paths mirror
+// Insert/Update/Delete minus the notify call, and restore exact tuple
+// IDs rather than allocating fresh ones.
+
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Apply installs one logged change. Unlike the mutating API it takes
+// the tuple ID from the event (IDs must survive recovery: rules,
+// subscribers and clients hold them) and does not notify observers.
+func (db *DB) Apply(ev Event) error {
+	t, ok := db.Table(ev.Rel)
+	if !ok {
+		return fmt.Errorf("storage: apply: unknown relation %s", ev.Rel)
+	}
+	switch ev.Op {
+	case OpInsert:
+		return t.applyInsert(ev.ID, ev.New)
+	case OpUpdate:
+		return t.applyUpdate(ev.ID, ev.New)
+	case OpDelete:
+		return t.applyDelete(ev.ID)
+	default:
+		return fmt.Errorf("storage: apply: unknown op %d", ev.Op)
+	}
+}
+
+// applyInsert stores row under the given (recovered) ID and keeps the
+// allocator ahead of it.
+func (t *Table) applyInsert(id tuple.ID, row tuple.Tuple) error {
+	if err := row.Conforms(t.rel); err != nil {
+		return err
+	}
+	if _, dup := t.rows[id]; dup {
+		return fmt.Errorf("storage: apply: %s already has tuple %d", t.rel.Name(), id)
+	}
+	row = row.Clone()
+	t.rows[id] = row
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	for _, idx := range t.indexes {
+		idx.add(row[idx.pos], id)
+	}
+	for i, v := range row {
+		t.stats[i].add(v)
+	}
+	return nil
+}
+
+// applyUpdate replaces the tuple stored under id without notifying.
+func (t *Table) applyUpdate(id tuple.ID, row tuple.Tuple) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("storage: apply: %s has no tuple %d", t.rel.Name(), id)
+	}
+	if err := row.Conforms(t.rel); err != nil {
+		return err
+	}
+	row = row.Clone()
+	t.rows[id] = row
+	for _, idx := range t.indexes {
+		if value.Compare(old[idx.pos], row[idx.pos]) != 0 {
+			idx.remove(old[idx.pos], id)
+			idx.add(row[idx.pos], id)
+		}
+	}
+	for i := range row {
+		t.stats[i].remove(old[i])
+		t.stats[i].add(row[i])
+	}
+	return nil
+}
+
+// applyDelete removes the tuple stored under id without notifying.
+func (t *Table) applyDelete(id tuple.ID) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("storage: apply: %s has no tuple %d", t.rel.Name(), id)
+	}
+	delete(t.rows, id)
+	for _, idx := range t.indexes {
+		idx.remove(old[idx.pos], id)
+	}
+	for i := range old {
+		t.stats[i].remove(old[i])
+	}
+	return nil
+}
+
+// NextID returns the table's ID allocator cursor (the ID the next
+// insert receives).
+func (t *Table) NextID() tuple.ID { return t.nextID }
+
+// SetNextID moves the allocator cursor forward (never backward: IDs
+// must not be reused after recovery).
+func (t *Table) SetNextID(id tuple.ID) {
+	if id > t.nextID {
+		t.nextID = id
+	}
+}
+
+// SnapshotRow is one (ID, tuple) pair from SnapshotRows.
+type SnapshotRow struct {
+	ID    tuple.ID
+	Tuple tuple.Tuple
+}
+
+// SnapshotRows returns the table's contents sorted by tuple ID. The
+// tuples are the stored values (not copies); callers serialize them
+// before releasing whatever lock keeps mutators out.
+func (t *Table) SnapshotRows() []SnapshotRow {
+	out := make([]SnapshotRow, 0, len(t.rows))
+	for id, row := range t.rows {
+		out = append(out, SnapshotRow{ID: id, Tuple: row})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Relations returns the names of all tables, sorted.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,73 @@
+// WAL instrumentation: the durability subsystem's metric families,
+// registered on the server's obs.Registry. All handles are nil-safe
+// (the obs disabled-by-default contract), so an unregistered log pays
+// one nil check per instrumentation point.
+
+package wal
+
+import "predmatch/internal/obs"
+
+// logMetrics holds the hot-path handles; exposition-time quantities
+// (sequence frontiers, snapshot age) are GaugeFuncs sampled from the
+// Log itself.
+type logMetrics struct {
+	records   *obs.Counter
+	bytes     *obs.Counter
+	fsyncs    *obs.Counter
+	rotations *obs.Counter
+	fsyncSecs *obs.Histogram
+
+	snapshots    *obs.Counter
+	snapshotSecs *obs.Histogram
+
+	recoveries       *obs.Counter
+	recoveredRecords *obs.Counter
+	truncatedBytes   *obs.Counter
+}
+
+// newLogMetrics registers the WAL metric families. A nil registry
+// returns nil, and every use site tolerates both a nil *logMetrics and
+// nil handles.
+func newLogMetrics(r *obs.Registry, l *Log) *logMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &logMetrics{
+		records: r.Counter("predmatch_wal_records_total",
+			"Records appended to the write-ahead log."),
+		bytes: r.Counter("predmatch_wal_bytes_total",
+			"Bytes appended to the write-ahead log (frames incl. headers)."),
+		fsyncs: r.Counter("predmatch_wal_fsyncs_total",
+			"fsync calls issued by the log (each may cover many records: group commit)."),
+		rotations: r.Counter("predmatch_wal_segment_opens_total",
+			"Segment files opened (initial open and rotations)."),
+		fsyncSecs: r.Histogram("predmatch_wal_fsync_seconds",
+			"Latency of WAL fsync calls."),
+		snapshots: r.Counter("predmatch_wal_snapshots_total",
+			"Checkpoint snapshots written."),
+		snapshotSecs: r.Histogram("predmatch_wal_snapshot_seconds",
+			"Wall time to serialize and persist one snapshot."),
+		recoveries: r.Counter("predmatch_wal_recoveries_total",
+			"Recovery passes performed (1 per process start with a data dir)."),
+		recoveredRecords: r.Counter("predmatch_wal_recovered_records_total",
+			"Log records replayed during recovery."),
+		truncatedBytes: r.Counter("predmatch_wal_truncated_bytes_total",
+			"Bytes of torn/corrupt log tail discarded during recovery."),
+	}
+	r.GaugeFunc("predmatch_wal_last_seq",
+		"Last assigned log sequence number.",
+		func() float64 { return float64(l.LastSeq()) })
+	r.GaugeFunc("predmatch_wal_durable_seq",
+		"Last log sequence number known to be fsynced.",
+		func() float64 { return float64(l.DurableSeq()) })
+	r.GaugeFunc("predmatch_wal_segments",
+		"Segment files currently on disk.",
+		func() float64 { return float64(l.Segments()) })
+	r.GaugeFunc("predmatch_wal_snapshot_seq",
+		"Log sequence covered by the latest snapshot (0 = none).",
+		func() float64 { return float64(l.SnapshotSeq()) })
+	r.GaugeFunc("predmatch_wal_snapshot_age_seconds",
+		"Seconds since the latest snapshot was written (0 = none yet).",
+		func() float64 { return l.snapshotAge() })
+	return m
+}

@@ -1,0 +1,164 @@
+// Record framing: every log entry is length-prefixed, CRC32C-checked
+// JSON. The payload reuses the wire package's codecs (wire.Attr,
+// wire.Predicate, wire tuple literals), so the log speaks the same
+// dialect as the network protocol and the two cannot drift apart.
+
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"predmatch/internal/wire"
+)
+
+// Record kinds: one per state-changing operation of the daemon. A
+// switch over these must be exhaustive or carry a default — enforced by
+// the wireexhaustive analyzer, which treats Kind* exactly like the wire
+// package's Op*/Type* groups.
+const (
+	// KindDeclare records a relation declaration (schema).
+	KindDeclare = "declare"
+	// KindIndex records a secondary-index creation.
+	KindIndex = "index"
+	// KindRule records a rule definition by source text.
+	KindRule = "rule"
+	// KindDropRule records a rule removal by name.
+	KindDropRule = "droprule"
+	// KindAddPred records a direct-predicate registration with its
+	// server-assigned ID.
+	KindAddPred = "addpred"
+	// KindRemovePred records a direct-predicate removal.
+	KindRemovePred = "rmpred"
+	// KindMutate records one client mutation as the full set of storage
+	// events it applied — the triggering insert/update/delete plus every
+	// cascaded rule-action change — in chronological order. The set is
+	// one record, so it is atomic under recovery: a torn tail can never
+	// leave half a cascade applied.
+	KindMutate = "mutate"
+)
+
+// Event is one applied storage change inside a KindMutate record.
+// Tuples are carried in the wire literal form ([]any) and decoded
+// against the (already recovered) schema at replay time.
+type Event struct {
+	Rel string `json:"rel"`
+	Op  string `json:"op"` // insert, update, delete (storage.Op.String)
+	ID  int64  `json:"id"`
+	// Tuple is the new image for inserts and updates; deletes carry
+	// none (replay removes by ID).
+	Tuple []any `json:"tuple,omitempty"`
+}
+
+// Record is one logged operation. Only the fields of the given Kind are
+// meaningful; the rest stay zero and are omitted from the payload.
+type Record struct {
+	// Seq is the record's log sequence number, assigned by Append.
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+
+	Relation string          `json:"relation,omitempty"` // declare, index
+	Attrs    []wire.Attr     `json:"attrs,omitempty"`    // declare
+	Attr     string          `json:"attr,omitempty"`     // index
+	Source   string          `json:"source,omitempty"`   // rule
+	Name     string          `json:"name,omitempty"`     // droprule
+	PredID   int64           `json:"pred_id,omitempty"`  // addpred, rmpred
+	Pred     *wire.Predicate `json:"pred,omitempty"`     // addpred
+	Events   []Event         `json:"events,omitempty"`   // mutate
+}
+
+// Frame layout constants.
+const (
+	headerBytes = 8 // uint32 length + uint32 CRC32C
+	// maxRecordBytes bounds one record's payload; a length prefix above
+	// it is treated as corruption, which keeps a bit-flipped length from
+	// asking recovery to allocate gigabytes.
+	maxRecordBytes = 64 << 20
+)
+
+// castagnoli is the CRC32C table (the checksum used by iSCSI, ext4 and
+// most modern WALs; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes rec into one framed log entry appended to dst.
+func appendFrame(dst []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return dst, fmt.Errorf("wal: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return dst, fmt.Errorf("wal: record payload %d bytes exceeds limit %d", len(payload), maxRecordBytes)
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// decodeFrame reads one framed record. It distinguishes three outcomes:
+// (rec, n, nil) for a valid record occupying n bytes; (nil, 0, io.EOF)
+// for a clean end of input; and (nil, 0, errTorn) for anything else — a
+// partial header, a length past the limit, a short payload, a CRC
+// mismatch, or undecodable JSON. Callers treat errTorn as end-of-log.
+func decodeFrame(r *bufio.Reader) (*Record, int64, error) {
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, 0, io.EOF // clean end: not a single byte of a next record
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, 0, errTorn
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxRecordBytes {
+		return nil, 0, errTorn
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, errTorn
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, errTorn
+	}
+	rec := new(Record)
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.UseNumber() // tuple ints must survive as json.Number, not float64
+	if err := dec.Decode(rec); err != nil {
+		return nil, 0, errTorn
+	}
+	return rec, headerBytes + int64(length), nil
+}
+
+// errTorn marks a frame that failed validation; scanRecords converts it
+// into a truncation point rather than an error.
+var errTorn = fmt.Errorf("wal: torn record")
+
+// scanRecords decodes framed records from r until a clean EOF or the
+// first invalid frame. It returns the byte length of the valid prefix
+// and whether the scan ended on a torn/corrupt frame (false = clean
+// EOF). err is non-nil only when fn rejects a record; corruption is
+// never an error here — the caller decides whether a torn tail is
+// tolerable (last segment) or fatal (interior segment).
+func scanRecords(r io.Reader, fn func(*Record) error) (valid int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		rec, n, derr := decodeFrame(br)
+		switch derr {
+		case nil:
+		case io.EOF:
+			return valid, false, nil
+		default:
+			return valid, true, nil
+		}
+		if err := fn(rec); err != nil {
+			return valid, false, err
+		}
+		valid += n
+	}
+}

@@ -44,6 +44,7 @@ const (
 	OpUnsubscribe = "unsubscribe" // stop the notification stream
 	OpStats       = "stats"       // server + shard statistics
 	OpPing        = "ping"        // liveness probe
+	OpBackup      = "backup"      // force a durable checkpoint snapshot
 )
 
 // Attr is one attribute of a relation declaration.
@@ -145,6 +146,36 @@ type TreeStat struct {
 	Height    int    `json:"height"`
 }
 
+// RelStat describes one stored relation in the stats response.
+type RelStat struct {
+	Name   string `json:"name"`
+	Rows   int    `json:"rows"`
+	NextID int64  `json:"next_id"`
+}
+
+// WALStat describes the durability subsystem in the stats response;
+// present only when the daemon runs with a data directory.
+type WALStat struct {
+	// LastSeq is the last assigned log sequence; DurableSeq the last one
+	// known fsynced (they track each other under `always`, DurableSeq
+	// lags under `interval`/`off`).
+	LastSeq    uint64 `json:"last_seq"`
+	DurableSeq uint64 `json:"durable_seq"`
+	// SnapshotSeq is the log sequence covered by the newest checkpoint
+	// (0 = none yet).
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	Segments    int    `json:"segments"`
+	Sync        string `json:"sync"`
+}
+
+// BackupInfo is the payload of a backup response: where the forced
+// checkpoint landed.
+type BackupInfo struct {
+	Path  string `json:"path"`
+	Seq   uint64 `json:"seq"`
+	Bytes int64  `json:"bytes"`
+}
+
 // Stats is the payload of a stats response.
 type Stats struct {
 	Rules       []string    `json:"rules"`
@@ -152,6 +183,8 @@ type Stats struct {
 	Predicates  int         `json:"predicates"`
 	Shards      []ShardStat `json:"shards,omitempty"`
 	Trees       []TreeStat  `json:"trees,omitempty"`
+	Relations   []RelStat   `json:"relations,omitempty"`
+	WAL         *WALStat    `json:"wal,omitempty"`
 	Conns       int         `json:"conns"`
 	Subs        int         `json:"subs"`
 	Delivered   uint64      `json:"delivered"`
@@ -176,6 +209,7 @@ type Message struct {
 	Batch   [][]int64 `json:"batch,omitempty"`    // matchbatch result
 	Stats   *Stats    `json:"stats,omitempty"`    // stats result
 	Firings int       `json:"firings,omitempty"`  // rules fired by a mutation
+	Backup  *BackupInfo `json:"backup,omitempty"` // backup result
 
 	// Notification fields. Seq numbers every notification generated for
 	// the subscription (starting at 1), assigned before the overflow
