@@ -28,6 +28,7 @@ import (
 	"predmatch/internal/augtree"
 	"predmatch/internal/core"
 	"predmatch/internal/hashseq"
+	"predmatch/internal/hint"
 	"predmatch/internal/ibs"
 	"predmatch/internal/interval"
 	"predmatch/internal/islist"
@@ -234,6 +235,7 @@ func ivIndexesUnderTest() map[string]func() ivindex.Index {
 			return benchIvWrap{ibs.New(ivindex.Int64Cmp, ibs.Balanced(false)), "ibs-unbalanced"}
 		},
 		"islist":   func() ivindex.Index { return benchIslWrap{islist.New(ivindex.Int64Cmp)} },
+		"hint":     func() ivindex.Index { return benchHintWrap{hint.New(ivindex.Int64Cmp)} },
 		"pst":      func() ivindex.Index { return benchPstWrap{pst.New(ivindex.Int64Cmp)} },
 		"augtree":  func() ivindex.Index { return benchAugWrap{augtree.New(ivindex.Int64Cmp)} },
 		"rtree-1d": func() ivindex.Index { return rtree.NewInterval1D() },
@@ -250,6 +252,10 @@ func (w benchIvWrap) Name() string { return w.name }
 type benchIslWrap struct{ *islist.List[int64] }
 
 func (benchIslWrap) Name() string { return "islist" }
+
+type benchHintWrap struct{ *hint.Index[int64] }
+
+func (benchHintWrap) Name() string { return "hint" }
 
 type benchPstWrap struct{ *pst.Tree[int64] }
 
@@ -343,6 +349,13 @@ func BenchmarkMatcherStrategies(b *testing.B) {
 		"rtree":   func() matcher.Matcher { return rtree.NewPredMatcher(pop.Catalog, pop.Funcs) },
 		"ibs": func() matcher.Matcher {
 			return core.New(pop.Catalog, pop.Funcs, core.WithEstimator(selectivity.Static{}))
+		},
+		"hint": func() matcher.Matcher {
+			return core.New(pop.Catalog, pop.Funcs,
+				core.WithIndexFactory(func() core.AttrIndex {
+					return hint.New(value.Compare)
+				}),
+				core.WithName("hint"))
 		},
 		"sharded": func() matcher.Matcher {
 			return shard.New(pop.Catalog, pop.Funcs)
@@ -501,6 +514,17 @@ func BenchmarkConcurrentMatchers(b *testing.B) {
 		},
 		"sharded": func() matcher.Matcher {
 			return shard.New(pop.Catalog, pop.Funcs)
+		},
+		// The sharded wrapper over HINT partitions instead of IBS-trees:
+		// same snapshot discipline, flat-array stabs. Compare against
+		// "sharded" to price the index swap (recorded in BENCH_PR6.json).
+		"sharded-hint": func() matcher.Matcher {
+			return shard.New(pop.Catalog, pop.Funcs,
+				shard.WithIndexOptions(
+					core.WithIndexFactory(func() core.AttrIndex {
+						return hint.New(value.Compare)
+					})),
+				shard.WithName("sharded-hint"))
 		},
 		// The fully instrumented daemon configuration: per-relation
 		// latency histograms plus shared IBS stab counters. Compare
@@ -679,8 +703,9 @@ func BenchmarkJoinNetwork(b *testing.B) {
 
 // BenchmarkSchemeIndexAblation compares the whole Figure-1 scheme with
 // its per-attribute interval index swapped: IBS-trees (the paper's
-// structure) versus interval skip lists (Hanson's successor), on the
-// Section 5.2 scenario.
+// structure) versus interval skip lists (Hanson's successor) versus the
+// flat HINT partition index, on the Section 5.2 scenario. The loop is
+// pure stabbing — the stab-heavy regime BENCH_PR6.json records.
 func BenchmarkSchemeIndexAblation(b *testing.B) {
 	rng := rand.New(rand.NewSource(1990))
 	pop, err := workload.PaperScenario().Build(rng)
@@ -695,6 +720,12 @@ func BenchmarkSchemeIndexAblation(b *testing.B) {
 			return core.New(pop.Catalog, pop.Funcs,
 				core.WithIndexFactory(func() core.AttrIndex {
 					return islist.New(value.Compare)
+				}))
+		},
+		"hint": func() matcher.Matcher {
+			return core.New(pop.Catalog, pop.Funcs,
+				core.WithIndexFactory(func() core.AttrIndex {
+					return hint.New(value.Compare)
 				}))
 		},
 	}

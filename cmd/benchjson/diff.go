@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchFile is the JSON shape run() emits.
+type benchFile struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Results []record          `json:"results"`
+}
+
+// runDiff implements `benchjson diff`: compare candidate against
+// baseline for every benchmark whose name contains the strategy token,
+// and fail (exit 1) when any ns/op regresses by more than threshold
+// percent. Exit 2 is a usage or input error.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "", "baseline BENCH_*.json file")
+	candidate := fs.String("candidate", "", "candidate BENCH_*.json file")
+	strategy := fs.String("strategy", "", "strategy name the benchmark name must contain (empty = compare everything)")
+	threshold := fs.Float64("threshold", 15, "allowed match-latency regression in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline == "" || *candidate == "" || fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: benchjson diff -baseline FILE -candidate FILE [-strategy NAME] [-threshold PCT]")
+		return 2
+	}
+	base, err := loadBench(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson diff:", err)
+		return 2
+	}
+	cand, err := loadBench(*candidate)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson diff:", err)
+		return 2
+	}
+	rows, regressions := diffBench(base, cand, *strategy, *threshold)
+	if len(rows) == 0 {
+		fmt.Fprintf(stderr, "benchjson diff: no benchmark present in both files matches %q\n", *strategy)
+		return 2
+	}
+	for _, row := range rows {
+		fmt.Fprintln(stdout, row)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: no regression above %.0f%%\n", *threshold)
+	return 0
+}
+
+func loadBench(path string) (*benchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var bf benchFile
+	if err := json.NewDecoder(f).Decode(&bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// stripProcs removes the trailing "-<GOMAXPROCS>" suffix go test
+// appends to benchmark names, so files recorded on machines with
+// different core counts still share names.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// diffBench compares ns/op for every name present in both files and
+// containing the strategy token, returning one formatted row per
+// comparison and the number of rows beyond the threshold. Names are
+// compared with the GOMAXPROCS suffix stripped.
+func diffBench(base, cand *benchFile, strategy string, threshold float64) (rows []string, regressions int) {
+	baseNs := map[string]float64{}
+	for _, r := range base.Results {
+		if r.NsPerOp > 0 {
+			baseNs[stripProcs(r.Name)] = r.NsPerOp
+		}
+	}
+	var names []string
+	candNs := map[string]float64{}
+	for _, r := range cand.Results {
+		name := stripProcs(r.Name)
+		if r.NsPerOp <= 0 || !strings.Contains(name, strategy) {
+			continue
+		}
+		if _, ok := baseNs[name]; !ok {
+			continue
+		}
+		candNs[name] = r.NsPerOp
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, c := baseNs[name], candNs[name]
+		delta := 100 * (c - b) / b
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		rows = append(rows, fmt.Sprintf("%-60s %12.0f -> %12.0f ns/op  %+7.1f%%  %s",
+			name, b, c, delta, verdict))
+	}
+	return rows, regressions
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diffArgs(cand string, extra ...string) []string {
+	args := []string{
+		"-baseline", filepath.Join("testdata", "diff_base.json"),
+		"-candidate", filepath.Join("testdata", cand),
+	}
+	return append(args, extra...)
+}
+
+// TestDiffOK: a candidate within the threshold exits 0 and reports ok.
+func TestDiffOK(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runDiff(diffArgs("diff_cand_ok.json", "-strategy", "sharded"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "ok: no regression above 15%") {
+		t.Errorf("missing ok line:\n%s", s)
+	}
+	// The improvement row is reported, and candidate-only names are
+	// ignored (machines differ; only shared names compare).
+	if !strings.Contains(s, "sharded-hint") || strings.Contains(s, "only-in-candidate") {
+		t.Errorf("unexpected rows:\n%s", s)
+	}
+}
+
+// TestDiffRegression: >15% on a matching name exits 1 and names it.
+func TestDiffRegression(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runDiff(diffArgs("diff_cand_regressed.json", "-strategy", "sharded"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout: %s", code, out.String())
+	}
+	s := out.String()
+	// sharded-4 is +20% and sharded-hint-4 +30%: both flagged;
+	// sharded+writes-4 is +2%: not flagged.
+	if strings.Count(s, "REGRESSION") != 2 {
+		t.Errorf("want 2 REGRESSION rows:\n%s", s)
+	}
+	if !strings.Contains(s, "FAIL: 2 benchmark(s) regressed more than 15%") {
+		t.Errorf("missing FAIL line:\n%s", s)
+	}
+}
+
+// TestDiffStrategyFilter narrows the comparison to one strategy's
+// benchmarks: with -strategy sharded-hint the +20% sharded-4 row is out
+// of scope and only the hint row is compared.
+func TestDiffStrategyFilter(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runDiff(diffArgs("diff_cand_regressed.json", "-strategy", "sharded-hint"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	// Exactly one comparison row (the hint one): the +20% plain-sharded
+	// row is filtered out of scope.
+	if s := out.String(); strings.Count(s, "->") != 1 || !strings.Contains(s, "sharded-hint") {
+		t.Errorf("filter leaked rows:\n%s", s)
+	}
+	// A generous threshold turns the same comparison green.
+	out.Reset()
+	code = runDiff(diffArgs("diff_cand_regressed.json", "-strategy", "sharded-hint", "-threshold", "50"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d with threshold 50, want 0:\n%s", code, out.String())
+	}
+}
+
+// TestDiffProcsSuffix: a candidate recorded on a machine with a
+// different GOMAXPROCS (no "-4" suffix) still compares against the
+// suffixed baseline names.
+func TestDiffProcsSuffix(t *testing.T) {
+	cand := filepath.Join(t.TempDir(), "cand.json")
+	body := `{"results": [{"name": "BenchmarkConcurrentMatchers/sharded", "ns_per_op": 4100}]}`
+	if err := os.WriteFile(cand, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := runDiff([]string{
+		"-baseline", filepath.Join("testdata", "diff_base.json"),
+		"-candidate", cand, "-strategy", "sharded",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s stdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkConcurrentMatchers/sharded ") {
+		t.Errorf("suffix not normalized:\n%s", out.String())
+	}
+}
+
+// TestDiffErrors: usage and input failures exit 2.
+func TestDiffErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runDiff(nil, &out, &errb); code != 2 {
+		t.Errorf("missing flags: exit = %d, want 2", code)
+	}
+	if code := runDiff(diffArgs("nosuch.json"), &out, &errb); code != 2 {
+		t.Errorf("missing candidate file: exit = %d, want 2", code)
+	}
+	if code := runDiff(diffArgs("diff_cand_ok.json", "-strategy", "nomatch"), &out, &errb); code != 2 {
+		t.Errorf("no shared names: exit = %d, want 2", code)
+	}
+	// Malformed JSON.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runDiff([]string{"-baseline", bad, "-candidate", bad}, &out, &errb); code != 2 {
+		t.Errorf("malformed JSON: exit = %d, want 2", code)
+	}
+}

@@ -6,6 +6,18 @@
 //
 // Context lines (goos/goarch/pkg/cpu) are folded into a leading
 // "_meta" record. CI uses it to publish BENCH_*.json artifacts.
+//
+// The diff subcommand is the bench-regression guard: it compares a
+// candidate BENCH_*.json against a baseline and exits nonzero when any
+// benchmark matching a strategy's name regresses in match latency by
+// more than the threshold:
+//
+//	benchjson diff -baseline BENCH_PR4.json -candidate BENCH_PR6.json \
+//	               -strategy sharded [-threshold 15]
+//
+// Only names present in BOTH files are compared (machines differ; the
+// diff is relative). CI runs it as an advisory step after the bench
+// snapshot.
 package main
 
 import (
@@ -26,6 +38,9 @@ type record struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

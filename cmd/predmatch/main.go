@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	predmatch [-matcher ibs|ibs-unbalanced|hashseq|seqscan|rtree|sharded] [script.pm ...]
+//	predmatch [-matcher NAME] [script.pm ...]
+//
+// NAME is any strategy registered in internal/strategy (run -h for the
+// current list: the paper's IBS scheme, the HINT flat hierarchy, and
+// the baseline and serving-layer matchers).
 //
 // With no script arguments, statements are read from standard input.
 // Run with -demo for a built-in scenario based on the paper's EMP
@@ -35,16 +39,11 @@ import (
 	"os"
 	"strings"
 
-	"predmatch/internal/core"
-	"predmatch/internal/hashseq"
-	"predmatch/internal/ibs"
 	"predmatch/internal/matcher"
 	"predmatch/internal/pred"
-	"predmatch/internal/rtree"
 	"predmatch/internal/script"
-	"predmatch/internal/seqscan"
-	"predmatch/internal/shard"
 	"predmatch/internal/storage"
+	"predmatch/internal/strategy"
 )
 
 const demo = `
@@ -81,37 +80,17 @@ dump emp
 stats
 `
 
+// matcherFactory resolves a strategy name through the shared registry
+// (internal/strategy) — the same list predmatchd and the conformance
+// sweep consume, so the flag help can never go stale.
 func matcherFactory(name string) (func(*storage.DB, *pred.Registry) matcher.Matcher, error) {
-	switch name {
-	case "ibs":
-		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
-			return core.New(db.Catalog(), funcs)
-		}, nil
-	case "ibs-unbalanced":
-		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
-			return core.New(db.Catalog(), funcs,
-				core.WithTreeOptions(ibs.Balanced(false)),
-				core.WithName("ibs-unbalanced"))
-		}, nil
-	case "hashseq":
-		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
-			return hashseq.New(db.Catalog(), funcs)
-		}, nil
-	case "seqscan":
-		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
-			return seqscan.New(db.Catalog(), funcs)
-		}, nil
-	case "rtree":
-		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
-			return rtree.NewPredMatcher(db.Catalog(), funcs)
-		}, nil
-	case "sharded":
-		return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
-			return shard.New(db.Catalog(), funcs)
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown matcher %q (want ibs, ibs-unbalanced, hashseq, seqscan, rtree or sharded)", name)
+	in, ok := strategy.Lookup(name)
+	if !ok {
+		return nil, strategy.UnknownErr(name)
 	}
+	return func(db *storage.DB, funcs *pred.Registry) matcher.Matcher {
+		return in.New(db.Catalog(), funcs)
+	}, nil
 }
 
 func main() {
@@ -125,7 +104,7 @@ func main() {
 			os.Exit(runRestore(os.Args[2:]))
 		}
 	}
-	matcherName := flag.String("matcher", "ibs", "matching strategy: ibs, ibs-unbalanced, hashseq, seqscan, rtree, sharded")
+	matcherName := flag.String("matcher", "ibs", strategy.FlagHelp())
 	runDemo := flag.Bool("demo", false, "run the built-in demo scenario and exit")
 	flag.Parse()
 

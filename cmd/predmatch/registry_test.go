@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"predmatch/internal/pred"
+	"predmatch/internal/storage"
+	"predmatch/internal/strategy"
+)
+
+// TestFactoryCoversRegistry asserts the -matcher flag and the shared
+// strategy registry agree: every registered name resolves to a working
+// factory, the produced matcher reports the registered name, and the
+// flag's help text mentions every strategy — so the usage string can
+// never go stale again (the PR-6 bug was a help string listing 6 of
+// the strategies).
+func TestFactoryCoversRegistry(t *testing.T) {
+	help := strategy.FlagHelp()
+	for _, in := range strategy.All() {
+		mk, err := matcherFactory(in.Name)
+		if err != nil {
+			t.Errorf("matcherFactory(%q): %v", in.Name, err)
+			continue
+		}
+		db := storage.NewDB()
+		m := mk(db, pred.NewRegistry())
+		if m == nil {
+			t.Errorf("factory %q returned nil matcher", in.Name)
+			continue
+		}
+		if m.Name() != in.Name {
+			t.Errorf("factory %q built matcher named %q", in.Name, m.Name())
+		}
+		if !strings.Contains(help, in.Name) {
+			t.Errorf("flag help omits strategy %q: %s", in.Name, help)
+		}
+	}
+	if _, err := matcherFactory("nosuch"); err == nil {
+		t.Error("matcherFactory accepted unknown strategy")
+	} else {
+		// The error must enumerate the real choices.
+		for _, name := range strategy.Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("unknown-strategy error omits %q: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestIndexNamesAreCoreStrategies asserts every predmatchd -index
+// choice resolves CoreOptions and appears in the index flag help.
+func TestIndexNamesAreCoreStrategies(t *testing.T) {
+	help := strategy.IndexFlagHelp()
+	for _, name := range strategy.IndexNames() {
+		if _, ok := strategy.CoreOptions(name); !ok {
+			t.Errorf("IndexNames lists %q but CoreOptions rejects it", name)
+		}
+		if !strings.Contains(help, name) {
+			t.Errorf("index flag help omits %q: %s", name, help)
+		}
+	}
+	if _, ok := strategy.CoreOptions("rtree"); ok {
+		t.Error("CoreOptions accepted a whole-matcher strategy")
+	}
+}

@@ -44,6 +44,15 @@ func printStats(w io.Writer, st *wire.Stats) {
 		st.Matcher, st.Predicates, len(st.Rules))
 	fmt.Fprintf(w, "conns %d (%d subscribed), notifications %d delivered / %d dropped\n",
 		st.Conns, st.Subs, st.Delivered, st.Dropped)
+	if st.Prefilter != nil {
+		total := st.Prefilter.Admitted + st.Prefilter.Skipped
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(st.Prefilter.Skipped) / float64(total)
+		}
+		fmt.Fprintf(w, "prefilter: %d admitted / %d skipped (%.1f%% of tuples bypassed the index)\n",
+			st.Prefilter.Admitted, st.Prefilter.Skipped, pct)
+	}
 	if len(st.Shards) > 0 {
 		fmt.Fprintf(w, "shards:\n")
 		for _, sh := range st.Shards {

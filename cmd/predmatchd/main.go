@@ -8,10 +8,15 @@
 //
 //	predmatchd [-addr :7341] [-max-conns 128] [-queue 1024]
 //	           [-write-timeout 10s] [-idle-timeout 0] [-drain 10s]
-//	           [-admin addr] [-slowreq 0] [-v]
+//	           [-admin addr] [-slowreq 0] [-v] [-index ibs]
 //	           [-data-dir dir] [-fsync always|interval|off]
 //	           [-fsync-interval 100ms] [-wal-segment 64MiB]
 //	           [-snapshot-every 0]
+//
+// -index picks the per-shard attribute index structure from the shared
+// strategy registry (internal/strategy): the paper's IBS-trees by
+// default, or hint, islist, pst, segtree, inttree, augtree — run -h for
+// the current list.
 //
 // With -admin, a second HTTP listener serves the operational surface:
 // /metrics (Prometheus), /varz (JSON), /healthz and /debug/pprof (see
@@ -43,6 +48,7 @@ import (
 
 	"predmatch/internal/obs"
 	"predmatch/internal/server"
+	"predmatch/internal/strategy"
 	"predmatch/internal/wal"
 )
 
@@ -61,6 +67,7 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", wal.DefaultSyncEvery, "fsync cadence under -fsync interval")
 	walSegment := flag.Int64("wal-segment", wal.DefaultSegmentBytes, "target WAL segment size in bytes before rotation")
 	snapEvery := flag.Duration("snapshot-every", 0, "background checkpoint cadence (0 = only on shutdown and backup op)")
+	indexName := flag.String("index", "ibs", strategy.IndexFlagHelp())
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: predmatchd [flags]")
@@ -80,6 +87,11 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 
+	if _, ok := strategy.CoreOptions(*indexName); !ok {
+		fmt.Fprintf(os.Stderr, "predmatchd: %v\n", strategy.UnknownIndexErr(*indexName))
+		os.Exit(2)
+	}
+
 	cfg := server.Config{
 		Addr:         *addr,
 		MaxConns:     *maxConns,
@@ -89,6 +101,13 @@ func main() {
 		Registry:     reg,
 		Logger:       logger,
 		SlowRequest:  *slowReq,
+	}
+	if *indexName != "ibs" {
+		// The strategy registry supplies the per-shard attribute index;
+		// the default "ibs" keeps the zero-Config behavior (and its
+		// instrumented tree counters).
+		cfg.IndexOptions, _ = strategy.CoreOptions(*indexName)
+		cfg.MatcherName = "sharded-" + *indexName
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {

@@ -1,0 +1,120 @@
+package hint_test
+
+import (
+	"testing"
+
+	"predmatch/internal/hint"
+	"predmatch/internal/interval"
+	"predmatch/internal/ivindex"
+	"predmatch/internal/markset"
+)
+
+// fuzzState drives a HINT index and a direct-evaluation oracle from a
+// byte stream, mirroring internal/ibs's op interpreter so the two fuzz
+// corpora stress comparable shapes.
+type fuzzState struct {
+	ix    *hint.Index[int64]
+	ref   map[markset.ID]interval.Interval[int64]
+	live  []markset.ID
+	next  markset.ID
+	fatal func(format string, args ...any)
+}
+
+func newFuzzState(fatal func(string, ...any)) *fuzzState {
+	return &fuzzState{
+		ix:    hint.New(ivindex.Int64Cmp),
+		ref:   make(map[markset.ID]interval.Interval[int64]),
+		fatal: fatal,
+	}
+}
+
+// step consumes one op descriptor. Values are reduced to a small domain
+// so shared endpoints, duplicate intervals, and adjacent open/closed
+// boundaries are common — exactly where slot-rank bookkeeping can slip.
+func (fs *fuzzState) step(op, rawA, rawB uint8) {
+	a, b := int64(rawA%40), int64(rawB%40)
+	if a > b {
+		a, b = b, a
+	}
+	switch op % 8 {
+	case 0, 1, 2, 3: // insert
+		var iv interval.Interval[int64]
+		switch op % 4 {
+		case 0:
+			iv = interval.Point(a)
+		case 1:
+			iv = interval.Closed(a, b)
+		case 2:
+			if a == b {
+				iv = interval.Point(a)
+			} else {
+				iv = interval.Open(a, b)
+			}
+		default:
+			switch b % 3 {
+			case 0:
+				iv = interval.AtLeast(a)
+			case 1:
+				iv = interval.AtMost(a)
+			default:
+				iv = interval.All[int64]()
+			}
+		}
+		id := fs.next
+		fs.next++
+		if err := fs.ix.Insert(id, iv); err != nil {
+			fs.fatal("Insert(%d, %v): %v", id, iv, err)
+			return
+		}
+		fs.ref[id] = iv
+		fs.live = append(fs.live, id)
+	case 4, 5: // delete
+		if len(fs.live) == 0 {
+			return
+		}
+		i := (int(rawA)*37 + int(rawB)) % len(fs.live)
+		id := fs.live[i]
+		fs.live = append(fs.live[:i], fs.live[i+1:]...)
+		if err := fs.ix.Delete(id); err != nil {
+			fs.fatal("Delete(%d): %v", id, err)
+			return
+		}
+		delete(fs.ref, id)
+	default: // stab probes around the drawn values and the domain edge
+		for _, x := range []int64{a - 1, a, a + 1, b, 45} {
+			got := sorted(fs.ix.Stab(x))
+			want := sorted(naiveStab(fs.ref, x))
+			if len(got) != len(want) {
+				fs.fatal("Stab(%d) = %v, want %v", x, got, want)
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					fs.fatal("Stab(%d) = %v, want %v", x, got, want)
+					return
+				}
+			}
+		}
+	}
+}
+
+// FuzzHINT feeds arbitrary insert/delete/stab interleavings through the
+// index and the oracle. Run with `go test -fuzz FuzzHINT ./internal/hint`
+// for open-ended exploration; the seed corpus runs in the normal suite.
+func FuzzHINT(f *testing.F) {
+	f.Add([]byte{0, 5, 9, 1, 3, 30, 4, 0, 0, 6, 5, 5})
+	f.Add([]byte{3, 0, 0, 3, 1, 1, 3, 2, 2, 4, 9, 9, 6, 1, 2})
+	f.Add([]byte{1, 10, 20, 1, 15, 25, 1, 5, 30, 4, 1, 1, 6, 18, 22})
+	f.Add([]byte{2, 7, 7, 0, 7, 7, 4, 0, 0, 4, 0, 0, 6, 7, 7})
+	f.Add([]byte{1, 0, 39, 2, 1, 38, 0, 20, 20, 6, 20, 20, 4, 3, 1, 6, 19, 21})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fatal := func(format string, args ...any) { t.Fatalf(format, args...) }
+		fs := newFuzzState(fatal)
+		for i := 0; i+2 < len(data) && i < 3*200; i += 3 {
+			fs.step(data[i], data[i+1], data[i+2])
+		}
+		if err := fs.ix.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package prefilter implements the cheap admission check the sharded
+// matcher consults before stabbing a relation's interval trees: a
+// per-relation summary of the registered predicates — which attribute
+// positions carry interval clauses (a bitmap) and, for each such
+// position, the union envelope of every interval clause on it — that
+// lets most non-matching tuples skip the full index probe entirely.
+//
+// Soundness contract (the only fatal bug is a false negative): Admit
+// may over-admit freely, but it must NEVER skip a tuple that any
+// registered predicate could match. The skip rule is therefore
+// deliberately conservative:
+//
+//	skip ⟺ the relation has no predicates, OR
+//	       (every predicate has at least one interval clause AND the
+//	        tuple's value at every bitmap position lies outside that
+//	        position's union envelope)
+//
+// Why that is sound: every interval clause on attribute i is contained
+// in envelope(i) (envelopes are unions widened to closed bounds), so a
+// tuple missing envelope(i) fails every interval clause on i. If it
+// misses every enveloped attribute, every interval clause in the
+// relation fails; if additionally every predicate has at least one
+// interval clause, every predicate has a failing clause and none can
+// match. Predicates made only of function clauses are opaque — one of
+// them forces nonInterval > 0 and disables skipping for the relation.
+//
+// Concurrency model mirrors the shard layer: summaries are immutable
+// and published copy-on-write through an atomic pointer, so Admit is a
+// single lock-free load plus a few comparisons; mutators (Add/Remove)
+// serialize on a mutex and rebuild the owning relation's summary from
+// the authoritative predicate registry. Writers must order filter
+// updates against snapshot publication so the filter is always at
+// least as permissive as any published snapshot requires: Add updates
+// the filter BEFORE the snapshot is published, Remove updates it
+// AFTER. (internal/shard does exactly this.)
+package prefilter
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Filter is the admission filter for one matcher. Construct with New.
+type Filter struct {
+	catalog *schema.Catalog
+
+	// mu serializes mutators; the published summaries map is immutable
+	// and swapped whole, so Admit never takes it.
+	mu    sync.Mutex
+	preds map[string]map[pred.ID]*pred.Predicate // guarded-by: mu
+	rels  atomic.Pointer[map[string]*relSummary] // write-guarded-by: mu
+
+	admitted atomic.Uint64
+	skipped  atomic.Uint64
+}
+
+// relSummary is one relation's immutable predicate digest.
+type relSummary struct {
+	preds       int // registered predicates
+	nonInterval int // predicates with no interval clause (opaque to the filter)
+	// bits marks attribute positions carrying >=1 interval clause.
+	bits []uint64
+	// env[i] is the union envelope of all interval clauses on position
+	// i, valid only where bits has position i set. Bounds are widened
+	// to closed so the envelope is a superset of every clause.
+	env []interval.Interval[value.Value]
+}
+
+// New returns an empty filter resolving attribute positions against the
+// catalog.
+func New(catalog *schema.Catalog) *Filter {
+	f := &Filter{
+		catalog: catalog,
+		preds:   make(map[string]map[pred.ID]*pred.Predicate),
+	}
+	empty := make(map[string]*relSummary)
+	f.rels.Store(&empty) //predmatchvet:ignore guardedby constructor, nothing else sees f yet
+	return f
+}
+
+// Add registers p's clauses in its relation's summary. The predicate
+// must already be validated against the catalog (the shard layer does
+// this before reserving the ID).
+func (f *Filter) Add(p *pred.Predicate) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	byID := f.preds[p.Rel]
+	if byID == nil {
+		byID = make(map[pred.ID]*pred.Predicate)
+		f.preds[p.Rel] = byID
+	}
+	if _, dup := byID[p.ID]; dup {
+		return fmt.Errorf("prefilter: duplicate predicate id %d", p.ID)
+	}
+	byID[p.ID] = p
+	f.republish(p.Rel)
+	return nil
+}
+
+// Remove drops a predicate from its relation's summary.
+func (f *Filter) Remove(rel string, id pred.ID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	byID := f.preds[rel]
+	if _, ok := byID[id]; !ok {
+		return fmt.Errorf("prefilter: unknown predicate id %d in relation %q", id, rel)
+	}
+	delete(byID, id)
+	f.republish(rel)
+	return nil
+}
+
+// republish rebuilds rel's summary from the authoritative registry and
+// swaps the summaries map copy-on-write. Callers hold f.mu.
+//
+//predmatchvet:holds mu
+func (f *Filter) republish(rel string) {
+	cur := *f.rels.Load()
+	next := make(map[string]*relSummary, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[rel] = f.summarize(rel)
+	f.rels.Store(&next)
+}
+
+// summarize digests rel's current predicate set. Callers hold f.mu.
+//
+//predmatchvet:holds mu
+func (f *Filter) summarize(rel string) *relSummary {
+	r, ok := f.catalog.Get(rel)
+	if !ok {
+		// Validated predicates always name a cataloged relation; an
+		// unknown one yields an always-admit summary to stay sound.
+		return &relSummary{nonInterval: 1, preds: len(f.preds[rel])}
+	}
+	s := &relSummary{
+		bits: make([]uint64, (r.Arity()+63)/64),
+		env:  make([]interval.Interval[value.Value], r.Arity()),
+	}
+	for _, p := range f.preds[rel] {
+		s.preds++
+		hasIv := false
+		for _, c := range p.Clauses {
+			if c.Kind != pred.KindInterval {
+				continue
+			}
+			hasIv = true
+			i, ok := r.AttrIndex(c.Attr)
+			if !ok || i >= r.Arity() {
+				// Unknown attribute: cannot envelope, treat the whole
+				// predicate as opaque.
+				hasIv = false
+				break
+			}
+			if s.bits[i/64]&(1<<(i%64)) == 0 {
+				s.bits[i/64] |= 1 << (i % 64)
+				s.env[i] = widen(c.Iv)
+			} else {
+				s.env[i] = union(s.env[i], widen(c.Iv))
+			}
+		}
+		if !hasIv {
+			s.nonInterval++
+		}
+	}
+	return s
+}
+
+// widen relaxes finite open bounds to closed so the envelope remains a
+// superset under union.
+func widen(iv interval.Interval[value.Value]) interval.Interval[value.Value] {
+	if iv.Lo.Kind == interval.Finite {
+		iv.Lo.Closed = true
+	}
+	if iv.Hi.Kind == interval.Finite {
+		iv.Hi.Closed = true
+	}
+	return iv
+}
+
+// union returns the smallest closed-widened interval containing both
+// inputs (both already widened).
+func union(a, b interval.Interval[value.Value]) interval.Interval[value.Value] {
+	if b.Lo.Kind == interval.NegInf ||
+		(a.Lo.Kind == interval.Finite && b.Lo.Kind == interval.Finite &&
+			value.Compare(b.Lo.Value, a.Lo.Value) < 0) {
+		a.Lo = b.Lo
+	}
+	if b.Hi.Kind == interval.PosInf ||
+		(a.Hi.Kind == interval.Finite && b.Hi.Kind == interval.Finite &&
+			value.Compare(b.Hi.Value, a.Hi.Value) > 0) {
+		a.Hi = b.Hi
+	}
+	return a
+}
+
+// Admit reports whether t can possibly match any predicate registered
+// for rel, per the package skip rule. Lock-free; updates the
+// admitted/skipped counters.
+func (f *Filter) Admit(rel string, t tuple.Tuple) bool {
+	s := (*f.rels.Load())[rel]
+	if s == nil || s.preds == 0 {
+		f.skipped.Add(1)
+		return false
+	}
+	if s.nonInterval > 0 {
+		f.admitted.Add(1)
+		return true
+	}
+	for i := range s.env {
+		if s.bits[i/64]&(1<<(i%64)) == 0 {
+			continue
+		}
+		// A position the tuple doesn't carry can't be proven a miss;
+		// stay conservative and let the full path deal with the tuple.
+		if i >= len(t) || s.env[i].Contains(value.Compare, t[i]) {
+			f.admitted.Add(1)
+			return true
+		}
+	}
+	f.skipped.Add(1)
+	return false
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Admitted uint64 // tuples that proceeded to the full index probe
+	Skipped  uint64 // tuples proven unmatchable without touching a tree
+}
+
+// Stats returns the current admission counters.
+func (f *Filter) Stats() Stats {
+	return Stats{Admitted: f.admitted.Load(), Skipped: f.skipped.Load()}
+}
+
+// Admitted returns the number of tuples that passed the filter.
+func (f *Filter) Admitted() uint64 { return f.admitted.Load() }
+
+// Skipped returns the number of tuples the filter proved unmatchable.
+func (f *Filter) Skipped() uint64 { return f.skipped.Load() }

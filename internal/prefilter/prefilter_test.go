@@ -1,0 +1,248 @@
+package prefilter_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/prefilter"
+	"predmatch/internal/schema"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+	"predmatch/internal/workload"
+)
+
+func testCatalog(t testing.TB) *schema.Catalog {
+	cat := schema.NewCatalog()
+	rel := schema.MustRelation("r",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+		schema.Attribute{Name: "c", Type: value.KindInt},
+	)
+	if err := cat.Add(rel); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func tup(a, b, c int64) tuple.Tuple {
+	return tuple.Tuple{value.Int(a), value.Int(b), value.Int(c)}
+}
+
+func TestAdmitEmptyRelation(t *testing.T) {
+	f := prefilter.New(testCatalog(t))
+	if f.Admit("r", tup(1, 2, 3)) {
+		t.Fatal("empty relation admitted")
+	}
+	if f.Admit("nosuch", tup(1, 2, 3)) {
+		t.Fatal("unknown relation admitted")
+	}
+	s := f.Stats()
+	if s.Skipped != 2 || s.Admitted != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAdmitEnvelope(t *testing.T) {
+	f := prefilter.New(testCatalog(t))
+	add := func(id pred.ID, clauses ...pred.Clause) {
+		t.Helper()
+		if err := f.Add(pred.New(id, "r", clauses...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, pred.IvClause("a", interval.Closed(value.Int(10), value.Int(20))))
+	add(2, pred.IvClause("a", interval.Closed(value.Int(40), value.Int(50))))
+
+	// Inside the a-envelope [10,50]: admitted (over-admission between
+	// the two clause ranges is expected — envelopes are unions).
+	for _, a := range []int64{10, 20, 30, 50} {
+		if !f.Admit("r", tup(a, 0, 0)) {
+			t.Fatalf("a=%d skipped inside envelope", a)
+		}
+	}
+	// Outside it: skipped.
+	for _, a := range []int64{9, 51, -5} {
+		if f.Admit("r", tup(a, 0, 0)) {
+			t.Fatalf("a=%d admitted outside envelope", a)
+		}
+	}
+
+	// A second enveloped attribute widens admission: any single
+	// envelope hit admits.
+	add(3, pred.IvClause("b", interval.AtLeast(value.Int(100))))
+	if !f.Admit("r", tup(0, 150, 0)) {
+		t.Fatal("b=150 skipped despite b-envelope hit")
+	}
+	if f.Admit("r", tup(0, 99, 0)) {
+		t.Fatal("admitted with every envelope missed")
+	}
+
+	// A function-only predicate is opaque: everything admits.
+	add(4, pred.FnClause("c", "isodd"))
+	if !f.Admit("r", tup(0, 0, 0)) {
+		t.Fatal("skipped while an opaque predicate is registered")
+	}
+	// Removing it restores skipping.
+	if err := f.Remove("r", 4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Admit("r", tup(0, 0, 0)) {
+		t.Fatal("admitted after opaque predicate removed")
+	}
+
+	// Removing an enveloped predicate shrinks the envelope again.
+	if err := f.Remove("r", 2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Admit("r", tup(45, 0, 0)) {
+		t.Fatal("admitted in removed predicate's range")
+	}
+	if !f.Admit("r", tup(15, 0, 0)) {
+		t.Fatal("skipped in surviving predicate's range")
+	}
+}
+
+func TestRemoveUnknown(t *testing.T) {
+	f := prefilter.New(testCatalog(t))
+	if err := f.Remove("r", 7); err == nil {
+		t.Fatal("Remove of unknown id succeeded")
+	}
+	if err := f.Add(pred.New(1, "r", pred.IvClause("a", interval.Point(value.Int(1))))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(pred.New(1, "r", pred.IvClause("a", interval.Point(value.Int(2))))); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+}
+
+// TestNoFalseNegativesRandom is the soundness property over the paper's
+// synthetic populations: a skipped tuple must match no predicate.
+func TestNoFalseNegativesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := workload.PaperScenario()
+	spec.Relations = 3
+	pop, err := spec.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prefilter.New(pop.Catalog)
+	bounds := make(map[pred.ID]*pred.Bound)
+	for _, p := range pop.Preds {
+		if err := f.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Bind(pop.Catalog, pop.Funcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds[p.ID] = b
+	}
+	skips := 0
+	for n := 0; n < 2000; n++ {
+		rel := pop.Rels[rng.Intn(len(pop.Rels))]
+		tup := pop.Tuple(rng, rel)
+		if f.Admit(rel.Name(), tup) {
+			continue
+		}
+		skips++
+		for _, p := range pop.Preds {
+			if p.Rel != rel.Name() {
+				continue
+			}
+			if bounds[p.ID].Match(tup) {
+				t.Fatalf("false negative: skipped tuple %v matches predicate %d", tup, p.ID)
+			}
+		}
+	}
+	t.Logf("skipped %d/2000 random tuples", skips)
+}
+
+// FuzzPrefilter drives random add/remove/probe interleavings; the only
+// fatal bug is a false negative — a skipped tuple that some registered
+// predicate matches. Each op is 4 bytes: opcode, attr/selector, lo, hi.
+func FuzzPrefilter(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 20, 2, 0, 15, 0, 2, 0, 25, 0})
+	f.Add([]byte{0, 1, 5, 5, 1, 0, 0, 0, 2, 1, 5, 0})
+	f.Add([]byte{3, 2, 0, 0, 2, 0, 7, 0, 1, 0, 0, 0, 2, 0, 7, 0})
+	f.Add([]byte{0, 0, 0, 39, 0, 1, 10, 11, 2, 2, 30, 0, 2, 1, 10, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cat := schema.NewCatalog()
+		rel := schema.MustRelation("r",
+			schema.Attribute{Name: "a0", Type: value.KindInt},
+			schema.Attribute{Name: "a1", Type: value.KindInt},
+			schema.Attribute{Name: "a2", Type: value.KindInt},
+		)
+		if err := cat.Add(rel); err != nil {
+			t.Fatal(err)
+		}
+		funcs := pred.NewRegistry()
+		pf := prefilter.New(cat)
+		live := map[pred.ID]*pred.Bound{}
+		var order []pred.ID
+		next := pred.ID(1)
+		for i := 0; i+3 < len(data) && i < 4*200; i += 4 {
+			op, sel := data[i], data[i+1]
+			lo, hi := int64(data[i+2]%40), int64(data[i+3]%40)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			attr := fmt.Sprintf("a%d", sel%3)
+			switch op % 4 {
+			case 0: // add an interval predicate
+				var iv interval.Interval[value.Value]
+				switch data[i+3] % 3 {
+				case 0:
+					iv = interval.Closed(value.Int(lo), value.Int(hi))
+				case 1:
+					iv = interval.Point(value.Int(lo))
+				default:
+					iv = interval.AtMost(value.Int(hi))
+				}
+				p := pred.New(next, "r", pred.IvClause(attr, iv))
+				addPred(t, pf, live, &order, p, cat, funcs)
+				next++
+			case 3: // add an opaque function predicate
+				p := pred.New(next, "r", pred.FnClause(attr, "isodd"))
+				addPred(t, pf, live, &order, p, cat, funcs)
+				next++
+			case 1: // remove a live predicate
+				if len(order) == 0 {
+					continue
+				}
+				j := (int(sel)*31 + int(lo)) % len(order)
+				id := order[j]
+				order = append(order[:j], order[j+1:]...)
+				delete(live, id)
+				if err := pf.Remove("r", id); err != nil {
+					t.Fatalf("Remove(%d): %v", id, err)
+				}
+			default: // probe: skip must imply no predicate matches
+				tu := tuple.Tuple{value.Int(lo), value.Int(hi), value.Int(int64(sel) % 40)}
+				if pf.Admit("r", tu) {
+					continue
+				}
+				for id, b := range live {
+					if b.Match(tu) {
+						t.Fatalf("false negative: skipped tuple %v matches predicate %d", tu, id)
+					}
+				}
+			}
+		}
+	})
+}
+
+func addPred(t *testing.T, pf *prefilter.Filter, live map[pred.ID]*pred.Bound, order *[]pred.ID, p *pred.Predicate, cat *schema.Catalog, funcs *pred.Registry) {
+	t.Helper()
+	if err := pf.Add(p); err != nil {
+		t.Fatalf("Add(%d): %v", p.ID, err)
+	}
+	b, err := p.Bind(cat, funcs)
+	if err != nil {
+		t.Fatalf("Bind(%d): %v", p.ID, err)
+	}
+	live[p.ID] = b
+	*order = append(*order, p.ID)
+}

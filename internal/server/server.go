@@ -106,6 +106,14 @@ type Config struct {
 	// SnapshotEvery checkpoints the full state on this period (default
 	// 0 = only on shutdown and on explicit backup requests).
 	SnapshotEvery time.Duration
+	// IndexOptions configures each relation shard's core.Index — e.g.
+	// the core.WithIndexFactory set internal/strategy.CoreOptions
+	// resolves for `predmatchd -index hint` (default nil = IBS-trees).
+	IndexOptions []core.Option
+	// MatcherName overrides the sharded matcher's reported name when
+	// IndexOptions swap the attribute structure (default "" = keep
+	// "sharded").
+	MatcherName string
 }
 
 func (c *Config) fill() {
@@ -233,15 +241,26 @@ func newServer(cfg Config) *Server {
 	}
 	var smOpts []shard.Option
 	var engOpts []engine.Option
+	// All core options must land in ONE WithIndexOptions call (it
+	// replaces rather than appends). cfg.IndexOptions come last so a
+	// configured WithIndexFactory wins over the instrumentation's IBS
+	// tree options.
+	var idxOpts []core.Option
 	if cfg.Registry != nil {
 		// One ibs.Counters is shared by every tree of every copy-on-write
 		// snapshot: the index factory bakes the Instrument option in, so
 		// clones keep feeding the same counters.
-		smOpts = append(smOpts,
-			shard.WithMetrics(cfg.Registry),
-			shard.WithIndexOptions(core.WithTreeOptions(
-				ibs.Instrument(ibs.RegisterCounters(cfg.Registry)))))
+		smOpts = append(smOpts, shard.WithMetrics(cfg.Registry))
+		idxOpts = append(idxOpts, core.WithTreeOptions(
+			ibs.Instrument(ibs.RegisterCounters(cfg.Registry))))
 		engOpts = append(engOpts, engine.WithMetrics(cfg.Registry))
+	}
+	idxOpts = append(idxOpts, cfg.IndexOptions...)
+	if len(idxOpts) > 0 {
+		smOpts = append(smOpts, shard.WithIndexOptions(idxOpts...))
+	}
+	if cfg.MatcherName != "" {
+		smOpts = append(smOpts, shard.WithName(cfg.MatcherName))
 	}
 	s.sm = shard.New(s.db.Catalog(), s.funcs, smOpts...)
 	s.eng = engine.New(s.db, s.funcs, s.sm, engOpts...)
@@ -1022,6 +1041,9 @@ func (s *Server) handleStats(req *wire.Request) wire.Message {
 		Predicates: s.sm.Len(),
 		Delivered:  s.delivered.Load(),
 		Dropped:    s.dropped.Load(),
+	}
+	if pf, ok := s.sm.PrefilterStats(); ok {
+		st.Prefilter = &wire.PrefilterStat{Admitted: pf.Admitted, Skipped: pf.Skipped}
 	}
 	for _, sh := range s.sm.Stats() {
 		st.Shards = append(st.Shards, wire.ShardStat{

@@ -40,6 +40,14 @@ func WithMetrics(reg *obs.Registry) Option {
 			swaps: reg.Counter("predmatch_shard_snapshot_swaps_total",
 				"Copy-on-write snapshot publications (Add/Remove commits)."),
 		}
+		if m.pf != nil {
+			reg.CounterFunc("predmatch_prefilter_admitted_total",
+				"Tuples the attribute prefilter passed through to a full index probe.",
+				m.pf.Admitted)
+			reg.CounterFunc("predmatch_prefilter_skipped_total",
+				"Tuples the attribute prefilter proved unmatchable without touching a tree.",
+				m.pf.Skipped)
+		}
 		reg.GaugeSet("predmatch_shard_predicates",
 			"Predicates held by each relation shard's current snapshot.",
 			[]string{"rel"}, func(emit obs.Emit) {

@@ -35,6 +35,7 @@ import (
 	"predmatch/internal/matcher"
 	"predmatch/internal/obs"
 	"predmatch/internal/pred"
+	"predmatch/internal/prefilter"
 	"predmatch/internal/schema"
 	"predmatch/internal/tuple"
 )
@@ -52,6 +53,13 @@ type ShardedMatcher struct {
 	workers int
 	name    string
 	met     *metrics // nil unless built with WithMetrics
+
+	// pf is the attribute prefilter consulted before every snapshot
+	// stab; tuples it proves unmatchable never enter a tree. nil when
+	// built with WithoutPrefilter. Mutators keep it ordered against
+	// snapshot publication (add before publish, remove after) so it is
+	// always at least as permissive as any published snapshot requires.
+	pf *prefilter.Filter
 
 	// dir is the immutable relation→shard directory. Shards are only
 	// ever added (a relation's shard survives its last predicate), so
@@ -106,6 +114,14 @@ func WithName(name string) Option {
 	return func(m *ShardedMatcher) { m.name = name }
 }
 
+// WithoutPrefilter disables the attribute prefilter, sending every
+// tuple straight to the snapshot stab. Intended for benchmarks that
+// isolate raw index cost; the filter is on by default and is purely an
+// over-approximation, so disabling it never changes match results.
+func WithoutPrefilter() Option {
+	return func(m *ShardedMatcher) { m.pf = nil }
+}
+
 // New returns an empty sharded matcher resolving predicates against the
 // given catalog and function registry.
 func New(catalog *schema.Catalog, funcs *pred.Registry, opts ...Option) *ShardedMatcher {
@@ -115,6 +131,7 @@ func New(catalog *schema.Catalog, funcs *pred.Registry, opts ...Option) *Sharded
 		workers: runtime.GOMAXPROCS(0),
 		name:    "sharded",
 		ids:     make(map[pred.ID]string),
+		pf:      prefilter.New(catalog),
 	}
 	empty := make(map[string]*relShard)
 	m.dir.Store(&empty) //predmatchvet:ignore guardedby constructor publish; m is not shared yet
@@ -196,6 +213,17 @@ func (m *ShardedMatcher) Add(p *pred.Predicate) error {
 		m.idMu.Unlock()
 		return err
 	}
+	// Register with the prefilter BEFORE publishing: a reader observing
+	// the new snapshot is then guaranteed to also observe a filter that
+	// knows about p, so the filter can never skip a tuple p matches.
+	if m.pf != nil {
+		if err := m.pf.Add(p); err != nil {
+			m.idMu.Lock()
+			delete(m.ids, p.ID)
+			m.idMu.Unlock()
+			return err
+		}
+	}
 	sh.snap.Store(next)
 	sh.version.Add(1)
 	if m.met != nil {
@@ -228,6 +256,13 @@ func (m *ShardedMatcher) Remove(id pred.ID) error {
 	}
 	sh.snap.Store(next)
 	sh.version.Add(1)
+	// Drop from the prefilter AFTER publishing: until then the filter
+	// stays permissive enough for the old snapshot (over-admission is
+	// free; a reader seeing the narrowed filter with the old snapshot
+	// linearizes after this Remove).
+	if m.pf != nil {
+		_ = m.pf.Remove(rel, id) // the ids map guarantees the entry exists
+	}
 	if m.met != nil {
 		m.met.swaps.Inc()
 	}
@@ -242,6 +277,12 @@ func (m *ShardedMatcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred
 	}
 	snap := sh.snap.Load()
 	if snap == nil {
+		return dst, nil
+	}
+	// The filter is consulted after the snapshot load: if this reader
+	// observed a snapshot containing predicate p, the writer's filter
+	// registration of p (sequenced before the publish) is visible too.
+	if m.pf != nil && !m.pf.Admit(rel, t) {
 		return dst, nil
 	}
 	if sh.lat == nil {
@@ -278,6 +319,9 @@ func (m *ShardedMatcher) MatchBatch(rel string, tuples []tuple.Tuple) ([][]pred.
 	if workers <= 1 || len(tuples) < minBatchFanout {
 		var err error
 		for i, t := range tuples {
+			if m.pf != nil && !m.pf.Admit(rel, t) {
+				continue
+			}
 			if results[i], err = snap.MatchSnapshot(rel, t, nil); err != nil {
 				return results, err
 			}
@@ -300,6 +344,9 @@ func (m *ShardedMatcher) MatchBatch(rel string, tuples []tuple.Tuple) ([][]pred.
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if m.pf != nil && !m.pf.Admit(rel, tuples[i]) {
+					continue
+				}
 				out, err := snap.MatchSnapshot(rel, tuples[i], nil)
 				if err != nil {
 					errs[w] = err
@@ -354,6 +401,15 @@ func (m *ShardedMatcher) Stats() []ShardStats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
 	return out
+}
+
+// PrefilterStats returns the attribute prefilter's admission counters;
+// ok is false when the matcher was built with WithoutPrefilter.
+func (m *ShardedMatcher) PrefilterStats() (s prefilter.Stats, ok bool) {
+	if m.pf == nil {
+		return prefilter.Stats{}, false
+	}
+	return m.pf.Stats(), true
 }
 
 // Relations returns the relations that currently have a shard (any

@@ -1,0 +1,109 @@
+package strategy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"predmatch/internal/core"
+	"predmatch/internal/interval"
+	"predmatch/internal/inttree"
+	"predmatch/internal/markset"
+	"predmatch/internal/segtree"
+	"predmatch/internal/value"
+)
+
+// stabber is the read surface shared by the build-once structures
+// (segment tree, centered interval tree).
+type stabber interface {
+	StabAppend(x value.Value, dst []markset.ID) []markset.ID
+}
+
+// rebuildIndex adapts a build-once structure to the dynamic
+// core.AttrIndex contract with the same lazy clone-and-publish
+// discipline as internal/hint: Insert/Delete mutate an item registry
+// and invalidate the built structure; the first StabAppend afterwards
+// rebuilds it under a double-checked mutex and publishes it atomically,
+// so concurrent readers of a frozen snapshot never observe a torn
+// structure. Mutation requires external serialization against readers,
+// exactly like every other attribute index here — the shard layer only
+// ever mutates unpublished clones.
+type rebuildIndex struct {
+	items map[markset.ID]interval.Interval[value.Value]
+	build func(items map[markset.ID]interval.Interval[value.Value]) stabber
+
+	mu  sync.Mutex
+	cur atomic.Pointer[holder] // write-guarded-by: mu
+}
+
+// holder wraps the interface value so it can sit behind atomic.Pointer.
+type holder struct{ s stabber }
+
+func newRebuildIndex(build func(map[markset.ID]interval.Interval[value.Value]) stabber) *rebuildIndex {
+	return &rebuildIndex{
+		items: make(map[markset.ID]interval.Interval[value.Value]),
+		build: build,
+	}
+}
+
+var _ core.AttrIndex = (*rebuildIndex)(nil)
+
+func (r *rebuildIndex) Len() int { return len(r.items) }
+
+func (r *rebuildIndex) Insert(id markset.ID, iv interval.Interval[value.Value]) error {
+	if err := iv.Validate(value.Compare); err != nil {
+		return err
+	}
+	if _, dup := r.items[id]; dup {
+		return fmt.Errorf("strategy: duplicate interval id %d", id)
+	}
+	r.items[id] = iv
+	r.cur.Store(nil) //predmatchvet:ignore guardedby mutation is externally serialized; no reader or builder runs concurrently
+	return nil
+}
+
+func (r *rebuildIndex) Delete(id markset.ID) error {
+	if _, ok := r.items[id]; !ok {
+		return fmt.Errorf("strategy: unknown interval id %d", id)
+	}
+	delete(r.items, id)
+	r.cur.Store(nil) //predmatchvet:ignore guardedby mutation is externally serialized; no reader or builder runs concurrently
+	return nil
+}
+
+func (r *rebuildIndex) StabAppend(x value.Value, dst []markset.ID) []markset.ID {
+	h := r.cur.Load()
+	if h == nil {
+		r.mu.Lock()
+		if h = r.cur.Load(); h == nil {
+			h = &holder{s: r.build(r.items)}
+			r.cur.Store(h)
+		}
+		r.mu.Unlock()
+	}
+	return h.s.StabAppend(x, dst)
+}
+
+// newSegtreeIndex returns an AttrIndex backed by the immutable segment
+// tree, rebuilt lazily after each mutation.
+func newSegtreeIndex() core.AttrIndex {
+	return newRebuildIndex(func(items map[markset.ID]interval.Interval[value.Value]) stabber {
+		list := make([]segtree.Item[value.Value], 0, len(items))
+		for id, iv := range items {
+			list = append(list, segtree.Item[value.Value]{ID: id, Iv: iv})
+		}
+		return segtree.Build(value.Compare, list)
+	})
+}
+
+// newInttreeIndex returns an AttrIndex backed by the immutable centered
+// interval tree, rebuilt lazily after each mutation.
+func newInttreeIndex() core.AttrIndex {
+	return newRebuildIndex(func(items map[markset.ID]interval.Interval[value.Value]) stabber {
+		list := make([]inttree.Item[value.Value], 0, len(items))
+		for id, iv := range items {
+			list = append(list, inttree.Item[value.Value]{ID: id, Iv: iv})
+		}
+		return inttree.Build(value.Compare, list)
+	})
+}

@@ -176,20 +176,30 @@ type BackupInfo struct {
 	Bytes int64  `json:"bytes"`
 }
 
+// PrefilterStat reports the sharded matcher's attribute-prefilter
+// admission counters: how many tuples went through to a full index
+// probe versus being proven unmatchable by the per-relation attribute
+// envelopes alone.
+type PrefilterStat struct {
+	Admitted uint64 `json:"admitted"`
+	Skipped  uint64 `json:"skipped"`
+}
+
 // Stats is the payload of a stats response.
 type Stats struct {
-	Rules       []string    `json:"rules"`
-	Matcher     string      `json:"matcher"`
-	Predicates  int         `json:"predicates"`
-	Shards      []ShardStat `json:"shards,omitempty"`
-	Trees       []TreeStat  `json:"trees,omitempty"`
-	Relations   []RelStat   `json:"relations,omitempty"`
-	WAL         *WALStat    `json:"wal,omitempty"`
-	Conns       int         `json:"conns"`
-	Subs        int         `json:"subs"`
-	Delivered   uint64      `json:"delivered"`
-	Dropped     uint64      `json:"dropped"`
-	Connections []ConnStat  `json:"connections,omitempty"`
+	Rules       []string       `json:"rules"`
+	Matcher     string         `json:"matcher"`
+	Predicates  int            `json:"predicates"`
+	Prefilter   *PrefilterStat `json:"prefilter,omitempty"`
+	Shards      []ShardStat    `json:"shards,omitempty"`
+	Trees       []TreeStat     `json:"trees,omitempty"`
+	Relations   []RelStat      `json:"relations,omitempty"`
+	WAL         *WALStat       `json:"wal,omitempty"`
+	Conns       int            `json:"conns"`
+	Subs        int            `json:"subs"`
+	Delivered   uint64         `json:"delivered"`
+	Dropped     uint64         `json:"dropped"`
+	Connections []ConnStat     `json:"connections,omitempty"`
 }
 
 // Message is one server-to-client frame: a response when Type is
@@ -199,17 +209,17 @@ type Message struct {
 	Type string `json:"type"`
 
 	// Response fields.
-	ID      uint64    `json:"id,omitempty"`
-	OK      bool      `json:"ok,omitempty"`
-	Error   string    `json:"error,omitempty"`
-	TupleID int64     `json:"tuple_id,omitempty"` // insert result
-	PredID  int64     `json:"pred_id,omitempty"`  // addpred result
-	Name    string    `json:"name,omitempty"`     // rule result: parsed rule name
-	Matches []int64   `json:"matches,omitempty"`  // match result
-	Batch   [][]int64 `json:"batch,omitempty"`    // matchbatch result
-	Stats   *Stats    `json:"stats,omitempty"`    // stats result
-	Firings int       `json:"firings,omitempty"`  // rules fired by a mutation
-	Backup  *BackupInfo `json:"backup,omitempty"` // backup result
+	ID      uint64      `json:"id,omitempty"`
+	OK      bool        `json:"ok,omitempty"`
+	Error   string      `json:"error,omitempty"`
+	TupleID int64       `json:"tuple_id,omitempty"` // insert result
+	PredID  int64       `json:"pred_id,omitempty"`  // addpred result
+	Name    string      `json:"name,omitempty"`     // rule result: parsed rule name
+	Matches []int64     `json:"matches,omitempty"`  // match result
+	Batch   [][]int64   `json:"batch,omitempty"`    // matchbatch result
+	Stats   *Stats      `json:"stats,omitempty"`    // stats result
+	Firings int         `json:"firings,omitempty"`  // rules fired by a mutation
+	Backup  *BackupInfo `json:"backup,omitempty"`   // backup result
 
 	// Notification fields. Seq numbers every notification generated for
 	// the subscription (starting at 1), assigned before the overflow
