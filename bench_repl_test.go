@@ -1,0 +1,131 @@
+// BenchmarkFollowerRead measures the replication read path over real
+// TCP on loopback: match probes served by a caught-up follower,
+// compared against the same probes on the leader, with and without a
+// read-your-writes sequence token. BENCH_PR7.json records the results
+// (see docs/REPLICATION.md).
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"predmatch/internal/client"
+	"predmatch/internal/repl"
+	"predmatch/internal/server"
+	"predmatch/internal/wal"
+)
+
+// startReplPair brings up a durable leader loaded with nRules salary
+// rules and a follower streaming from it, and blocks until the
+// follower has applied the whole setup.
+func startReplPair(b *testing.B, nRules int) (leaderAddr, followerAddr string, token uint64, shutdown func()) {
+	b.Helper()
+	leader, err := server.Open(server.Config{
+		Addr: "127.0.0.1:0", DataDir: b.TempDir(), Sync: wal.SyncOff, QueueLen: 1 << 14,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lerrc := make(chan error, 1)
+	go func() { lerrc <- leader.ListenAndServe() }()
+	for leader.Addr() == nil {
+		select {
+		case err := <-lerrc:
+			b.Fatalf("leader serve: %v", err)
+		default:
+		}
+	}
+	leaderAddr = leader.Addr().String()
+
+	admin, err := client.Dial(leaderAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer admin.Close()
+	if err := admin.DeclareRelation(benchEmpRel); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < nRules; i++ {
+		lo := 10000 + rng.Intn(80000)
+		src := fmt.Sprintf("rule r%d on insert, update to emp when salary between %d and %d do log 'hit'",
+			i, lo, lo+2000+rng.Intn(8000))
+		if _, err := admin.DefineRule(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	token = admin.LastSeq()
+
+	follower, err := server.Open(server.Config{
+		Addr: "127.0.0.1:0", DataDir: b.TempDir(), Sync: wal.SyncOff,
+		FollowerOf: leaderAddr, QueueLen: 1 << 14,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ferrc := make(chan error, 1)
+	go func() { ferrc <- follower.ListenAndServe() }()
+	for follower.Addr() == nil {
+		select {
+		case err := <-ferrc:
+			b.Fatalf("follower serve: %v", err)
+		default:
+		}
+	}
+	followerAddr = follower.Addr().String()
+	f := repl.New(leaderAddr, follower, repl.Options{})
+	follower.AttachFollower(f, f.Stop)
+	go f.Run()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for follower.ReplAppliedSeq() < token {
+		if time.Now().After(deadline) {
+			b.Fatalf("follower stuck at %d, want %d", follower.ReplAppliedSeq(), token)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return leaderAddr, followerAddr, token, func() {
+		f.Stop()
+		follower.Close()
+		leader.Close()
+	}
+}
+
+// BenchmarkFollowerRead: one match probe per op, full round trip over
+// loopback TCP. "leader" is the baseline serving path; "follower" the
+// same probes against the replica; "follower-token" adds a min_seq
+// read-your-writes token the replica has already applied (the steady
+// state of a caught-up fleet — the token costs one atomic load).
+func BenchmarkFollowerRead(b *testing.B) {
+	const nRules = 256
+	leaderAddr, followerAddr, token, shutdown := startReplPair(b, nRules)
+	defer shutdown()
+
+	cases := []struct {
+		name   string
+		addr   string
+		minSeq uint64
+	}{
+		{"leader", leaderAddr, 0},
+		{"follower", followerAddr, 0},
+		{"follower-token", followerAddr, token},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := client.Dial(tc.addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.MatchAt("emp", benchEmp(rng), tc.minSeq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

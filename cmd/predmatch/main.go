@@ -24,12 +24,15 @@
 //	predmatch stats [-addr 127.0.0.1:7341]
 //	predmatch backup [-addr 127.0.0.1:7341] [-o file]
 //	predmatch restore [-data-dir dir] snapshot.ckpt
+//	predmatch promote [-addr 127.0.0.1:7341]
 //
-// stats prints shard, IBS-tree, relation, WAL and per-connection
-// statistics (the remote form of the script interpreter's local
-// `stats` statement). backup forces a checkpoint on a running daemon;
-// restore inspects a checkpoint file and optionally seeds a fresh data
-// directory from it (see docs/DURABILITY.md).
+// stats prints shard, IBS-tree, relation, WAL, replication and
+// per-connection statistics (the remote form of the script
+// interpreter's local `stats` statement). backup forces a checkpoint
+// on a running daemon; restore inspects a checkpoint file and
+// optionally seeds a fresh data directory from it (see
+// docs/DURABILITY.md). promote turns a replication follower into a
+// leader (see docs/REPLICATION.md).
 package main
 
 import (
@@ -102,6 +105,8 @@ func main() {
 			os.Exit(runBackup(os.Args[2:]))
 		case "restore":
 			os.Exit(runRestore(os.Args[2:]))
+		case "promote":
+			os.Exit(runPromote(os.Args[2:]))
 		}
 	}
 	matcherName := flag.String("matcher", "ibs", strategy.FlagHelp())

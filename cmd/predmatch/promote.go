@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"predmatch/internal/client"
+)
+
+// runPromote implements `predmatch promote`: turn the follower at the
+// given address into a leader. The follower seals its replication
+// stream, starts accepting mutations, and continues the leader's WAL
+// sequence space — the failover step after the leader dies (see
+// docs/REPLICATION.md for the rules on when this is safe).
+func runPromote(args []string) int {
+	fs := flag.NewFlagSet("predmatch promote", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7341", "follower predmatchd address to promote")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: predmatch promote [-addr host:port]")
+		return 2
+	}
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predmatch promote: dial %s: %v\n", *addr, err)
+		return 1
+	}
+	defer c.Close()
+	seq, err := c.Promote()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predmatch promote: %v\n", err)
+		return 1
+	}
+	fmt.Printf("promoted %s to leader at seq %d\n", *addr, seq)
+	return 0
+}

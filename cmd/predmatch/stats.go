@@ -83,6 +83,19 @@ func printStats(w io.Writer, st *wire.Stats) {
 		}
 		fmt.Fprintf(w, "\n")
 	}
+	if st.Repl != nil {
+		switch st.Repl.Role {
+		case "follower":
+			fmt.Fprintf(w, "replication: follower of %s, applied seq %d, lag %d",
+				st.Repl.Leader, st.Repl.AppliedSeq, st.Repl.Lag)
+			if st.Repl.Reconnects > 0 {
+				fmt.Fprintf(w, ", %d reconnects", st.Repl.Reconnects)
+			}
+			fmt.Fprintf(w, "\n")
+		default:
+			fmt.Fprintf(w, "replication: leader, %d followers connected\n", st.Repl.Followers)
+		}
+	}
 	if len(st.Connections) > 0 {
 		fmt.Fprintf(w, "connections:\n")
 		fmt.Fprintf(w, "  %-22s %5s %9s %9s %8s %8s\n",
@@ -94,6 +107,11 @@ func printStats(w io.Writer, st *wire.Stats) {
 				if len(cs.Rules) > 0 {
 					rules = fmt.Sprintf("%d", len(cs.Rules))
 				}
+			}
+			if cs.Replica {
+				// A replication stream: the marker carries the follower's
+				// shipped-up-to sequence instead of subscription state.
+				rules = fmt.Sprintf("repl@%d", cs.ReplSeq)
 			}
 			fmt.Fprintf(w, "  %-22s %2d/%-3d %9d %9d %8d %8s\n",
 				cs.Remote, cs.Queue, cs.QueueCap, cs.Delivered,

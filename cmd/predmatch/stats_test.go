@@ -32,10 +32,12 @@ func TestPrintStats(t *testing.T) {
 			LastSeq: 230, DurableSeq: 229, SnapshotSeq: 100,
 			Segments: 2, Sync: "interval",
 		},
+		Repl: &wire.ReplStat{Role: "leader", Followers: 1},
 		Connections: []wire.ConnStat{
 			{Remote: "127.0.0.1:50001", Subscribed: true, Queue: 128, QueueCap: 128,
 				Delivered: 90, Dropped: 10, LastSeq: 228},
-			{Remote: "127.0.0.1:50002", Queue: 0, QueueCap: 128},
+			{Remote: "127.0.0.1:50002", Queue: 0, QueueCap: 128,
+				Replica: true, ReplSeq: 226},
 		},
 	}
 	var b strings.Builder
@@ -52,6 +54,8 @@ func TestPrintStats(t *testing.T) {
 		"228",
 		"42 rows",
 		"wal: sync=interval, seq 230 (229 durable), 2 segments, snapshot at seq 100",
+		"replication: leader, 1 followers connected",
+		"repl@226",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("printStats output missing %q:\n%s", want, out)

@@ -51,10 +51,12 @@ type daemon struct {
 }
 
 // startDaemon launches bin with the given data directory and waits for
-// its "listening" log line to learn the ephemeral port.
-func startDaemon(t *testing.T, bin, dir string) *daemon {
+// its "listening" log line to learn the ephemeral port. Extra flags
+// (e.g. -follow for replication tests) are appended.
+func startDaemon(t *testing.T, bin, dir string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dir, "-fsync", "always")
+	args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-fsync", "always"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

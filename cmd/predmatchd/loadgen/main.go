@@ -8,12 +8,18 @@
 // Usage:
 //
 //	loadgen [-addr 127.0.0.1:7341 | -self] [-workers 4] [-duration 2s]
-//	        [-seed 1] [-suffix s]
+//	        [-seed 1] [-suffix s] [-followers addr1,addr2]
 //
 // With -self, loadgen starts an in-process daemon on a loopback port
 // and tears it down afterwards — a single-binary smoke test. The target
 // daemon must not already hold the relations/rules loadgen declares;
 // use -suffix to namespace them when sharing a daemon.
+//
+// With -followers, match probes are split round-robin across the given
+// replica addresses instead of the leader, each probe carrying the
+// worker's read-your-writes token (min_seq = the last acked WAL
+// sequence), and the report breaks read latency out per target — the
+// follower-read scaling measurement behind BENCH_PR7.json.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +51,7 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "how long to stream load")
 	seed := flag.Int64("seed", 1, "base seed for the deterministic workload")
 	suffix := flag.String("suffix", "", "suffix for relation and rule names (namespacing a shared daemon)")
+	followersFlag := flag.String("followers", "", "comma-separated follower addresses: match probes round-robin across them with read-your-writes tokens; mutations stay on -addr")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "loadgen: ", 0)
@@ -137,6 +145,23 @@ func main() {
 		matched   atomic.Uint64
 		errs      atomic.Uint64
 	)
+	// Read targets: the leader itself, or the follower fleet. Each gets
+	// its own latency histogram so per-replica tail latency is visible.
+	var followers []string
+	for _, a := range strings.Split(*followersFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			followers = append(followers, a)
+		}
+	}
+	readTargets := []string{target}
+	if len(followers) > 0 {
+		readTargets = followers
+	}
+	readLat := make(map[string]*obs.Histogram, len(readTargets))
+	for _, a := range readTargets {
+		readLat[a] = obs.NewHistogram(obs.DefBuckets...)
+	}
+
 	// One shared request-latency histogram across all workers; obs
 	// histograms are lock-free, so contention is a few atomic adds.
 	lat := obs.NewHistogram(obs.DefBuckets...)
@@ -153,6 +178,23 @@ func main() {
 				return
 			}
 			defer c.Close()
+			// One read connection per target; probes rotate across them.
+			readers := make([]*client.Client, len(readTargets))
+			for i, a := range readTargets {
+				if a == target {
+					readers[i] = c
+					continue
+				}
+				rc, err := client.Dial(a)
+				if err != nil {
+					logger.Printf("worker %d: dial follower %s: %v", w, a, err)
+					errs.Add(1)
+					return
+				}
+				defer rc.Close()
+				readers[i] = rc
+			}
+			nextRead := 0
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			var live []tuple.ID
 			for {
@@ -185,11 +227,16 @@ func main() {
 						mutations.Add(1)
 					}
 				default: // match probe (lock-free path)
+					k := nextRead % len(readers)
+					nextRead++
+					// The token makes a follower read wait for this worker's
+					// own acked writes — stale answers would undercount hits.
 					var res []pred.ID
-					res, err = c.Match(emp, tp)
+					res, err = readers[k].MatchAt(emp, tp, c.LastSeq())
 					if err == nil {
 						probes.Add(1)
 						matched.Add(uint64(len(res)))
+						readLat[readTargets[k]].ObserveSince(t0)
 					}
 				}
 				if err != nil {
@@ -240,6 +287,14 @@ report:
 	fmt.Printf("  match probes%8d  (%.0f/s), %d predicate hits\n", prb, float64(prb)/elapsed.Seconds(), matched.Load())
 	fmt.Printf("  latency     p50 %s  p95 %s  p99 %s  (%d requests)\n",
 		quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99), lat.Count())
+	if len(followers) > 0 {
+		fmt.Printf("  follower reads:\n")
+		for _, a := range readTargets {
+			h := readLat[a]
+			fmt.Printf("    %-22s p50 %s  p95 %s  p99 %s  (%d probes)\n",
+				a, quantile(h, 0.50), quantile(h, 0.95), quantile(h, 0.99), h.Count())
+		}
+	}
 	fmt.Printf("  firings     %8d generated, %d received, %d dropped\n", generated, received.Load(), dropped)
 	fmt.Printf("  server      %d rules, %d predicates, %d conns, matcher %s\n",
 		len(st.Rules), st.Predicates, st.Conns, st.Matcher)

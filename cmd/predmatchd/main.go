@@ -11,7 +11,7 @@
 //	           [-admin addr] [-slowreq 0] [-v] [-index ibs]
 //	           [-data-dir dir] [-fsync always|interval|off]
 //	           [-fsync-interval 100ms] [-wal-segment 64MiB]
-//	           [-snapshot-every 0]
+//	           [-snapshot-every 0] [-follow leader-addr]
 //
 // -index picks the per-shard attribute index structure from the shared
 // strategy registry (internal/strategy): the paper's IBS-trees by
@@ -30,6 +30,13 @@
 // each), -snapshot-every adds periodic background checkpoints on top
 // of the shutdown and on-demand (backup op) ones.
 //
+// With -follow, the daemon starts as a replication follower of the
+// leader at the given address (requires -data-dir): it applies the
+// leader's WAL stream, serves match/subscribe/stats locally, rejects
+// mutations with a leader redirect, and reconnects with backoff across
+// leader outages until `predmatch promote` seals the stream and turns
+// it into a leader (see docs/REPLICATION.md).
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests for up to -drain, then force-closes stragglers.
 package main
@@ -47,6 +54,7 @@ import (
 	"time"
 
 	"predmatch/internal/obs"
+	"predmatch/internal/repl"
 	"predmatch/internal/server"
 	"predmatch/internal/strategy"
 	"predmatch/internal/wal"
@@ -67,6 +75,7 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", wal.DefaultSyncEvery, "fsync cadence under -fsync interval")
 	walSegment := flag.Int64("wal-segment", wal.DefaultSegmentBytes, "target WAL segment size in bytes before rotation")
 	snapEvery := flag.Duration("snapshot-every", 0, "background checkpoint cadence (0 = only on shutdown and backup op)")
+	follow := flag.String("follow", "", "start as a replication follower of the leader at this address (requires -data-dir)")
 	indexName := flag.String("index", "ibs", strategy.IndexFlagHelp())
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -126,10 +135,31 @@ func main() {
 		cfg.WALSegmentBytes = *walSegment
 		cfg.SnapshotEvery = *snapEvery
 	}
+	if *follow != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "predmatchd: -follow requires -data-dir (a follower persists the replicated log)")
+			os.Exit(2)
+		}
+		cfg.FollowerOf = *follow
+	}
 	srv, err := server.Open(cfg)
 	if err != nil {
 		logger.Error("recovery", "err", err)
 		os.Exit(1)
+	}
+
+	// followErr surfaces a fatal replication failure (an apply refusal);
+	// stream losses are retried inside the follower, not reported here.
+	followErr := make(chan error, 1)
+	if *follow != "" {
+		f := repl.New(*follow, srv, repl.Options{Logger: logger, Registry: reg})
+		srv.AttachFollower(f, f.Stop)
+		go func() {
+			if err := f.Run(); err != nil {
+				followErr <- err
+			}
+		}()
+		logger.Info("following", "leader", *follow)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -201,6 +231,12 @@ func main() {
 		// an operator who asked for observability should not get a
 		// silently blind daemon.
 		logger.Error("admin serve", "err", err)
+		os.Exit(1)
+	case err := <-followErr:
+		// The leader's stream was refused permanently (diverged history,
+		// apply failure): a follower serving ever-staler reads while
+		// pretending to replicate is worse than a crash.
+		logger.Error("replication failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 		logger.Info("signal received")

@@ -4,9 +4,9 @@ package dispatch
 
 import "predmatch/internal/wire"
 
-// handle misses OpPing and has no default: violation.
+// handle misses OpPing and the replication ops, no default: violation.
 func handle(op string) string {
-	switch op { // want `switch on wire.Op\* kinds is not exhaustive: missing OpPing`
+	switch op { // want `switch on wire.Op\* kinds is not exhaustive: missing OpPing, OpPromote, OpReplicate`
 	case wire.OpInsert:
 		return "i"
 	case wire.OpDelete:
@@ -22,6 +22,8 @@ func handleAll(op string) string {
 		return "mut"
 	case wire.OpPing:
 		return "ping"
+	case wire.OpReplicate, wire.OpPromote:
+		return "repl"
 	}
 	return ""
 }
@@ -36,13 +38,40 @@ func handleDefault(op string) string {
 	}
 }
 
-// route misses TypeNotify: violation in the Type group.
+// handlePreRepl is the real failure mode the replication PR guards
+// against: a dispatch switch complete before OpReplicate/OpPromote
+// existed silently drops the new ops — violation.
+func handlePreRepl(op string) string {
+	switch op { // want `switch on wire.Op\* kinds is not exhaustive: missing OpPromote, OpReplicate`
+	case wire.OpInsert, wire.OpDelete:
+		return "mut"
+	case wire.OpPing:
+		return "ping"
+	}
+	return ""
+}
+
+// route misses TypeNotify and TypeRepl: violation in the Type group.
 func route(t string) bool {
-	switch t { // want `switch on wire.Type\* kinds is not exhaustive: missing TypeNotify`
+	switch t { // want `switch on wire.Type\* kinds is not exhaustive: missing TypeNotify, TypeRepl`
 	case wire.TypeResult:
 		return true
 	}
 	return false
+}
+
+// routeAll covers every frame type, including the replication stream
+// frames: legal.
+func routeAll(t string) string {
+	switch t {
+	case wire.TypeResult:
+		return "resp"
+	case wire.TypeNotify:
+		return "note"
+	case wire.TypeRepl:
+		return "repl"
+	}
+	return ""
 }
 
 // unrelated never trips the check: Openness is not an Op* kind.

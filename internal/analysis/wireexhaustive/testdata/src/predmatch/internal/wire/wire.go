@@ -5,15 +5,18 @@ package wire
 
 // Request operations.
 const (
-	OpInsert = "insert"
-	OpDelete = "delete"
-	OpPing   = "ping"
+	OpInsert    = "insert"
+	OpDelete    = "delete"
+	OpPing      = "ping"
+	OpReplicate = "replicate"
+	OpPromote   = "promote"
 )
 
 // Server frame types.
 const (
 	TypeResult = "result"
 	TypeNotify = "notify"
+	TypeRepl   = "repl"
 )
 
 // Openness must never be claimed by the Op group: the prefix match

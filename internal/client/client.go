@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"predmatch/internal/pred"
@@ -82,6 +83,10 @@ type Client struct {
 
 	notifyMu sync.Mutex
 	notify   chan Notification // guarded-by: notifyMu
+
+	// lastSeq is the highest WAL sequence acked to this client (the
+	// read-your-writes token; see LastSeq).
+	lastSeq atomic.Uint64
 
 	// dying is closed when the connection is marked dead, unblocking a
 	// read loop stuck delivering to an undrained notification channel.
@@ -197,6 +202,9 @@ func (c *Client) readLoop() {
 				case <-c.dying:
 				}
 			}
+		case wire.TypeRepl:
+			// Replication stream frames; a Client never sends the replicate
+			// op (internal/repl speaks the stream directly), so drop them.
 		case wire.TypeResponse:
 			if m.ID == 0 {
 				// Unsolicited server error (e.g. connection-limit
@@ -263,6 +271,15 @@ func (c *Client) call(req *wire.Request) (*wire.Message, error) {
 			err := c.err
 			c.mu.Unlock()
 			return nil, err
+		}
+		if s := m.WalSeq; s > 0 {
+			// Atomic max: acks can complete out of order across goroutines.
+			for {
+				old := c.lastSeq.Load()
+				if s <= old || c.lastSeq.CompareAndSwap(old, s) {
+					break
+				}
+			}
 		}
 		if m.Error != "" {
 			return &m, fmt.Errorf("client: %s", m.Error)
@@ -362,7 +379,18 @@ func (c *Client) Delete(rel string, id tuple.ID) (int, error) {
 // Match returns the IDs of all predicates matching the tuple, without
 // touching storage.
 func (c *Client) Match(rel string, t tuple.Tuple) ([]pred.ID, error) {
-	m, err := c.call(&wire.Request{Op: wire.OpMatch, Relation: rel, Tuple: wire.FromTuple(t)})
+	return c.MatchAt(rel, t, 0)
+}
+
+// MatchAt is Match carrying a read-your-writes token: the server
+// answers only once its applied state covers WAL sequence minSeq (a
+// follower waits up to its configured bound, then fails with a leader
+// redirect). Use LastSeq as the token to read your own acked writes
+// from any replica; minSeq 0 is a plain Match.
+func (c *Client) MatchAt(rel string, t tuple.Tuple, minSeq uint64) ([]pred.ID, error) {
+	m, err := c.call(&wire.Request{
+		Op: wire.OpMatch, Relation: rel, Tuple: wire.FromTuple(t), MinSeq: minSeq,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -420,6 +448,24 @@ func (c *Client) Stats() (*wire.Stats, error) {
 		return nil, err
 	}
 	return m.Stats, nil
+}
+
+// LastSeq returns the highest WAL sequence any mutation or DDL ack on
+// this client has carried — the client's read-your-writes token. It is
+// 0 against a server without a data directory (nothing is sequenced).
+func (c *Client) LastSeq() uint64 { return c.lastSeq.Load() }
+
+// Promote turns the follower this client is connected to into a
+// leader: the replication stream is sealed and the server starts
+// accepting mutations, continuing the leader's WAL sequence space. It
+// returns the sequence the log was sealed at. Fails on a server that
+// is already a leader.
+func (c *Client) Promote() (uint64, error) {
+	m, err := c.call(&wire.Request{Op: wire.OpPromote})
+	if err != nil {
+		return 0, err
+	}
+	return m.WalSeq, nil
 }
 
 // Backup forces the server to write a durable checkpoint snapshot,

@@ -1,0 +1,299 @@
+// Package repl is the follower side of predmatchd replication: it
+// dials the leader, issues the `replicate` op with a resume cursor, and
+// feeds the resulting WAL stream — snapshot frames for bootstrap,
+// record frames for the live tail — into an Applier (the server's
+// ReplApply* methods). The loop reconnects with capped exponential
+// backoff on stream loss and resumes from the applier's last applied
+// sequence, so a partition costs latency, never correctness.
+//
+// The package deliberately knows nothing about internal/server: the
+// Applier interface is the entire contract, which keeps the dependency
+// direction server -> repl -> wal/wire acyclic and lets tests drive a
+// Follower against a scripted leader and an in-memory applier.
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predmatch/internal/obs"
+	"predmatch/internal/wal"
+	"predmatch/internal/wire"
+)
+
+// Applier consumes the replication stream. internal/server.(*Server)
+// implements it; ReplApplyRecord must persist the record before
+// returning (the applied sequence is the resume cursor, so anything it
+// covers must survive a follower crash).
+type Applier interface {
+	// ReplAppliedSeq is the last sequence applied and locally durable;
+	// the stream resumes after it.
+	ReplAppliedSeq() uint64
+	// ReplApplySnapshot installs a bootstrap snapshot (only ever sent
+	// when the resume cursor predates the leader's pruning horizon).
+	ReplApplySnapshot(*wal.Snapshot) error
+	// ReplApplyRecord applies and persists one record, in sequence order.
+	ReplApplyRecord(*wal.Record) error
+	// ReplSealed reports that the applier stopped accepting the stream
+	// for good (promotion); the follower loop exits instead of retrying.
+	ReplSealed() bool
+}
+
+// Options tunes a Follower; the zero value works.
+type Options struct {
+	// Dial overrides the leader connection (tests inject failures here);
+	// default: net.Dialer with a 5s timeout.
+	Dial func(addr string) (net.Conn, error)
+	// RetryMin/RetryMax bound the reconnect backoff (default 100ms / 3s).
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// Logger receives stream lifecycle events (default: discard).
+	Logger *slog.Logger
+	// Registry exports the follower gauges and counters (default: none).
+	Registry *obs.Registry
+}
+
+// Follower drives one replication stream. Construct with New, run the
+// loop with Run (it blocks), stop it with Stop. LeaderSeq and
+// Reconnects satisfy server.FollowerInfo for the stats surface.
+type Follower struct {
+	leader string
+	app    Applier
+	opt    Options
+
+	// leaderSeq is the leader's log end as of the last frame received;
+	// lag = leaderSeq - applied.
+	leaderSeq  atomic.Uint64
+	reconnects atomic.Uint64
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	connMu   sync.Mutex
+	nc       net.Conn // guarded-by: connMu (current stream, closed by Stop)
+}
+
+// New builds a Follower replicating from the leader address into app.
+func New(leader string, app Applier, opt Options) *Follower {
+	if opt.Dial == nil {
+		opt.Dial = func(addr string) (net.Conn, error) {
+			return (&net.Dialer{Timeout: 5 * time.Second}).Dial("tcp", addr)
+		}
+	}
+	if opt.RetryMin <= 0 {
+		opt.RetryMin = 100 * time.Millisecond
+	}
+	if opt.RetryMax < opt.RetryMin {
+		opt.RetryMax = 3 * time.Second
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.NewTextHandler(io.Discard,
+			&slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	f := &Follower{leader: leader, app: app, opt: opt, stopped: make(chan struct{})}
+	if reg := opt.Registry; reg != nil {
+		reg.GaugeFunc("predmatch_repl_lag_seq",
+			"Sequences the follower trails the leader by (leader log end minus applied).",
+			func() float64 {
+				if ls, as := f.leaderSeq.Load(), f.app.ReplAppliedSeq(); ls > as {
+					return float64(ls - as)
+				}
+				return 0
+			})
+		reg.GaugeFunc("predmatch_repl_applied_seq",
+			"Last replicated sequence applied locally.",
+			func() float64 { return float64(f.app.ReplAppliedSeq()) })
+		reg.CounterFunc("predmatch_repl_reconnects_total",
+			"Replication stream re-establishments after a loss.",
+			f.reconnects.Load)
+	}
+	return f
+}
+
+// LeaderSeq is the leader's log end as of the last stream frame (0
+// before the first).
+func (f *Follower) LeaderSeq() uint64 { return f.leaderSeq.Load() }
+
+// Reconnects counts stream re-establishments after the initial connect.
+func (f *Follower) Reconnects() uint64 { return f.reconnects.Load() }
+
+// Stop terminates the loop: Run returns nil after the in-flight record
+// finishes applying. Safe to call more than once and concurrently with
+// Promote-driven sealing.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stopped) })
+	f.connMu.Lock()
+	if f.nc != nil {
+		f.nc.Close()
+	}
+	f.connMu.Unlock()
+}
+
+// fatalError marks a stream error that retrying cannot fix (the applier
+// rejected the stream); Run surfaces it instead of reconnecting.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// Run drives the replicate-apply-reconnect loop until Stop, promotion
+// (nil), or a fatal apply error (returned). Stream and dial failures
+// are retried with backoff forever — a follower's job during a leader
+// outage is to keep serving reads and keep trying.
+func (f *Follower) Run() error {
+	backoff := f.opt.RetryMin
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-f.stopped:
+			return nil
+		default:
+		}
+		err := f.streamOnce()
+		if f.app.ReplSealed() {
+			f.opt.Logger.Info("replication sealed, follower loop exiting",
+				"applied", f.app.ReplAppliedSeq())
+			return nil
+		}
+		select {
+		case <-f.stopped:
+			return nil
+		default:
+		}
+		var fe *fatalError
+		if errors.As(err, &fe) {
+			f.opt.Logger.Error("replication failed permanently", "err", fe.err)
+			return fe.err
+		}
+		if attempt > 0 || err != nil {
+			f.reconnects.Add(1)
+		}
+		f.opt.Logger.Warn("replication stream lost, retrying",
+			"leader", f.leader, "applied", f.app.ReplAppliedSeq(),
+			"backoff", backoff, "err", err)
+		select {
+		case <-time.After(backoff):
+		case <-f.stopped:
+			return nil
+		}
+		if backoff *= 2; backoff > f.opt.RetryMax {
+			backoff = f.opt.RetryMax
+		}
+	}
+}
+
+// streamOnce runs one connection's lifetime: dial, subscribe with the
+// resume cursor, apply frames until the stream breaks. A nil return
+// means a clean shutdown (Stop closed the socket); stream errors are
+// retryable unless wrapped fatal.
+func (f *Follower) streamOnce() error {
+	nc, err := f.opt.Dial(f.leader)
+	if err != nil {
+		return err
+	}
+	f.connMu.Lock()
+	select {
+	case <-f.stopped:
+		f.connMu.Unlock()
+		nc.Close()
+		return nil
+	default:
+	}
+	f.nc = nc
+	f.connMu.Unlock()
+	defer func() {
+		f.connMu.Lock()
+		f.nc = nil
+		f.connMu.Unlock()
+		nc.Close()
+	}()
+
+	from := f.app.ReplAppliedSeq()
+	if err := json.NewEncoder(nc).Encode(wire.Request{
+		ID: 1, Op: wire.OpReplicate, FromSeq: from,
+	}); err != nil {
+		return fmt.Errorf("send replicate: %w", err)
+	}
+	f.opt.Logger.Info("replication stream opened", "leader", f.leader, "from_seq", from)
+
+	sc := bufio.NewScanner(nc)
+	sc.Buffer(make([]byte, 0, 1<<16), wire.MaxReplFrameBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m wire.Message
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		if err := dec.Decode(&m); err != nil {
+			return fmt.Errorf("bad stream frame: %w", err)
+		}
+		switch m.Type {
+		case wire.TypeResponse:
+			// The replicate ack (possibly arriving after the first frames).
+			if m.Error != "" {
+				return fmt.Errorf("leader refused replication: %s", m.Error)
+			}
+			if m.WalSeq > f.leaderSeq.Load() {
+				f.leaderSeq.Store(m.WalSeq)
+			}
+		case wire.TypeRepl:
+			if err := f.applyFrame(&m); err != nil {
+				return err
+			}
+		case wire.TypeNotify:
+			// A replication connection never subscribes; tolerate and drop.
+		default:
+			return fmt.Errorf("unexpected frame type %q on replication stream", m.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return errors.New("leader closed the stream")
+}
+
+// applyFrame decodes one repl frame and hands it to the applier. Both
+// payloads are decoded with UseNumber, exactly like WAL recovery —
+// tuple ints must stay json.Number, not float64, or they would change
+// type on a follower. Apply errors are fatal: retrying replays the
+// same record into the same refusal.
+func (f *Follower) applyFrame(m *wire.Message) error {
+	if m.LeaderSeq > f.leaderSeq.Load() {
+		f.leaderSeq.Store(m.LeaderSeq)
+	}
+	if len(m.Snap) > 0 {
+		var snap wal.Snapshot
+		dec := json.NewDecoder(bytes.NewReader(m.Snap))
+		dec.UseNumber()
+		if err := dec.Decode(&snap); err != nil {
+			return fmt.Errorf("bad snapshot frame: %w", err)
+		}
+		if err := f.app.ReplApplySnapshot(&snap); err != nil {
+			return &fatalError{err}
+		}
+		f.opt.Logger.Info("bootstrap snapshot installed", "seq", snap.Seq)
+		return nil
+	}
+	if len(m.Rec) > 0 {
+		var rec wal.Record
+		dec := json.NewDecoder(bytes.NewReader(m.Rec))
+		dec.UseNumber()
+		if err := dec.Decode(&rec); err != nil {
+			return fmt.Errorf("bad record frame: %w", err)
+		}
+		if err := f.app.ReplApplyRecord(&rec); err != nil {
+			return &fatalError{err}
+		}
+		return nil
+	}
+	return errors.New("repl frame carries neither snapshot nor record")
+}

@@ -14,6 +14,7 @@ var ops = []string{
 	wire.OpInsert, wire.OpUpdate, wire.OpDelete,
 	wire.OpMatch, wire.OpMatchBatch,
 	wire.OpSubscribe, wire.OpUnsubscribe, wire.OpStats,
+	wire.OpBackup, wire.OpReplicate, wire.OpPromote,
 }
 
 // serverMetrics holds the handles the request path updates. nil (no
@@ -24,6 +25,9 @@ type serverMetrics struct {
 	reqLat    map[string]*obs.Histogram // per-op request latency
 	reqErrors *obs.Counter
 	rejected  *obs.Counter
+	// Replication streaming volume (leader side; see docs/OBSERVABILITY.md).
+	streamedRecords *obs.Counter
+	streamedBytes   *obs.Counter
 }
 
 // newServerMetrics registers the daemon's metric families on reg.
@@ -73,5 +77,21 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		"Notifications written to clients.", s.delivered.Load)
 	reg.CounterFunc("predmatch_notify_dropped_total",
 		"Notifications dropped by the overflow policy.", s.dropped.Load)
+	m.streamedRecords = reg.Counter("predmatch_repl_streamed_records_total",
+		"WAL records streamed to followers.")
+	m.streamedBytes = reg.Counter("predmatch_repl_streamed_bytes_total",
+		"Replication payload bytes streamed to followers (records and snapshots).")
+	reg.GaugeFunc("predmatch_repl_followers",
+		"Replication streams currently served.", func() float64 {
+			s.connMu.Lock()
+			defer s.connMu.Unlock()
+			n := 0
+			for c := range s.conns {
+				if c.replica.Load() {
+					n++
+				}
+			}
+			return float64(n)
+		})
 	return m
 }

@@ -1,0 +1,472 @@
+// Replication: the server side of internal/repl. A leader serves the
+// `replicate` op by streaming its WAL — newest snapshot if the
+// follower's resume cursor was pruned, then the live record tail — over
+// the ordinary wire protocol. A follower (Config.FollowerOf set)
+// applies that stream through the same code paths recovery uses,
+// serves lock-free reads, and rejects mutations with a leader-redirect
+// error until it is promoted.
+//
+// Sequence-space contract: a follower's local WAL preserves the
+// leader's sequence numbers exactly (wal.AppendExact / wal.Advance), so
+// one number means the same state prefix on every replica. That is what
+// makes the seq token in mutation acks portable: a client can take the
+// WalSeq from a leader ack to any follower as Request.MinSeq and the
+// follower waits until its applied frontier covers it (or redirects
+// after MinSeqWait).
+//
+// Promotion seals the stream: after Promote flips the role, the apply
+// path refuses further replicated records (under s.mu, so an in-flight
+// apply finishes first) and the ordinary mutation handlers take over
+// appending to the same log, continuing the leader's sequence space.
+
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"predmatch/internal/storage"
+	"predmatch/internal/tuple"
+	"predmatch/internal/wal"
+	"predmatch/internal/wire"
+)
+
+// FollowerInfo is the server's read-only view of the attached
+// replication controller (internal/repl.Follower satisfies it), used by
+// the stats surface to report stream health.
+type FollowerInfo interface {
+	// LeaderSeq is the leader's last assigned sequence as of the most
+	// recent stream frame (0 before the first frame).
+	LeaderSeq() uint64
+	// Reconnects counts stream re-establishments.
+	Reconnects() uint64
+}
+
+// AttachFollower hands the server its replication controller: info
+// feeds the stats surface, stop is invoked by Promote to terminate the
+// stream. Called once by the daemon wiring before serving.
+func (s *Server) AttachFollower(info FollowerInfo, stop func()) {
+	s.replMu.Lock()
+	s.follower = info
+	s.stopFollow = stop
+	s.replMu.Unlock()
+}
+
+// Leader returns the upstream address this server follows ("" on a
+// leader). It keeps reporting the old leader after promotion, as a
+// hint for where stale clients came from.
+func (s *Server) Leader() string { return s.cfg.FollowerOf }
+
+// IsFollower reports whether the server currently rejects mutations
+// and applies a replication stream.
+func (s *Server) IsFollower() bool { return s.isFollower.Load() }
+
+// notLeaderMsg is the mutation-rejection response on a follower: the
+// error names the leader and the Leader field carries it structurally
+// for clients that redirect automatically.
+func (s *Server) notLeaderMsg(id uint64) wire.Message {
+	m := errMsg(id, fmt.Errorf("not leader: this server follows %s; send mutations there", s.cfg.FollowerOf))
+	m.Leader = s.cfg.FollowerOf
+	return m
+}
+
+// appliedSeq is the server's read frontier: on a follower the last
+// replicated sequence applied, on a leader the log end (a leader's
+// state always covers its own log).
+func (s *Server) appliedSeq() uint64 {
+	if s.isFollower.Load() {
+		return s.applied.Load()
+	}
+	if s.wal != nil {
+		return s.wal.LastSeq()
+	}
+	return 0
+}
+
+// advanceApplied publishes a new applied frontier and wakes min_seq
+// waiters.
+func (s *Server) advanceApplied(seq uint64) {
+	s.appliedMu.Lock()
+	if seq > s.applied.Load() {
+		s.applied.Store(seq)
+		close(s.appliedWait)
+		s.appliedWait = make(chan struct{})
+	}
+	s.appliedMu.Unlock()
+}
+
+// waitMinSeq implements the read-your-writes token: block until the
+// applied frontier reaches min. On a leader the check is immediate (its
+// frontier is the log end; a bigger token belongs to another server).
+// On a follower it waits up to MinSeqWait for replication to catch up,
+// then fails — the caller attaches the leader redirect.
+func (s *Server) waitMinSeq(min uint64) error {
+	if min == 0 {
+		return nil
+	}
+	if s.wal == nil {
+		return errors.New("min_seq requires a durable server")
+	}
+	if s.appliedSeq() >= min {
+		return nil
+	}
+	if !s.isFollower.Load() {
+		return fmt.Errorf("min_seq %d is beyond the log end %d (token from a different leader?)", min, s.appliedSeq())
+	}
+	deadline := time.Now().Add(s.cfg.MinSeqWait)
+	for {
+		s.appliedMu.Lock()
+		if s.applied.Load() >= min {
+			s.appliedMu.Unlock()
+			return nil
+		}
+		ch := s.appliedWait
+		s.appliedMu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("not caught up to min_seq %d (applied %d) after %v", min, s.applied.Load(), s.cfg.MinSeqWait)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		case <-s.done:
+			t.Stop()
+			return errors.New("server shutting down")
+		}
+		// A promotion mid-wait flips the frontier source; re-check via
+		// appliedSeq so we do not wait on a stream that will never resume.
+		if !s.isFollower.Load() {
+			if s.appliedSeq() >= min {
+				return nil
+			}
+			return fmt.Errorf("min_seq %d is beyond the log end %d", min, s.appliedSeq())
+		}
+	}
+}
+
+// minSeqErr builds the failed-token response: the error, the current
+// frontier, and the leader redirect.
+func (s *Server) minSeqErr(id uint64, err error) wire.Message {
+	m := errMsg(id, err)
+	m.WalSeq = s.appliedSeq()
+	if s.isFollower.Load() {
+		m.Leader = s.cfg.FollowerOf
+	}
+	return m
+}
+
+// Promote seals the replication stream and turns the follower into a
+// leader accepting writes, returning the sequence the log was sealed
+// at. The role flip happens first, so the apply path refuses any
+// record still in flight; the s.mu round trip is the barrier that
+// waits out an apply already executing.
+func (s *Server) Promote() (uint64, error) {
+	if s.wal == nil {
+		return 0, errors.New("promote requires a durable server")
+	}
+	if !s.isFollower.CompareAndSwap(true, false) {
+		return 0, errors.New("already leader")
+	}
+	s.replMu.Lock()
+	stop := s.stopFollow
+	s.replMu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	s.mu.Lock()
+	seq := s.wal.LastSeq()
+	s.mu.Unlock()
+	s.advanceApplied(seq)
+	s.cfg.Logger.Info("promoted to leader", "seq", seq, "was_following", s.cfg.FollowerOf)
+	return seq, nil
+}
+
+func (s *Server) handlePromote(req *wire.Request) wire.Message {
+	seq, err := s.Promote()
+	if err != nil {
+		return errMsg(req.ID, err)
+	}
+	m := okMsg(req.ID)
+	m.WalSeq = seq
+	return m
+}
+
+// ---- Follower apply path (driven by internal/repl.Follower) ----
+
+// ReplAppliedSeq is the follower's resume cursor: the last sequence
+// fully applied and logged locally.
+func (s *Server) ReplAppliedSeq() uint64 { return s.applied.Load() }
+
+// ReplSealed reports whether the server stopped being a follower; the
+// replication controller checks it after an apply error to distinguish
+// "promoted, stop for good" from a retryable stream failure.
+func (s *Server) ReplSealed() bool { return !s.isFollower.Load() }
+
+// ReplApplySnapshot bootstraps a fresh follower from a leader
+// snapshot: install the state, persist the snapshot locally, and jump
+// the empty local log into the leader's sequence space. A follower
+// that already has history refuses — receiving a snapshot then means
+// the leader pruned past our cursor while we were away, and recovering
+// from that requires wiping the data directory (the failure matrix in
+// docs/REPLICATION.md).
+func (s *Server) ReplApplySnapshot(snap *wal.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.isFollower.Load() {
+		return errors.New("server: replication sealed: promoted to leader")
+	}
+	if last := s.wal.LastSeq(); last != 0 {
+		return fmt.Errorf("server: leader sent a snapshot (seq %d) but this follower already holds state through seq %d: its history fell behind the leader's pruning horizon; wipe the data directory and re-follow", snap.Seq, last)
+	}
+	if err := s.loadSnapshot(snap); err != nil {
+		return fmt.Errorf("server: install replication snapshot %d: %w", snap.Seq, err)
+	}
+	if _, _, err := s.wal.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	if err := s.wal.Advance(snap.Seq); err != nil {
+		return err
+	}
+	s.advanceApplied(snap.Seq)
+	return nil
+}
+
+// ReplApplyRecord applies one replicated record: execute it through
+// the recovery code path (rules do not re-fire; the record carries
+// their effects), append it to the local log preserving the leader's
+// sequence, and advance the read frontier once locally durable.
+func (s *Server) ReplApplyRecord(rec *wal.Record) error {
+	s.mu.Lock()
+	if !s.isFollower.Load() {
+		s.mu.Unlock()
+		return errors.New("server: replication sealed: promoted to leader")
+	}
+	want := s.wal.LastSeq() + 1
+	if rec.Seq < want {
+		// Already applied (a resume overlap); skipping keeps the apply
+		// idempotent.
+		s.mu.Unlock()
+		s.cfg.Logger.Debug("replication: skipping duplicate record", "seq", rec.Seq, "want", want)
+		return nil
+	}
+	if rec.Seq > want {
+		s.mu.Unlock()
+		return fmt.Errorf("server: replication gap: want seq %d, got %d", want, rec.Seq)
+	}
+	if err := s.applyRecord(rec); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: apply replicated record %d: %w", rec.Seq, err)
+	}
+	_, err := s.wal.AppendExact(rec)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.wal.Commit(rec.Seq); err != nil {
+		return err
+	}
+	s.advanceApplied(rec.Seq)
+	s.replNotify(rec)
+	return nil
+}
+
+// replNotify fans replicated mutations out to local subscribers that
+// asked for direct-predicate matches. Rule-firing notifications exist
+// only on the leader (the replay path applies rule effects without
+// executing rules), and deletes carry no tuple image in the log, so a
+// follower streams insert/update predicate matches only — documented
+// in docs/REPLICATION.md.
+func (s *Server) replNotify(rec *wal.Record) {
+	if rec.Kind != wal.KindMutate {
+		return
+	}
+	s.subMu.Lock()
+	wanted := false
+	for _, sub := range s.subs {
+		if sub.preds {
+			wanted = true
+			break
+		}
+	}
+	s.subMu.Unlock()
+	if !wanted {
+		return
+	}
+	for _, we := range rec.Events {
+		op, err := parseEventOp(we.Op)
+		if err != nil || op == storage.OpDelete || we.Tuple == nil {
+			continue
+		}
+		rel, ok := s.db.Catalog().Get(we.Rel)
+		if !ok {
+			continue
+		}
+		t, terr := wire.ToTuple(rel, we.Tuple)
+		if terr != nil {
+			continue
+		}
+		s.onEventPreds(storage.Event{Rel: we.Rel, Op: op, ID: tuple.ID(we.ID), New: t})
+	}
+}
+
+// ---- Leader streaming (the replicate op) ----
+
+func (s *Server) handleReplicate(c *conn, req *wire.Request) wire.Message {
+	if s.wal == nil {
+		return errMsg(req.ID, errors.New("replication requires a data directory"))
+	}
+	if s.isFollower.Load() {
+		m := errMsg(req.ID, fmt.Errorf("follower of %s cannot serve replication; chain from the leader", s.cfg.FollowerOf))
+		m.Leader = s.cfg.FollowerOf
+		return m
+	}
+	if last := s.wal.LastSeq(); req.FromSeq > last {
+		// A follower claiming history past our log end diverged (it
+		// followed a different leader, or we lost acked history); refusing
+		// beats silently rewriting its log.
+		return errMsg(req.ID, fmt.Errorf("resume seq %d is ahead of the log end %d: follower and leader histories diverged", req.FromSeq, last))
+	}
+	if !c.replica.CompareAndSwap(false, true) {
+		return errMsg(req.ID, errors.New("connection is already replicating"))
+	}
+	c.replSeq.Store(req.FromSeq)
+	s.wg.Add(1)
+	go s.streamLog(c, req.FromSeq)
+	s.cfg.Logger.Info("replication stream started",
+		"remote", c.nc.RemoteAddr().String(), "from_seq", req.FromSeq)
+	m := okMsg(req.ID)
+	m.WalSeq = s.wal.LastSeq()
+	return m
+}
+
+// streamLog is the per-follower streamer goroutine: it ships records
+// from cursor+1 onward through the connection's response queue (which
+// blocks when full — lossless backpressure, unlike the droppy
+// notification queue). When the cursor predates the pruning horizon it
+// falls back to the newest snapshot and resumes the tail after it.
+func (s *Server) streamLog(c *conn, cursor uint64) {
+	defer s.wg.Done()
+	remote := c.nc.RemoteAddr().String()
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-c.writerGone:
+		case <-s.done:
+		}
+		close(stop)
+	}()
+	send := func(m wire.Message) bool {
+		select {
+		case c.resp <- m:
+			return true
+		case <-stop:
+			return false
+		}
+	}
+	for {
+		tail, err := s.wal.OpenTail(cursor + 1)
+		if errors.Is(err, wal.ErrTruncated) {
+			snap, serr := s.wal.NewestSnapshot()
+			if serr != nil || snap == nil || snap.Seq <= cursor {
+				// Pruning outran the follower and no snapshot can bridge the
+				// gap — should be impossible (pruning requires a covering
+				// snapshot), so surface it rather than stream a hole.
+				s.cfg.Logger.Warn("replication: no snapshot covers pruned tail",
+					"remote", remote, "cursor", cursor, "err", serr)
+				return
+			}
+			raw, merr := json.Marshal(snap)
+			if merr != nil {
+				s.cfg.Logger.Warn("replication: encode snapshot", "remote", remote, "err", merr)
+				return
+			}
+			if !send(wire.Message{Type: wire.TypeRepl, Snap: raw, LeaderSeq: s.wal.LastSeq()}) {
+				return
+			}
+			cursor = snap.Seq
+			c.replSeq.Store(cursor)
+			if s.met != nil {
+				s.met.streamedBytes.Add(uint64(len(raw)))
+			}
+			continue
+		}
+		if err != nil {
+			// ErrClosed on shutdown is the normal exit.
+			s.cfg.Logger.Debug("replication stream ended", "remote", remote, "err", err)
+			return
+		}
+		cursor, err = s.streamRecords(c, tail, send, stop, cursor)
+		tail.Close()
+		if !errors.Is(err, wal.ErrTruncated) {
+			s.cfg.Logger.Debug("replication stream ended",
+				"remote", remote, "cursor", cursor, "err", err)
+			return
+		}
+		// The tail lost its next segment to pruning mid-stream; loop back
+		// to the snapshot fallback.
+	}
+}
+
+// streamRecords ships records until the stream stops (stop/writer
+// gone), the log closes, or the tail is pruned out from under the
+// cursor (returned as wal.ErrTruncated for the snapshot fallback).
+func (s *Server) streamRecords(c *conn, tail *wal.Tail, send func(wire.Message) bool, stop <-chan struct{}, cursor uint64) (uint64, error) {
+	for {
+		rec, err := tail.Next(stop)
+		if err != nil {
+			return cursor, err
+		}
+		raw, merr := json.Marshal(rec)
+		if merr != nil {
+			return cursor, merr
+		}
+		if !send(wire.Message{Type: wire.TypeRepl, Rec: raw, LeaderSeq: s.wal.LastSeq()}) {
+			return cursor, wal.ErrClosed
+		}
+		cursor = rec.Seq
+		c.replSeq.Store(cursor)
+		if s.met != nil {
+			s.met.streamedRecords.Inc()
+			s.met.streamedBytes.Add(uint64(len(raw)))
+		}
+	}
+}
+
+// replStat summarizes the replication role for the stats response (nil
+// without a data directory).
+func (s *Server) replStat() *wire.ReplStat {
+	if s.wal == nil {
+		return nil
+	}
+	if s.isFollower.Load() {
+		rs := &wire.ReplStat{
+			Role:       "follower",
+			Leader:     s.cfg.FollowerOf,
+			AppliedSeq: s.applied.Load(),
+		}
+		s.replMu.Lock()
+		fi := s.follower
+		s.replMu.Unlock()
+		if fi != nil {
+			rs.LeaderSeq = fi.LeaderSeq()
+			rs.Reconnects = fi.Reconnects()
+			if rs.LeaderSeq > rs.AppliedSeq {
+				rs.Lag = rs.LeaderSeq - rs.AppliedSeq
+			}
+		}
+		return rs
+	}
+	rs := &wire.ReplStat{Role: "leader"}
+	s.connMu.Lock()
+	for c := range s.conns {
+		if c.replica.Load() {
+			rs.Followers++
+		}
+	}
+	s.connMu.Unlock()
+	return rs
+}

@@ -1,0 +1,515 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/repl"
+	"predmatch/internal/server"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// serveQuiet serves s on a loopback port like adoptServer, but without
+// the global goroutine leak check: in a multi-server test only the
+// last server down may scan for leaks, because the check sees every
+// live Serve loop in the process. Callers pair it with a leader
+// started through startDurable whose stop runs last.
+func serveQuiet(t *testing.T, s *server.Server) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		select {
+		case err := <-serveErr:
+			if !errors.Is(err, server.ErrServerClosed) {
+				t.Errorf("Serve returned %v, want ErrServerClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Shutdown")
+		}
+	}
+	return ln.Addr().String(), stop
+}
+
+// startFollower opens a follower of leaderAddr in its own data
+// directory, serves it, and wires an internal/repl stream into it.
+// The cleanup stops the stream before the server and fails the test
+// if the stream loop exited with an error.
+func startFollower(t *testing.T, leaderAddr string, cfg server.Config) (*server.Server, string, *repl.Follower, func()) {
+	t.Helper()
+	cfg.DataDir = t.TempDir()
+	cfg.FollowerOf = leaderAddr
+	s, err := server.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open follower: %v", err)
+	}
+	addr, stop := serveQuiet(t, s)
+	f := repl.New(leaderAddr, s, repl.Options{
+		RetryMin: 10 * time.Millisecond, RetryMax: 100 * time.Millisecond,
+	})
+	s.AttachFollower(f, f.Stop)
+	runErr := make(chan error, 1)
+	go func() { runErr <- f.Run() }()
+	cleanup := func() {
+		f.Stop()
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Errorf("follower loop: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("follower loop did not stop")
+		}
+		stop()
+	}
+	return s, addr, f, cleanup
+}
+
+// waitSeq polls until get() reaches want.
+func waitSeq(t *testing.T, what string, get func() uint64, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for get() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s stuck at %d, want >= %d", what, get(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func containsPred(ids []pred.ID, want pred.ID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFollowerCatchUpAndLiveTail covers the bread-and-butter path: a
+// follower started against a leader with existing history replays it,
+// applies live writes as they stream, serves matches locally, streams
+// predicate notifications to its own subscribers, and honors
+// read-your-writes tokens minted by leader acks.
+func TestFollowerCatchUpAndLiveTail(t *testing.T) {
+	_, leaderAddr, leaderStop := startDurable(t, server.Config{DataDir: t.TempDir()})
+	defer leaderStop()
+
+	lc := dial(t, leaderAddr)
+	defer lc.Close()
+	if err := lc.DeclareRelation(empRel); err != nil {
+		t.Fatal(err)
+	}
+	shoeID, err := lc.AddPredicate(pred.New(0, "emp",
+		pred.EqClause("dept", value.String_("shoe"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lc.Insert("emp", tuple.New(
+		value.String_("ada"), value.Int(52), value.Int(18000), value.String_("deli"))); err != nil {
+		t.Fatal(err)
+	}
+
+	fsrv, faddr, _, fcleanup := startFollower(t, leaderAddr, server.Config{})
+	defer fcleanup()
+	waitSeq(t, "follower applied", fsrv.ReplAppliedSeq, lc.LastSeq())
+
+	fc := dial(t, faddr)
+	defer fc.Close()
+	ids, err := fc.Match("emp", tuple.New(
+		value.String_("p"), value.Int(30), value.Int(1000), value.String_("shoe")))
+	if err != nil {
+		t.Fatalf("follower match: %v", err)
+	}
+	if !containsPred(ids, shoeID) {
+		t.Fatalf("follower match %v does not include replicated predicate %d", ids, shoeID)
+	}
+
+	// Live tail: a predicate registered on the leader NOW must be
+	// visible on the follower under its ack's seq token, with no sleep
+	// between the ack and the follower read.
+	seniorID, err := lc.AddPredicate(pred.New(0, "emp",
+		pred.IvClause("age", interval.Greater(value.Int(50)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := lc.LastSeq()
+	ids, err = fc.MatchAt("emp", tuple.New(
+		value.String_("p"), value.Int(60), value.Int(1000), value.String_("toy")), token)
+	if err != nil {
+		t.Fatalf("follower MatchAt(min_seq=%d): %v", token, err)
+	}
+	if !containsPred(ids, seniorID) {
+		t.Fatalf("seq-token read at %d missed predicate %d: got %v", token, seniorID, ids)
+	}
+
+	// Follower subscribers see direct-predicate matches for replicated
+	// inserts.
+	fsub := dial(t, faddr)
+	defer fsub.Close()
+	notes, err := fsub.Subscribe(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lc.Insert("emp", tuple.New(
+		value.String_("bob"), value.Int(33), value.Int(25000), value.String_("shoe"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-notes:
+		if !containsPred(n.Matches, shoeID) {
+			t.Fatalf("follower notification matches %v, want %d", n.Matches, shoeID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower subscriber saw no replicated predicate match")
+	}
+
+	// Both sides of the stream show up in stats.
+	fst, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Repl == nil || fst.Repl.Role != "follower" || fst.Repl.Leader != leaderAddr {
+		t.Fatalf("follower repl stats = %+v", fst.Repl)
+	}
+	lst, err := lc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.Repl == nil || lst.Repl.Role != "leader" || lst.Repl.Followers != 1 {
+		t.Fatalf("leader repl stats = %+v", lst.Repl)
+	}
+}
+
+// TestFollowerRejectsMutations pins the redirect contract: mutation
+// and DDL ops on a follower fail without touching state, and the
+// error names the leader so clients can re-dial.
+func TestFollowerRejectsMutations(t *testing.T) {
+	_, leaderAddr, leaderStop := startDurable(t, server.Config{DataDir: t.TempDir()})
+	defer leaderStop()
+	lc := dial(t, leaderAddr)
+	defer lc.Close()
+	if err := lc.DeclareRelation(empRel); err != nil {
+		t.Fatal(err)
+	}
+
+	fsrv, faddr, _, fcleanup := startFollower(t, leaderAddr, server.Config{})
+	defer fcleanup()
+	waitSeq(t, "follower applied", fsrv.ReplAppliedSeq, lc.LastSeq())
+
+	fc := dial(t, faddr)
+	defer fc.Close()
+	_, _, err := fc.Insert("emp", tuple.New(
+		value.String_("x"), value.Int(1), value.Int(1), value.String_("d")))
+	if err == nil || !strings.Contains(err.Error(), "not leader") ||
+		!strings.Contains(err.Error(), leaderAddr) {
+		t.Fatalf("follower insert error = %v, want not-leader redirect to %s", err, leaderAddr)
+	}
+	if err := fc.DeclareRelation(auditRel); err == nil || !strings.Contains(err.Error(), "not leader") {
+		t.Fatalf("follower declare error = %v, want not-leader", err)
+	}
+	if _, err := fc.AddPredicate(pred.New(0, "emp",
+		pred.EqClause("dept", value.String_("shoe")))); err == nil ||
+		!strings.Contains(err.Error(), "not leader") {
+		t.Fatalf("follower addpred error = %v, want not-leader", err)
+	}
+	if _, err := fc.DefineRule("rule r on insert to emp when age > 1 do log 'x'"); err == nil ||
+		!strings.Contains(err.Error(), "not leader") {
+		t.Fatalf("follower rule error = %v, want not-leader", err)
+	}
+}
+
+// TestMinSeqTimesOutOnStalledFollower: a follower that cannot catch
+// up (no stream attached at all) must fail a token read after
+// MinSeqWait with a redirect, not hang and not serve stale state.
+func TestMinSeqTimesOutOnStalledFollower(t *testing.T) {
+	_, leaderAddr, leaderStop := startDurable(t, server.Config{DataDir: t.TempDir()})
+	defer leaderStop()
+
+	s, err := server.Open(server.Config{
+		DataDir:    t.TempDir(),
+		FollowerOf: leaderAddr,
+		MinSeqWait: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faddr, stop := serveQuiet(t, s)
+	defer stop()
+
+	fc := dial(t, faddr)
+	defer fc.Close()
+	t0 := time.Now()
+	_, err = fc.MatchAt("emp", tuple.New(
+		value.String_("x"), value.Int(1), value.Int(1), value.String_("d")), 7)
+	if err == nil || !strings.Contains(err.Error(), "not caught up") {
+		t.Fatalf("stalled min_seq read error = %v, want not-caught-up", err)
+	}
+	if elapsed := time.Since(t0); elapsed < 90*time.Millisecond {
+		t.Fatalf("min_seq read failed after %v, should have waited ~100ms", elapsed)
+	}
+}
+
+// A min_seq beyond the leader's own log is a token from some other
+// history; the leader must refuse immediately rather than wait for a
+// sequence it will never assign on its own.
+func TestMinSeqBeyondLeaderLog(t *testing.T) {
+	_, leaderAddr, leaderStop := startDurable(t, server.Config{DataDir: t.TempDir()})
+	defer leaderStop()
+	lc := dial(t, leaderAddr)
+	defer lc.Close()
+	if err := lc.DeclareRelation(empRel); err != nil {
+		t.Fatal(err)
+	}
+	probe := tuple.New(value.String_("x"), value.Int(1), value.Int(1), value.String_("d"))
+	if _, err := lc.MatchAt("emp", probe, lc.LastSeq()); err != nil {
+		t.Fatalf("MatchAt at the leader's own seq: %v", err)
+	}
+	if _, err := lc.MatchAt("emp", probe, lc.LastSeq()+100); err == nil {
+		t.Fatal("MatchAt past the leader's log succeeded")
+	}
+}
+
+// TestPromoteSealsAndAcceptsWrites: promotion flips the role exactly
+// once, the promoted server accepts writes continuing the sealed
+// sequence space, and the stream loop exits cleanly.
+func TestPromoteSealsAndAcceptsWrites(t *testing.T) {
+	_, leaderAddr, leaderStop := startDurable(t, server.Config{DataDir: t.TempDir()})
+	defer leaderStop()
+	lc := dial(t, leaderAddr)
+	defer lc.Close()
+	if err := lc.DeclareRelation(empRel); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lc.Insert("emp", tuple.New(
+		value.String_("ada"), value.Int(52), value.Int(18000), value.String_("deli"))); err != nil {
+		t.Fatal(err)
+	}
+
+	fsrv, faddr, _, fcleanup := startFollower(t, leaderAddr, server.Config{})
+	defer fcleanup()
+	ackedSeq := lc.LastSeq()
+	waitSeq(t, "follower applied", fsrv.ReplAppliedSeq, ackedSeq)
+
+	fc := dial(t, faddr)
+	defer fc.Close()
+	seq, err := fc.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if seq < ackedSeq {
+		t.Fatalf("promoted at seq %d, follower had applied %d", seq, ackedSeq)
+	}
+	if _, err := fc.Promote(); err == nil || !strings.Contains(err.Error(), "already leader") {
+		t.Fatalf("second promote = %v, want already-leader", err)
+	}
+
+	// The promoted server now takes writes, numbered after the sealed
+	// prefix.
+	if _, _, err := fc.Insert("emp", tuple.New(
+		value.String_("new"), value.Int(30), value.Int(50000), value.String_("toy"))); err != nil {
+		t.Fatalf("insert after promote: %v", err)
+	}
+	if got := fc.LastSeq(); got != seq+1 {
+		t.Fatalf("first post-promotion write acked at seq %d, want %d", got, seq+1)
+	}
+	st, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repl == nil || st.Repl.Role != "leader" {
+		t.Fatalf("promoted stats role = %+v", st.Repl)
+	}
+}
+
+// TestFollowerSnapshotBootstrap: when the leader has pruned the log
+// prefix a fresh follower would need, the stream falls back to the
+// newest snapshot; the follower installs it, persists it locally, and
+// resumes the record tail after it.
+func TestFollowerSnapshotBootstrap(t *testing.T) {
+	_, leaderAddr, leaderStop := startDurable(t, server.Config{
+		DataDir:         t.TempDir(),
+		WALSegmentBytes: 512, // force enough segments that pruning bites
+	})
+	defer leaderStop()
+	lc := dial(t, leaderAddr)
+	defer lc.Close()
+	if err := lc.DeclareRelation(empRel); err != nil {
+		t.Fatal(err)
+	}
+	shoeID, err := lc.AddPredicate(pred.New(0, "emp",
+		pred.EqClause("dept", value.String_("shoe"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, _, err := lc.Insert("emp", tuple.New(
+			value.String_("padpadpadpadpad"), value.Int(30), value.Int(int64(20000+i)),
+			value.String_("toy"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint + prune: sequence 1 is now gone from the leader's log,
+	// so a from-scratch follower cannot tail it and must bootstrap.
+	if _, err := lc.Backup(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := lc.Insert("emp", tuple.New(
+			value.String_("tail"), value.Int(30), value.Int(90), value.String_("deli"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fsrv, faddr, _, fcleanup := startFollower(t, leaderAddr, server.Config{})
+	defer fcleanup()
+	waitSeq(t, "follower applied", fsrv.ReplAppliedSeq, lc.LastSeq())
+
+	fc := dial(t, faddr)
+	defer fc.Close()
+	fst, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, err := lc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fst.Relations) != 1 || len(lst.Relations) != 1 ||
+		fst.Relations[0].Rows != lst.Relations[0].Rows ||
+		fst.Relations[0].NextID != lst.Relations[0].NextID {
+		t.Fatalf("bootstrap state mismatch: follower %+v, leader %+v",
+			fst.Relations, lst.Relations)
+	}
+	if fst.WAL == nil || fst.WAL.SnapshotSeq == 0 {
+		t.Fatalf("follower did not persist the bootstrap snapshot: %+v", fst.WAL)
+	}
+	ids, err := fc.Match("emp", tuple.New(
+		value.String_("p"), value.Int(30), value.Int(1000), value.String_("shoe")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsPred(ids, shoeID) {
+		t.Fatalf("bootstrapped follower match %v missing predicate %d", ids, shoeID)
+	}
+}
+
+// TestFollowerReconnectResume severs the stream's TCP connection out
+// from under the follower; it must reconnect, resume from its applied
+// cursor, and reach the new log end.
+func TestFollowerReconnectResume(t *testing.T) {
+	_, leaderAddr, leaderStop := startDurable(t, server.Config{DataDir: t.TempDir()})
+	defer leaderStop()
+	lc := dial(t, leaderAddr)
+	defer lc.Close()
+	if err := lc.DeclareRelation(empRel); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := lc.Insert("emp", tuple.New(
+			value.String_("pre"), value.Int(30), value.Int(500), value.String_("toy"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The follower dials the leader through a proxy so the stream can
+	// be cut without touching either server.
+	proxy := newKillableProxy(t, leaderAddr)
+	defer proxy.Close()
+
+	fsrv, _, f, fcleanup := startFollower(t, proxy.Addr(), server.Config{})
+	defer fcleanup()
+	waitSeq(t, "follower applied", fsrv.ReplAppliedSeq, lc.LastSeq())
+
+	proxy.KillConns()
+	for i := 0; i < 5; i++ {
+		if _, _, err := lc.Insert("emp", tuple.New(
+			value.String_("post"), value.Int(30), value.Int(500), value.String_("toy"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSeq(t, "follower applied after partition", fsrv.ReplAppliedSeq, lc.LastSeq())
+	if f.Reconnects() == 0 {
+		t.Error("reconnect counter did not advance across the partition")
+	}
+}
+
+// killableProxy is a TCP forwarder whose live connections can be torn
+// down on demand — the partition injector for replication tests.
+type killableProxy struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newKillableProxy(t *testing.T, target string) *killableProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &killableProxy{ln: ln}
+	go func() {
+		for {
+			down, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", target)
+			if err != nil {
+				down.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, down, up)
+			p.mu.Unlock()
+			go func() {
+				io.Copy(up, down)
+				up.Close()
+				down.Close()
+			}()
+			go func() {
+				io.Copy(down, up)
+				down.Close()
+				up.Close()
+			}()
+		}
+	}()
+	return p
+}
+
+func (p *killableProxy) Addr() string { return p.ln.Addr().String() }
+
+// KillConns closes every live forwarded connection; new dials through
+// the proxy still work, modeling a transient partition.
+func (p *killableProxy) KillConns() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+func (p *killableProxy) Close() {
+	p.ln.Close()
+	p.KillConns()
+}

@@ -114,6 +114,17 @@ type Config struct {
 	// IndexOptions swap the attribute structure (default "" = keep
 	// "sharded").
 	MatcherName string
+	// FollowerOf starts the server as a replication follower of the
+	// leader at this address: mutations and DDL are rejected with a
+	// redirect, and state arrives by applying the leader's WAL stream
+	// (default "" = leader). Requires DataDir. The server only gates
+	// requests by role; the stream itself is driven by an attached
+	// internal/repl.Follower (see AttachFollower).
+	FollowerOf string
+	// MinSeqWait bounds how long a follower read carrying min_seq waits
+	// for replication to catch up before failing with a leader redirect
+	// (default 2s).
+	MinSeqWait time.Duration
 }
 
 func (c *Config) fill() {
@@ -140,6 +151,9 @@ func (c *Config) fill() {
 	}
 	if c.Sync == "" {
 		c.Sync = wal.SyncAlways
+	}
+	if c.MinSeqWait <= 0 {
+		c.MinSeqWait = 2 * time.Second
 	}
 }
 
@@ -177,6 +191,22 @@ type Server struct {
 	snapMu       sync.Mutex
 	walOnce      sync.Once
 	snapLoopDone chan struct{}
+
+	// isFollower is the replication role: true while the server rejects
+	// mutations and applies the leader's stream; Promote flips it off.
+	isFollower atomic.Bool
+	// applied is the follower's read frontier: the last replicated
+	// sequence applied and locally durable. Leaders use the log end
+	// instead (see appliedSeq).
+	applied atomic.Uint64
+	// appliedMu guards the appliedWait broadcast channel, which is
+	// closed and replaced each time applied advances (min_seq waiters).
+	appliedMu   sync.Mutex
+	appliedWait chan struct{} // guarded-by: appliedMu
+	// replMu guards the attached replication controller handles.
+	replMu     sync.Mutex
+	follower   FollowerInfo // guarded-by: replMu
+	stopFollow func()       // guarded-by: replMu
 
 	lnMu sync.Mutex
 	ln   net.Listener // guarded-by: lnMu
@@ -230,8 +260,12 @@ func newServer(cfg Config) *Server {
 		conns:       make(map[*conn]struct{}),
 		subs:        make(map[*conn]*subscription),
 		directPreds: make(map[int64]*wire.Predicate),
+		appliedWait: make(chan struct{}),
 	}
 	s.nextPredID.Store(int64(DirectPredBase))
+	if cfg.FollowerOf != "" {
+		s.isFollower.Store(true)
+	}
 	if cfg.DataDir != "" {
 		// The WAL capture observer must be registered before the engine's:
 		// the notify chain aborts at the first observer error (a rule
@@ -557,6 +591,10 @@ type conn struct {
 	// delivered counts notifications written to this connection, for
 	// the per-connection stats breakdown.
 	delivered atomic.Uint64
+	// replica marks a connection serving a replication stream; replSeq
+	// is the last sequence shipped to it (stats surface).
+	replica atomic.Bool
+	replSeq atomic.Uint64
 }
 
 // subscribed reports whether the connection has an active subscription
@@ -726,8 +764,19 @@ func (s *Server) handle(c *conn, req *wire.Request) wire.Message {
 	return m
 }
 
-// dispatch routes one request to its handler.
+// dispatch routes one request to its handler. On a follower every
+// state-changing op is rejected with a leader redirect before reaching
+// its handler; reads, subscriptions, stats and backups serve locally.
 func (s *Server) dispatch(c *conn, req *wire.Request) wire.Message {
+	switch req.Op {
+	case wire.OpDeclare, wire.OpIndex, wire.OpRule, wire.OpDropRule,
+		wire.OpAddPred, wire.OpRemovePred,
+		wire.OpInsert, wire.OpUpdate, wire.OpDelete:
+		if s.isFollower.Load() {
+			return s.notLeaderMsg(req.ID)
+		}
+	default:
+	}
 	switch req.Op {
 	case wire.OpPing:
 		return okMsg(req.ID)
@@ -757,6 +806,10 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Message {
 		return s.handleStats(req)
 	case wire.OpBackup:
 		return s.handleBackup(req)
+	case wire.OpReplicate:
+		return s.handleReplicate(c, req)
+	case wire.OpPromote:
+		return s.handlePromote(req)
 	default:
 		return errMsg(req.ID, fmt.Errorf("unknown op %q", req.Op))
 	}
@@ -766,6 +819,11 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Message {
 // append the command record under mu (so log order equals apply order),
 // release mu, then wait for durability — the group-commit window, in
 // which other mutators append and share the fsync.
+//
+// Acks carry the record's WAL sequence (WalSeq, 0 when not durable) as
+// a read-your-writes token: a client hands it to any replica as
+// Request.MinSeq and the replica serves the read only once its applied
+// state covers it.
 
 func (s *Server) handleDeclare(req *wire.Request) wire.Message {
 	s.mu.Lock()
@@ -780,7 +838,9 @@ func (s *Server) handleDeclare(req *wire.Request) wire.Message {
 	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
-	return okMsg(req.ID)
+	m := okMsg(req.ID)
+	m.WalSeq = seq
+	return m
 }
 
 func (s *Server) handleIndex(req *wire.Request) wire.Message {
@@ -801,7 +861,9 @@ func (s *Server) handleIndex(req *wire.Request) wire.Message {
 	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
-	return okMsg(req.ID)
+	m := okMsg(req.ID)
+	m.WalSeq = seq
+	return m
 }
 
 func (s *Server) handleRule(req *wire.Request) wire.Message {
@@ -818,6 +880,7 @@ func (s *Server) handleRule(req *wire.Request) wire.Message {
 	}
 	m := okMsg(req.ID)
 	m.Name = r.Name
+	m.WalSeq = seq
 	return m
 }
 
@@ -832,7 +895,9 @@ func (s *Server) handleDropRule(req *wire.Request) wire.Message {
 	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
-	return okMsg(req.ID)
+	m := okMsg(req.ID)
+	m.WalSeq = seq
+	return m
 }
 
 // handleAddPred registers a client predicate. It takes the mutation
@@ -860,6 +925,7 @@ func (s *Server) handleAddPred(req *wire.Request) wire.Message {
 	}
 	m := okMsg(req.ID)
 	m.PredID = int64(id)
+	m.WalSeq = seq
 	return m
 }
 
@@ -879,7 +945,9 @@ func (s *Server) handleRemovePred(req *wire.Request) wire.Message {
 	if err := s.commit(seq, werr); err != nil {
 		return errMsg(req.ID, err)
 	}
-	return okMsg(req.ID)
+	m := okMsg(req.ID)
+	m.WalSeq = seq
+	return m
 }
 
 // handleMutation applies insert/update/delete through the engine under
@@ -905,6 +973,7 @@ func (s *Server) handleMutation(req *wire.Request) wire.Message {
 		// way. Surface the WAL error over the rule-level outcome.
 		return errMsg(req.ID, fmt.Errorf("wal: %w", err))
 	}
+	m.WalSeq = seq
 	return m
 }
 
@@ -951,8 +1020,13 @@ func (s *Server) applyMutation(req *wire.Request) wire.Message {
 }
 
 // handleMatch stabs the sharded matcher's lock-free snapshot; it never
-// touches the mutation mutex.
+// touches the mutation mutex. A min_seq token makes the read wait until
+// the server's applied state covers that sequence (read-your-writes
+// across replicas; see docs/REPLICATION.md).
 func (s *Server) handleMatch(req *wire.Request) wire.Message {
+	if err := s.waitMinSeq(req.MinSeq); err != nil {
+		return s.minSeqErr(req.ID, err)
+	}
 	rel, ok := s.db.Catalog().Get(req.Relation)
 	if !ok {
 		return errMsg(req.ID, fmt.Errorf("unknown relation %q", req.Relation))
@@ -974,6 +1048,9 @@ func (s *Server) handleMatch(req *wire.Request) wire.Message {
 }
 
 func (s *Server) handleMatchBatch(req *wire.Request) wire.Message {
+	if err := s.waitMinSeq(req.MinSeq); err != nil {
+		return s.minSeqErr(req.ID, err)
+	}
 	rel, ok := s.db.Catalog().Get(req.Relation)
 	if !ok {
 		return errMsg(req.ID, fmt.Errorf("unknown relation %q", req.Relation))
@@ -1067,6 +1144,7 @@ func (s *Server) handleStats(req *wire.Request) wire.Message {
 	}
 	s.mu.Unlock()
 	st.WAL = s.walStat()
+	st.Repl = s.replStat()
 	// Snapshot the connection set first, then read each connection's
 	// subscription under subMu — the lock order every other path uses.
 	s.connMu.Lock()
@@ -1084,6 +1162,8 @@ func (s *Server) handleStats(req *wire.Request) wire.Message {
 			Queue:     len(c.notes),
 			QueueCap:  cap(c.notes),
 			Delivered: c.delivered.Load(),
+			Replica:   c.replica.Load(),
+			ReplSeq:   c.replSeq.Load(),
 		}
 		if sub, ok := s.subs[c]; ok {
 			cs.Subscribed = true

@@ -39,6 +39,9 @@ import (
 // relations, rules and direct predicates in place.
 func Open(cfg Config) (*Server, error) {
 	cfg.fill()
+	if cfg.FollowerOf != "" && cfg.DataDir == "" {
+		return nil, errors.New("server: FollowerOf requires DataDir (a follower persists the replicated log)")
+	}
 	s := newServer(cfg)
 	if cfg.DataDir == "" {
 		return s, nil
@@ -60,6 +63,8 @@ func Open(cfg Config) (*Server, error) {
 	}
 	s.wal = l
 	s.recovery = info
+	// A follower's resume cursor starts at whatever its local log holds.
+	s.applied.Store(info.LastSeq)
 	cfg.Logger.Info("recovered",
 		"dir", cfg.DataDir, "snapshot_seq", info.SnapshotSeq,
 		"records_replayed", info.RecordsReplayed,

@@ -73,6 +73,11 @@ type Log struct {
 	segBytes int64  // guarded-by: mu — bytes written to the active segment
 	segments int    // guarded-by: mu — segment files on disk
 	closed   bool   // guarded-by: mu
+	// seqWait is closed and replaced whenever the published sequence
+	// advances (or the log closes); WaitSeq parks on it. A channel
+	// rather than a sync.Cond so waiters can select against a stop
+	// channel.
+	seqWait chan struct{} // guarded-by: mu
 
 	// syncMu guards the durability frontier shared between committers
 	// and the sync loop. Lock order: mu before syncMu, never the
@@ -107,6 +112,7 @@ func openLog(opt Options, lastSeq uint64, segments int) (*Log, error) {
 		seq:      lastSeq,
 		appended: lastSeq,
 		segments: segments,
+		seqWait:  make(chan struct{}),
 		kick:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -146,6 +152,20 @@ func (l *Log) openSegment(firstSeq uint64) error {
 // active segment (reaching the OS before return; durability is
 // Commit's job). The returned sequence is what Commit waits on.
 func (l *Log) Append(rec *Record) (uint64, error) {
+	return l.append(rec, false)
+}
+
+// AppendExact appends a record that already carries its sequence
+// number — the replication apply path, where a follower must preserve
+// the leader's numbering so resume cursors and read-your-writes tokens
+// mean the same thing on every replica. The record's Seq must be
+// exactly the next sequence; anything else is a stream consistency bug
+// and is refused without touching the log.
+func (l *Log) AppendExact(rec *Record) (uint64, error) {
+	return l.append(rec, true)
+}
+
+func (l *Log) append(rec *Record, exact bool) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -154,7 +174,13 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	if err := l.sticky(); err != nil {
 		return 0, err
 	}
-	rec.Seq = l.seq + 1
+	if exact {
+		if rec.Seq != l.seq+1 {
+			return 0, fmt.Errorf("wal: append exact: record seq %d, log expects %d", rec.Seq, l.seq+1)
+		}
+	} else {
+		rec.Seq = l.seq + 1
+	}
 	buf, err := appendFrame(l.buf[:0], rec)
 	if err != nil {
 		return 0, err
@@ -174,9 +200,10 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 		l.fail(err)
 		return 0, err
 	}
-	l.seq++
+	l.seq = rec.Seq
 	l.appended = l.seq
 	l.segBytes += int64(len(buf))
+	l.bumpSeq()
 	if l.met != nil {
 		l.met.records.Inc()
 		l.met.bytes.Add(uint64(len(buf)))
@@ -342,6 +369,106 @@ func (l *Log) syncOnce() {
 	l.advanceDurable(target)
 }
 
+// bumpSeq wakes every WaitSeq waiter after the published sequence
+// moved (or the log closed).
+//
+//predmatchvet:holds mu
+func (l *Log) bumpSeq() {
+	close(l.seqWait)
+	l.seqWait = make(chan struct{})
+}
+
+// WaitSeq blocks until the log's published sequence exceeds after, the
+// stop channel fires, or the log closes. It returns the current last
+// sequence and true when the condition holds; (0, false) on stop or
+// close. This is the leader-side pacing primitive for replication
+// tails: a caught-up Tail parks here instead of polling.
+func (l *Log) WaitSeq(after uint64, stop <-chan struct{}) (uint64, bool) {
+	for {
+		l.mu.Lock()
+		if l.seq > after {
+			seq := l.seq
+			l.mu.Unlock()
+			return seq, true
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return 0, false
+		}
+		ch := l.seqWait
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-stop:
+			return 0, false
+		}
+	}
+}
+
+// Advance repositions an empty log so appends resume at seq+1. This is
+// the bootstrap step for a follower installing a leader snapshot into a
+// fresh directory: the snapshot covers sequences 1..seq, so the local
+// log must number its first record seq+1 to keep leader and follower
+// sequence spaces identical. Only a log with no records is eligible —
+// advancing over existing history would orphan it.
+func (l *Log) Advance(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.sticky(); err != nil {
+		return err
+	}
+	if l.seq != 0 || l.segBytes != 0 {
+		return fmt.Errorf("wal: advance: log is not empty (seq %d)", l.seq)
+	}
+	if seq == 0 {
+		return nil
+	}
+	for l.flushing {
+		l.flushCnd.Wait()
+	}
+	old := filepath.Join(l.opt.Dir, segmentName(l.segStart))
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: advance: %w", err)
+	}
+	if err := os.Remove(old); err != nil {
+		return fmt.Errorf("wal: advance: %w", err)
+	}
+	l.segments--
+	if err := l.openSegment(seq + 1); err != nil {
+		return err
+	}
+	if err := syncDir(l.opt.Dir); err != nil {
+		return err
+	}
+	l.seq = seq
+	l.appended = seq
+	l.bumpSeq()
+	l.advanceDurable(seq)
+	return nil
+}
+
+// NewestSnapshot loads the newest readable snapshot in the log
+// directory, or nil when none exists. The leader serves it to a
+// follower whose resume cursor predates the pruned tail.
+func (l *Log) NewestSnapshot() (*Snapshot, error) {
+	seqs, err := listSnapshots(l.opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, seq := range seqs {
+		snap, err := ReadSnapshot(filepath.Join(l.opt.Dir, snapshotName(seq)))
+		if err != nil {
+			l.opt.Logger.Warn("wal snapshot unreadable, falling back", "seq", seq, "err", err)
+			continue
+		}
+		return snap, nil
+	}
+	return nil, nil
+}
+
 // LastSeq returns the last assigned sequence number.
 func (l *Log) LastSeq() uint64 {
 	l.mu.Lock()
@@ -409,6 +536,7 @@ func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.closed = true
+	l.bumpSeq() // wake WaitSeq waiters so tails observe the close
 	// The sync loop has exited, so no off-lock flush should be running;
 	// the wait costs nothing then and protects any future direct caller
 	// of syncOnce.

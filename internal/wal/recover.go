@@ -95,6 +95,12 @@ func Recover(opt Options, h Handler) (*Log, RecoveryInfo, error) {
 				if next == 0 && info.SnapshotSeq > 0 && rec.Seq > info.SnapshotSeq+1 {
 					return fmt.Errorf("wal: gap between snapshot %d and first record %d", info.SnapshotSeq, rec.Seq)
 				}
+				if next == 0 && info.SnapshotSeq == 0 && rec.Seq != 1 {
+					// No snapshot justifies a log that starts mid-history
+					// (deleted snapshots, or a follower bootstrap that
+					// advanced the log without persisting one).
+					return fmt.Errorf("wal: log starts at seq %d with no snapshot", rec.Seq)
+				}
 			}
 			if next != 0 && rec.Seq != next {
 				return fmt.Errorf("wal: sequence gap: want %d, got %d", next, rec.Seq)

@@ -1,0 +1,148 @@
+// Live log tailing: the leader side of replication reads the segment
+// files it is itself appending to and streams records to followers. A
+// Tail never reads past the published sequence frontier (Log.WaitSeq),
+// and a frame is fully written — one Write syscall in append — before
+// the frontier advances, so a Tail only ever decodes complete frames.
+
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrTruncated reports that a Tail's requested sequence is no longer on
+// disk: pruning removed the covering segment. The caller falls back to
+// the newest snapshot and resumes the tail after it.
+var ErrTruncated = errors.New("wal: tail: requested sequence no longer on disk")
+
+// Tail is a sequential live reader of the log starting at a chosen
+// sequence. Next blocks until the next record is published, following
+// segment rotations transparently. A Tail holds its own file handle,
+// so it keeps draining even while appends continue, and (on platforms
+// with POSIX unlink semantics) survives its current segment being
+// pruned mid-read — only opening the *next* segment can then fail with
+// ErrTruncated.
+//
+// A Tail is not safe for concurrent use; each replication stream owns
+// one.
+type Tail struct {
+	l    *Log
+	next uint64 // next sequence Next will return
+	f    *os.File
+	br   *bufio.Reader
+}
+
+// OpenTail positions a new Tail so that the first Next returns fromSeq
+// (0 is treated as 1). It fails with ErrTruncated when fromSeq has been
+// pruned, and rejects a fromSeq beyond the published end of the log —
+// a follower claiming history the leader never wrote is a split brain,
+// not a resume.
+func (l *Log) OpenTail(fromSeq uint64) (*Tail, error) {
+	if fromSeq == 0 {
+		fromSeq = 1
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	last := l.seq
+	l.mu.Unlock()
+	if fromSeq > last+1 {
+		return nil, fmt.Errorf("wal: tail from seq %d is past the log end %d", fromSeq, last)
+	}
+	t := &Tail{l: l, next: fromSeq}
+	if err := t.open(fromSeq); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// open seeks the segment whose range contains seq and opens it from the
+// start; Next discards records before the cursor. Rotation keeps the
+// invariant that a segment's name is its first sequence, so the right
+// file is the one with the greatest first sequence <= seq.
+func (t *Tail) open(seq uint64) error {
+	segs, err := listSegments(t.l.opt.Dir)
+	if err != nil {
+		return err
+	}
+	var first uint64
+	found := false
+	for _, s := range segs {
+		if s <= seq {
+			first = s
+			found = true
+		}
+	}
+	if !found {
+		return ErrTruncated
+	}
+	f, err := os.Open(filepath.Join(t.l.opt.Dir, segmentName(first)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Pruned between the listing and the open.
+			return ErrTruncated
+		}
+		return err
+	}
+	if t.f != nil {
+		t.f.Close()
+	}
+	t.f = f
+	t.br = bufio.NewReaderSize(f, 1<<16)
+	return nil
+}
+
+// Next returns the record at the tail's cursor, blocking until it is
+// published. It returns ErrClosed when the log closes or stop fires,
+// and ErrTruncated when pruning outran the cursor (resume from a
+// snapshot instead).
+func (t *Tail) Next(stop <-chan struct{}) (*Record, error) {
+	for {
+		// Never decode ahead of the published frontier: the frame for
+		// t.next is guaranteed complete on disk only once the frontier
+		// covers it.
+		if _, ok := t.l.WaitSeq(t.next-1, stop); !ok {
+			return nil, ErrClosed
+		}
+		rec, _, err := decodeFrame(t.br)
+		switch err {
+		case nil:
+			if rec.Seq < t.next {
+				continue // positioning skip: records before the cursor
+			}
+			if rec.Seq != t.next {
+				return nil, fmt.Errorf("wal: tail: want seq %d, found %d", t.next, rec.Seq)
+			}
+			t.next++
+			return rec, nil
+		case io.EOF:
+			// Segment exhausted while t.next is published: the log rotated
+			// and the record lives in a later segment.
+			if err := t.open(t.next); err != nil {
+				return nil, err
+			}
+		default:
+			// A torn frame below the published frontier cannot come from a
+			// crash (we never read past what append completed); it is disk
+			// corruption and the stream cannot continue.
+			return nil, fmt.Errorf("wal: tail: corrupt frame at seq %d", t.next)
+		}
+	}
+}
+
+// Close releases the tail's file handle.
+func (t *Tail) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

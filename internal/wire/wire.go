@@ -27,6 +27,12 @@ import (
 // server memory.
 const MaxLineBytes = 1 << 20
 
+// MaxReplFrameBytes bounds one frame on a replication stream, which is
+// a server-to-server connection: a frame may carry a full state
+// snapshot, so the limit matches the WAL's own record ceiling rather
+// than the client line limit.
+const MaxReplFrameBytes = 128 << 20
+
 // Request operation names.
 const (
 	OpDeclare     = "declare"     // declare a relation schema
@@ -45,6 +51,8 @@ const (
 	OpStats       = "stats"       // server + shard statistics
 	OpPing        = "ping"        // liveness probe
 	OpBackup      = "backup"      // force a durable checkpoint snapshot
+	OpReplicate   = "replicate"   // follower: stream snapshot + live log tail
+	OpPromote     = "promote"     // promote a follower to leader (seals replication)
 )
 
 // Attr is one attribute of a relation declaration.
@@ -98,12 +106,23 @@ type Request struct {
 	Tuples   [][]any    `json:"tuples,omitempty"`   // matchbatch
 	Rules    []string   `json:"rules,omitempty"`    // subscribe filter (empty = all rules)
 	Preds    bool       `json:"preds,omitempty"`    // subscribe: also stream direct-predicate matches
+
+	// FromSeq is the replicate resume cursor: the last WAL sequence the
+	// follower has already applied (0 = nothing; stream from the start or
+	// from the newest snapshot when the tail was pruned).
+	FromSeq uint64 `json:"from_seq,omitempty"`
+	// MinSeq is the read-your-writes token on match/matchbatch: the
+	// server answers only once its applied WAL sequence has reached it
+	// (a follower waits for replication to catch up, then serves or
+	// redirects). Mutation acks carry the token in Message.WalSeq.
+	MinSeq uint64 `json:"min_seq,omitempty"`
 }
 
 // Message type discriminators.
 const (
 	TypeResponse = "response"
 	TypeNotify   = "notify"
+	TypeRepl     = "repl" // replication stream frame (snapshot or one WAL record)
 )
 
 // ShardStat mirrors shard.ShardStats for the stats response.
@@ -132,6 +151,11 @@ type ConnStat struct {
 	LastSeq   uint64 `json:"last_seq,omitempty"`
 	// Rules is the subscription's rule filter (empty = every rule).
 	Rules []string `json:"rules,omitempty"`
+	// Replica marks a follower's replication stream; ReplSeq is the last
+	// WAL sequence shipped to it (LastSeq in the wal section minus
+	// ReplSeq is that follower's lag as seen from the leader).
+	Replica bool   `json:"replica,omitempty"`
+	ReplSeq uint64 `json:"repl_seq,omitempty"`
 }
 
 // TreeStat mirrors core.TreeStats: the shape of one attribute IBS-tree,
@@ -176,6 +200,31 @@ type BackupInfo struct {
 	Bytes int64  `json:"bytes"`
 }
 
+// ReplStat describes the replication role in the stats response;
+// present only when the daemon runs with a data directory.
+type ReplStat struct {
+	// Role is "leader" or "follower". A promoted follower reports
+	// "leader" from the moment promote is acked.
+	Role string `json:"role"`
+	// Leader is the upstream address a follower replicates from (and
+	// redirects mutations to); empty on a leader.
+	Leader string `json:"leader,omitempty"`
+	// AppliedSeq is the follower's replication frontier: the last WAL
+	// sequence applied locally. LeaderSeq is the leader's last assigned
+	// sequence as of the most recent stream frame; Lag is their
+	// difference (0 when caught up or when the leader frontier is
+	// unknown).
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	LeaderSeq  uint64 `json:"leader_seq,omitempty"`
+	Lag        uint64 `json:"lag,omitempty"`
+	// Reconnects counts replication stream re-establishments (the first
+	// connection is not a reconnect).
+	Reconnects uint64 `json:"reconnects,omitempty"`
+	// Followers is the number of replication streams a leader is
+	// currently serving.
+	Followers int `json:"followers,omitempty"`
+}
+
 // PrefilterStat reports the sharded matcher's attribute-prefilter
 // admission counters: how many tuples went through to a full index
 // probe versus being proven unmatchable by the per-relation attribute
@@ -195,6 +244,7 @@ type Stats struct {
 	Trees       []TreeStat     `json:"trees,omitempty"`
 	Relations   []RelStat      `json:"relations,omitempty"`
 	WAL         *WALStat       `json:"wal,omitempty"`
+	Repl        *ReplStat      `json:"repl,omitempty"`
 	Conns       int            `json:"conns"`
 	Subs        int            `json:"subs"`
 	Delivered   uint64         `json:"delivered"`
@@ -220,6 +270,13 @@ type Message struct {
 	Stats   *Stats      `json:"stats,omitempty"`    // stats result
 	Firings int         `json:"firings,omitempty"`  // rules fired by a mutation
 	Backup  *BackupInfo `json:"backup,omitempty"`   // backup result
+	// WalSeq is the WAL sequence a mutation or DDL op was logged as (the
+	// read-your-writes token for Request.MinSeq), and the sealed log
+	// frontier in a promote response. Leader is the redirect hint a
+	// follower attaches when rejecting a mutation, and on min_seq
+	// timeouts.
+	WalSeq uint64 `json:"wal_seq,omitempty"`
+	Leader string `json:"leader,omitempty"`
 
 	// Notification fields. Seq numbers every notification generated for
 	// the subscription (starting at 1), assigned before the overflow
@@ -234,6 +291,17 @@ type Message struct {
 	Tuple    []any  `json:"tuple,omitempty"`    // matched tuple image
 	Depth    int    `json:"depth,omitempty"`    // forward-chaining cascade depth
 	Dropped  uint64 `json:"dropped,omitempty"`
+
+	// Replication stream fields (Type == TypeRepl). Exactly one of Snap
+	// / Rec is set: Snap carries a full wal.Snapshot (stream start when
+	// the requested tail was pruned), Rec one wal.Record. Both are raw
+	// JSON because package wal sits above wire in the import graph; the
+	// follower decodes them with the wal codecs. LeaderSeq is the
+	// leader's last assigned WAL sequence at send time, so the follower
+	// can compute its lag.
+	Snap      json.RawMessage `json:"snap,omitempty"`
+	Rec       json.RawMessage `json:"rec,omitempty"`
+	LeaderSeq uint64          `json:"leader_seq,omitempty"`
 }
 
 // FromValue converts an engine value to its JSON literal: numbers for
