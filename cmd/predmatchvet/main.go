@@ -22,17 +22,23 @@ package main
 
 import (
 	"predmatch/internal/analysis"
+	"predmatch/internal/analysis/atomicpub"
 	"predmatch/internal/analysis/guardedby"
+	"predmatch/internal/analysis/lockorder"
 	"predmatch/internal/analysis/markdiscipline"
 	"predmatch/internal/analysis/snapshotmut"
+	"predmatch/internal/analysis/walack"
 	"predmatch/internal/analysis/wireexhaustive"
 )
 
 func main() {
 	analysis.Main(
+		atomicpub.Analyzer,
 		guardedby.Analyzer,
+		lockorder.Analyzer,
 		markdiscipline.Analyzer,
 		snapshotmut.Analyzer,
+		walack.Analyzer,
 		wireexhaustive.Analyzer,
 	)
 }

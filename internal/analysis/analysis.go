@@ -23,7 +23,9 @@
 //	//predmatchvet:ignore <analyzer> <reason>
 //
 // where <analyzer> is the analyzer's name or "all". The reason is
-// mandatory prose; suppressions without one are themselves reported.
+// mandatory prose; suppressions without one are themselves reported,
+// and so is a suppression that no longer silences any diagnostic of an
+// analyzer that ran (stale suppressions cannot rot in place).
 package analysis
 
 import (
@@ -89,35 +91,71 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
 // suppressionPrefix starts every inline suppression comment.
 const suppressionPrefix = "predmatchvet:ignore"
 
+// suppEntry is one parsed //predmatchvet:ignore directive. used is set
+// the first time the directive silences a diagnostic, so directives
+// that silence nothing can be reported as stale after a run.
+type suppEntry struct {
+	analyzer string // named analyzer, or "all"
+	pos      token.Position
+	used     bool
+}
+
 // suppressions indexes //predmatchvet:ignore comments by file and line.
 type suppressions struct {
-	// byLine maps filename -> line -> analyzer names suppressed there
-	// ("all" suppresses every analyzer).
-	byLine map[string]map[int][]string
+	// byLine maps filename -> line -> directives on that line.
+	byLine map[string]map[int][]*suppEntry
 }
 
 // covers reports whether a suppression on pos's line or the line above
-// names the analyzer (or "all").
+// names the analyzer (or "all"), marking every matching directive used.
 func (s *suppressions) covers(analyzer string, pos token.Position) bool {
 	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	covered := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == analyzer || name == "all" {
-				return true
+		for _, e := range lines[line] {
+			if e.analyzer == analyzer || e.analyzer == "all" {
+				e.used = true
+				covered = true
 			}
 		}
 	}
-	return false
+	return covered
+}
+
+// stale reports every unused directive whose analyzer was among those
+// run — a directive naming an analyzer outside this invocation may
+// still be load-bearing (analysistest runs one analyzer at a time), but
+// one whose analyzer ran and reported nothing here only hides future
+// regressions.
+func (s *suppressions) stale(ran map[string]bool, report func(Diagnostic)) {
+	for _, lines := range s.byLine {
+		for _, entries := range lines {
+			for _, e := range entries {
+				if e.used || (e.analyzer != "all" && !ran[e.analyzer]) {
+					continue
+				}
+				what := e.analyzer + " diagnostic"
+				if e.analyzer == "all" {
+					what = "diagnostic"
+				}
+				report(Diagnostic{
+					Pos:      e.pos,
+					Analyzer: "predmatchvet",
+					Message:  fmt.Sprintf("stale suppression: no %s is reported here (delete the //%s comment)", what, suppressionPrefix),
+				})
+			}
+		}
+	}
 }
 
 // collectSuppressions scans the files' comments for suppression
 // directives. Malformed directives (no analyzer, or no reason) are
 // reported as badDirective diagnostics so they cannot silently rot.
 func collectSuppressions(fset *token.FileSet, files []*ast.File, badDirective func(Diagnostic)) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	s := &suppressions{byLine: make(map[string]map[int][]*suppEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -138,10 +176,10 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, badDirective fu
 				}
 				m := s.byLine[pos.Filename]
 				if m == nil {
-					m = make(map[int][]string)
+					m = make(map[int][]*suppEntry)
 					s.byLine[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], fields[0])
+				m[pos.Line] = append(m[pos.Line], &suppEntry{analyzer: fields[0], pos: pos})
 			}
 		}
 	}
@@ -175,6 +213,11 @@ func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
 		}
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	supp.stale(ran, report)
 	sortDiagnostics(diags)
 	return diags, nil
 }

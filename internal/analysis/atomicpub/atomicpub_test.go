@@ -1,0 +1,12 @@
+package atomicpub_test
+
+import (
+	"testing"
+
+	"predmatch/internal/analysis/analysistest"
+	"predmatch/internal/analysis/atomicpub"
+)
+
+func TestAtomicpub(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicpub.Analyzer, "atompub")
+}

@@ -1,0 +1,105 @@
+// Fixture for the atomicpub analyzer: a config registry published
+// through an atomic.Pointer with a lazy double-checked rebuild, plus
+// the mutations each rule exists to catch.
+package atompub
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Config is the published value.
+type Config struct {
+	Limit int
+	Tags  map[string]bool
+}
+
+// Registry publishes its current Config lock-free.
+type Registry struct {
+	mu   sync.Mutex
+	conf atomic.Pointer[Config]
+}
+
+// SetLimit is the sanctioned shape: build a fresh value, publish it,
+// stop touching it.
+func (r *Registry) SetLimit(n int) {
+	next := &Config{Limit: n, Tags: map[string]bool{}}
+	r.conf.Store(next)
+}
+
+// cloneThenWrite copies the loaded snapshot and mutates only the copy
+// before publishing: clean.
+func (r *Registry) cloneThenWrite(n int) {
+	cur := r.conf.Load()
+	next := &Config{Limit: cur.Limit}
+	next.Limit = n
+	r.conf.Store(next)
+}
+
+// reassignAfterStore reuses the variable name but points it at a fresh
+// value first, so the write never touches the published Config: clean.
+func (r *Registry) reassignAfterStore(n int) {
+	next := &Config{}
+	r.conf.Store(next)
+	next = &Config{}
+	next.Limit = n
+	r.conf.Store(next)
+}
+
+// mutateAfterStore writes the value it just published: readers that
+// loaded it race with the write.
+func (r *Registry) mutateAfterStore(n int) {
+	next := &Config{}
+	r.conf.Store(next)
+	next.Limit = n // want "write to next.Limit after next was published with an atomic Store"
+}
+
+// reuseAcrossIterations publishes inside a loop and writes the same
+// variable on the next iteration — the back-edge carries the taint.
+func (r *Registry) reuseAcrossIterations(ns []int) {
+	next := &Config{}
+	for _, n := range ns {
+		next.Limit = n // want "write to next.Limit after next was published with an atomic Store"
+		r.conf.Store(next)
+	}
+}
+
+// writeThroughLoad mutates the live snapshot through a call chain.
+func (r *Registry) writeThroughLoad(n int) {
+	r.conf.Load().Limit = n // want "frozen snapshot returned by atomic Load"
+}
+
+// writeLoadedVar mutates the live snapshot through a variable.
+func (r *Registry) writeLoadedVar() {
+	c := r.conf.Load()
+	c.Tags["hot"] = true // want "a frozen snapshot obtained from an atomic Load"
+}
+
+// goodDoubleCheck is the sanctioned lazy rebuild: re-load after taking
+// the lock before deciding to store.
+func (r *Registry) goodDoubleCheck() *Config {
+	if c := r.conf.Load(); c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.conf.Load(); c != nil {
+		return c
+	}
+	c := &Config{Tags: map[string]bool{}}
+	r.conf.Store(c)
+	return c
+}
+
+// staleDoubleCheck skips the re-load: a rebuild that raced in between
+// the first load and the lock gets silently clobbered.
+func (r *Registry) staleDoubleCheck() *Config {
+	if c := r.conf.Load(); c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Config{Tags: map[string]bool{}}
+	r.conf.Store(c) // want "double-checked publish of r.conf"
+	return c
+}

@@ -1,0 +1,558 @@
+// Intra-procedural control-flow graphs with dominator and
+// reachability queries, the shared substrate of the flow-aware
+// analyzers (walack, lockorder, atomicpub). A position-based check can
+// say "a Lock appears earlier in the source"; only a CFG can say "the
+// WAL append runs on every path to this ack" (dominance) or "this
+// write can execute after the Store, via the loop back-edge"
+// (reachability). The design mirrors golang.org/x/tools/go/cfg but,
+// like the rest of this package, depends on the standard library
+// alone.
+//
+// Granularity is the statement: every simple statement, loop/if
+// init/condition, and switch tag becomes one node in some basic
+// block. Function literals are opaque — their bodies are not part of
+// the enclosing function's graph, and analyzers must skip them when
+// collecting the positions they query (a position inside a FuncLit
+// resolves to the statement that contains the literal).
+//
+// The graph is syntactic: panic() calls and return statements
+// terminate a path, but a call that never returns is not modeled, and
+// defer is represented as the point where the call is scheduled, not
+// where it runs. Those approximations are deliberate — the analyzers
+// built on top treat deferred cleanup specially (a deferred Unlock
+// holds the lock to function end).
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block.
+type CFG struct {
+	Blocks []*Block
+
+	// node spans in source order for PosToNode; built on demand.
+	spans []nodeSpan
+}
+
+// Block is one basic block: statements that execute sequentially,
+// followed by a transfer of control to one of Succs.
+type Block struct {
+	Index int
+	Nodes []ast.Node // statements and control expressions, in order
+	Succs []*Block
+	Preds []*Block
+
+	reachable bool
+	dom       []bool // dom[i]: Blocks[i] dominates this block
+}
+
+type nodeSpan struct {
+	node  ast.Node
+	block *Block
+	index int // position of node within block.Nodes
+}
+
+// NewCFG builds the control-flow graph of body and computes
+// reachability and dominators. body may be nil (external or empty
+// function), in which case the graph has a single empty entry block.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}}
+	entry := b.newBlock()
+	b.cur = entry
+	if body != nil {
+		b.stmt(body)
+	}
+	g := b.cfg
+	g.wire()
+	g.computeDominators()
+	g.indexSpans()
+	return g
+}
+
+// --- queries ---
+
+// Dominates reports whether the node containing a executes on every
+// path from function entry to the node containing b. A node dominates
+// itself; within one basic block, earlier nodes dominate later ones.
+// It returns false when either position maps to no node (e.g. inside
+// a nested function literal that was itself the statement).
+func (g *CFG) Dominates(a, b token.Pos) bool {
+	sa, sb := g.span(a), g.span(b)
+	if sa == nil || sb == nil || !sb.block.reachable {
+		return false
+	}
+	if sa.block == sb.block {
+		return sa.index <= sb.index
+	}
+	return sb.block.dom[sa.block.Index]
+}
+
+// Reaches reports whether control can flow from the node containing a
+// to the node containing b — strictly onward: within one block it
+// requires a to precede b, unless the block lies on a cycle.
+func (g *CFG) Reaches(a, b token.Pos) bool {
+	sa, sb := g.span(a), g.span(b)
+	if sa == nil || sb == nil {
+		return false
+	}
+	if sa.block == sb.block && sa.index < sb.index {
+		return true
+	}
+	// Otherwise control must leave sa.block and re-enter sb.block.
+	seen := make([]bool, len(g.Blocks))
+	work := make([]*Block, 0, len(sa.block.Succs))
+	work = append(work, sa.block.Succs...)
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[blk.Index] {
+			continue
+		}
+		seen[blk.Index] = true
+		if blk == sb.block {
+			return true
+		}
+		work = append(work, blk.Succs...)
+	}
+	return false
+}
+
+// span returns the innermost recorded node span containing pos, or nil.
+func (g *CFG) span(pos token.Pos) *nodeSpan {
+	var best *nodeSpan
+	for i := range g.spans {
+		s := &g.spans[i]
+		if s.node.Pos() <= pos && pos < s.node.End() {
+			if best == nil || s.node.End()-s.node.Pos() <= best.node.End()-best.node.Pos() {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// --- post-construction passes ---
+
+func (g *CFG) wire() {
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	// Reachability from entry.
+	var mark func(*Block)
+	mark = func(blk *Block) {
+		if blk.reachable {
+			return
+		}
+		blk.reachable = true
+		for _, s := range blk.Succs {
+			mark(s)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		mark(g.Blocks[0])
+	}
+}
+
+// computeDominators runs the classic iterative dataflow:
+// dom(entry) = {entry}; dom(b) = {b} ∪ ⋂ dom(pred). Unreachable
+// blocks keep empty dominator sets and fail every query.
+func (g *CFG) computeDominators() {
+	n := len(g.Blocks)
+	if n == 0 {
+		return
+	}
+	for _, blk := range g.Blocks {
+		blk.dom = make([]bool, n)
+		if !blk.reachable {
+			continue
+		}
+		if blk.Index == 0 {
+			blk.dom[0] = true
+			continue
+		}
+		for i := range blk.dom {
+			blk.dom[i] = true // ⊤, refined by intersection
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			if blk.Index == 0 || !blk.reachable {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if i == blk.Index || !blk.dom[i] {
+					continue
+				}
+				// Keep i only if every reachable predecessor has it.
+				for _, p := range blk.Preds {
+					if p.reachable && !p.dom[i] {
+						blk.dom[i] = false
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func (g *CFG) indexSpans() {
+	for _, blk := range g.Blocks {
+		for i, node := range blk.Nodes {
+			g.spans = append(g.spans, nodeSpan{node: node, block: blk, index: i})
+		}
+	}
+}
+
+// --- construction ---
+
+type builder struct {
+	cfg *CFG
+	cur *Block // nil after a terminating statement (return, panic, …)
+
+	// break/continue targets of the enclosing loops and switches.
+	breaks    []*Block
+	continues []*Block
+	// label -> targets, for labeled break/continue/goto.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	gotoTargets   map[string]*Block
+	// pendingLabel names the label attached to the next loop or
+	// switch, so pushLoop/pushBreak can register its targets.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block, opening an unreachable one
+// after a terminator so stray statements still get spans.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump links the current block to target and ends it.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil && target != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+// branch links the current block to each target and continues in next.
+func (b *builder) branch(next *Block, targets ...*Block) {
+	if b.cur != nil {
+		for _, t := range targets {
+			b.cur.Succs = append(b.cur.Succs, t)
+		}
+	}
+	b.cur = next
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		thenBlk := b.newBlock()
+		after := b.newBlock()
+		elseTarget := after
+		var elseBlk *Block
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+			elseTarget = elseBlk
+		}
+		b.branch(nil, thenBlk, elseTarget)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.branch(nil, body, after)
+		} else {
+			b.branch(nil, body) // for {}: after only reachable via break
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.pushLoop(after, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.jump(post)
+		if s.Post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		b.add(s) // the range clause itself: X evaluation + iteration vars
+		b.branch(nil, body, after)
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+
+	case *ast.SelectStmt:
+		b.switchBody(s.Body, true)
+
+	case *ast.LabeledStmt:
+		target := b.gotoTarget(s.Label.Name)
+		b.jump(target)
+		b.cur = target
+		// Pre-register loop targets so `break L` / `continue L` resolve.
+		b.stmtLabeled(s.Label.Name, s.Stmt)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				b.jump(b.labelBreak[s.Label.Name])
+			} else if len(b.breaks) > 0 {
+				b.jump(b.breaks[len(b.breaks)-1])
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				b.jump(b.labelContinue[s.Label.Name])
+			} else if len(b.continues) > 0 {
+				b.jump(b.continues[len(b.continues)-1])
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.jump(b.gotoTarget(s.Label.Name))
+		case token.FALLTHROUGH:
+			// Handled by switchBody: the clause block already links to
+			// the next clause. Terminate here; switchBody re-links.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.cur = nil
+			}
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// stmtLabeled handles the statement under a label, registering
+// break/continue targets when it is a loop or switch.
+func (b *builder) stmtLabeled(label string, s ast.Stmt) {
+	if b.labelBreak == nil {
+		b.labelBreak = make(map[string]*Block)
+		b.labelContinue = make(map[string]*Block)
+	}
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// The loop/switch builders push their after/post blocks; we
+		// need them registered under the label before the body builds.
+		// Arrange for pushLoop/pushBreak to pick the label up.
+		b.pendingLabel = label
+	}
+	b.stmt(s)
+	delete(b.labelBreak, label)
+	delete(b.labelContinue, label)
+}
+
+func (b *builder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		b.labelContinue[b.pendingLabel] = cont
+		b.pendingLabel = ""
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushBreak(brk *Block) {
+	b.breaks = append(b.breaks, brk)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		b.pendingLabel = ""
+	}
+}
+
+func (b *builder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+// switchBody builds the clause blocks of a switch/type-switch/select.
+// isSelect marks select statements (no fallthrough, no implicit "no
+// case matched" fallthrough to after — a select with no default
+// blocks, which the graph approximates as all-cases).
+func (b *builder) switchBody(body *ast.BlockStmt, isSelect bool) {
+	after := b.newBlock()
+	var clauses []*Block
+	hasDefault := false
+	for range body.List {
+		clauses = append(clauses, b.newBlock())
+	}
+	// The dispatching block branches to every clause; without a
+	// default clause control may also skip to after.
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	targets := make([]*Block, len(clauses))
+	copy(targets, clauses)
+	if !hasDefault && !isSelect {
+		targets = append(targets, after)
+	}
+	b.branch(nil, targets...)
+	b.pushBreak(after)
+	for i, c := range body.List {
+		b.cur = clauses[i]
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				b.add(e)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				b.stmt(c.Comm)
+			}
+			list = c.Body
+		}
+		fell := false
+		for _, st := range list {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				b.add(br)
+				if i+1 < len(clauses) {
+					b.jump(clauses[i+1])
+				} else {
+					b.cur = nil
+				}
+				fell = true
+				break
+			}
+			b.stmt(st)
+		}
+		if !fell {
+			b.jump(after)
+		}
+	}
+	b.popBreak()
+	b.cur = after
+}
+
+func (b *builder) gotoTarget(label string) *Block {
+	if b.gotoTargets == nil {
+		b.gotoTargets = make(map[string]*Block)
+	}
+	if blk, ok := b.gotoTargets[label]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.gotoTargets[label] = blk
+	return blk
+}
+
+// InspectBlockNode walks one of a Block's Nodes like ast.Inspect, but
+// confined to the part of the node that actually belongs to the block:
+// a RangeStmt node carries only its range clause (the iteration
+// variables and the ranged expression) — its body was decomposed into
+// other blocks and would otherwise be visited twice.
+func InspectBlockNode(n ast.Node, f func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.Key != nil {
+			ast.Inspect(r.Key, f)
+		}
+		if r.Value != nil {
+			ast.Inspect(r.Value, f)
+		}
+		ast.Inspect(r.X, f)
+		return
+	}
+	ast.Inspect(n, f)
+}

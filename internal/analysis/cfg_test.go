@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses src, builds the CFG of its first function, and
+// returns a lookup resolving a unique source substring to its position.
+func buildTestCFG(t *testing.T, src string) (*CFG, func(marker string) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	var body *ast.BlockStmt
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			body = fd.Body
+			break
+		}
+	}
+	if body == nil {
+		t.Fatal("fixture has no function body")
+	}
+	g := NewCFG(body)
+	tf := fset.File(f.Pos())
+	// Search markers inside the function body only, so declarations in
+	// the fixture header don't collide.
+	base := strings.Index(src, "func f()")
+	if base < 0 {
+		t.Fatal("fixture has no func f()")
+	}
+	lookup := func(marker string) token.Pos {
+		t.Helper()
+		idx := strings.Index(src[base:], marker)
+		if idx < 0 {
+			t.Fatalf("marker %q not in fixture", marker)
+		}
+		if strings.Contains(src[base+idx+len(marker):], marker) {
+			t.Fatalf("marker %q not unique in fixture", marker)
+		}
+		return tf.Pos(base + idx)
+	}
+	return g, lookup
+}
+
+// check is one expected query result between two marker substrings.
+type check struct {
+	from, to   string
+	dom, reach bool
+}
+
+func TestCFGQueries(t *testing.T) {
+	const header = "package p\n\nfunc a()\nfunc b()\nfunc c()\nfunc d()\nfunc e()\nfunc w()\nfunc x()\nfunc y()\nfunc z()\nfunc cleanup()\nvar cond bool\nvar n int\nvar ch, ch2 chan int\nvar xs []int\n\n"
+
+	tests := []struct {
+		name   string
+		src    string
+		checks []check
+	}{
+		{
+			name: "straight line",
+			src: `func f() {
+	a()
+	b()
+	c()
+}`,
+			checks: []check{
+				{"a()", "c()", true, true},
+				{"a()", "a()", true, false}, // a node dominates itself, never re-runs
+				{"c()", "a()", false, false},
+				{"b()", "c()", true, true},
+			},
+		},
+		{
+			name: "if branch",
+			src: `func f() {
+	a()
+	if cond {
+		b()
+	}
+	d()
+}`,
+			checks: []check{
+				{"a()", "b()", true, true},
+				{"a()", "d()", true, true},
+				{"cond {", "b()", true, true},
+				{"b()", "d()", false, true}, // branch may be skipped, but flows onward
+				{"d()", "b()", false, false},
+			},
+		},
+		{
+			name: "if else joins",
+			src: `func f() {
+	a()
+	if cond {
+		b()
+	} else {
+		c()
+	}
+	d()
+}`,
+			checks: []check{
+				{"b()", "d()", false, true},
+				{"c()", "d()", false, true},
+				{"a()", "d()", true, true},
+				{"b()", "c()", false, false}, // exclusive branches
+			},
+		},
+		{
+			name: "early return cuts the path",
+			src: `func f() {
+	a()
+	if cond {
+		e()
+		return
+	}
+	b()
+}`,
+			checks: []check{
+				{"e()", "b()", false, false}, // return: no flow to b
+				{"a()", "b()", true, true},
+				{"return", "b()", false, false},
+			},
+		},
+		{
+			name: "for loop",
+			src: `func f() {
+	a()
+	for i := 0; i < n; i++ {
+		w()
+	}
+	d()
+}`,
+			checks: []check{
+				{"a()", "w()", true, true},
+				{"i < n", "w()", true, true},
+				{"w()", "d()", false, true}, // zero iterations possible
+				{"w()", "w()", true, true},  // dominates itself; reaches itself via the back edge
+				{"w()", "i++", true, true},  // the body is the only path to the post stmt
+				{"i++", "w()", false, true},
+				{"d()", "w()", false, false},
+			},
+		},
+		{
+			name: "infinite loop with break",
+			src: `func f() {
+	for {
+		x()
+		if cond {
+			break
+		}
+		y()
+	}
+	z()
+}`,
+			checks: []check{
+				{"x()", "y()", true, true},
+				{"y()", "x()", false, true}, // back edge
+				{"x()", "z()", true, true},  // only exit is the break, past x
+				{"y()", "z()", false, true},
+				{"break", "z()", true, true}, // the break is the sole path to z
+			},
+		},
+		{
+			name: "range loop",
+			src: `func f() {
+	for _, v := range xs {
+		w()
+		_ = v
+	}
+	d()
+}`,
+			checks: []check{
+				{"range xs", "w()", true, true},
+				{"w()", "d()", false, true},
+				{"w()", "w()", true, true},
+				{"range xs", "d()", true, true},
+			},
+		},
+		{
+			name: "switch without default may skip every case",
+			src: `func f() {
+	a()
+	switch n {
+	case 1:
+		b()
+	case 2:
+		c()
+	}
+	d()
+}`,
+			checks: []check{
+				{"b()", "d()", false, true},
+				{"a()", "d()", true, true},
+				{"b()", "c()", false, false},
+			},
+		},
+		{
+			name: "switch with default covers all paths",
+			src: `func f() {
+	switch n {
+	case 1:
+		b()
+		fallthrough
+	default:
+		c()
+	}
+	d()
+}`,
+			checks: []check{
+				{"b()", "c()", false, true}, // fallthrough
+				{"c()", "d()", true, true},  // both paths funnel through default
+				{"b()", "d()", false, true},
+			},
+		},
+		{
+			name: "select",
+			src: `func f() {
+	a()
+	select {
+	case <-ch:
+		b()
+	case <-ch2:
+		c()
+	}
+	d()
+}`,
+			checks: []check{
+				{"a()", "b()", true, true},
+				{"b()", "d()", false, true},
+				{"b()", "c()", false, false},
+			},
+		},
+		{
+			name: "defer is a straight-line node",
+			src: `func f() {
+	a()
+	defer cleanup()
+	if cond {
+		return
+	}
+	b()
+}`,
+			checks: []check{
+				{"a()", "defer cleanup()", true, true},
+				{"defer cleanup()", "b()", true, true},
+				{"cleanup()", "b()", true, true}, // innermost span is the defer stmt
+			},
+		},
+		{
+			name: "panic terminates the path",
+			src: `func f() {
+	a()
+	if cond {
+		e()
+		panic("boom")
+	}
+	b()
+}`,
+			checks: []check{
+				{"e()", "b()", false, false},
+				{"a()", "b()", true, true},
+			},
+		},
+		{
+			name: "goto skips, label rejoins",
+			src: `func f() {
+	a()
+	goto L
+L:
+	b()
+	c()
+}`,
+			checks: []check{
+				{"a()", "b()", true, true},
+				{"b()", "c()", true, true},
+			},
+		},
+		{
+			name: "labeled break leaves the outer loop",
+			src: `func f() {
+L:
+	for {
+		for {
+			x()
+			if cond {
+				break L
+			}
+			y()
+		}
+	}
+	d()
+}`,
+			checks: []check{
+				{"x()", "d()", true, true}, // break L is the only exit
+				{"y()", "x()", false, true},
+				{"d()", "x()", false, false},
+			},
+		},
+		{
+			name: "continue restarts the loop",
+			src: `func f() {
+	for i := 0; i < n; i++ {
+		if cond {
+			continue
+		}
+		x()
+	}
+	d()
+}`,
+			checks: []check{
+				{"continue", "x()", false, true}, // via i++ and the next iteration
+				{"x()", "x()", true, true},
+				{"continue", "d()", false, true},
+			},
+		},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, pos := buildTestCFG(t, header+tt.src)
+			for _, c := range tt.checks {
+				if got := g.Dominates(pos(c.from), pos(c.to)); got != c.dom {
+					t.Errorf("Dominates(%q, %q) = %v, want %v", c.from, c.to, got, c.dom)
+				}
+				if got := g.Reaches(pos(c.from), pos(c.to)); got != c.reach {
+					t.Errorf("Reaches(%q, %q) = %v, want %v", c.from, c.to, got, c.reach)
+				}
+			}
+		})
+	}
+}
+
+// TestCFGFuncLitOpaque pins the documented limitation: positions inside
+// a function literal resolve to the enclosing statement, and the
+// literal's own control flow is not part of the graph.
+func TestCFGFuncLitOpaque(t *testing.T) {
+	src := `package p
+
+func a()
+func b()
+
+func f() {
+	a()
+	g := func() {
+		b()
+	}
+	g()
+}`
+	g, pos := buildTestCFG(t, src)
+	// b() maps to the assignment statement containing the literal,
+	// which a() dominates like any straight-line successor.
+	if !g.Dominates(pos("a()"), pos("b()")) {
+		t.Error("statement containing the FuncLit should be dominated by a()")
+	}
+	if g.Reaches(pos("b()"), pos("a()")) {
+		t.Error("no backward flow to a()")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	g := NewCFG(nil)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("nil body: got %d blocks, want 1 entry block", len(g.Blocks))
+	}
+	if g.Dominates(token.Pos(1), token.Pos(2)) || g.Reaches(token.Pos(1), token.Pos(2)) {
+		t.Error("queries on an empty graph must fail closed")
+	}
+}

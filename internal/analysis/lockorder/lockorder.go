@@ -1,0 +1,429 @@
+// Package lockorder defines an analyzer that derives each package's
+// lock graph and reports acquisition orders that can deadlock.
+//
+// Nodes are mutex fields of named structs (sync.Mutex / sync.RWMutex).
+// An edge A → B means some function acquires B while it may already
+// hold A. "May hold" is computed by a dataflow over the framework's
+// CFG: a Lock/RLock generates the lock, a non-deferred Unlock/RUnlock
+// kills it, block entry is the union over predecessors — so a lock
+// taken on one branch and still held at the join is tracked, a lock
+// released before the join is not, and a deferred Unlock (which runs
+// at function exit) holds to the end. Functions running with a lock
+// already held by contract declare it with the same directive
+// guardedby uses:
+//
+//	//predmatchvet:holds mu
+//
+// which seeds the held set at entry, so the edge mu → subMu inside a
+// callback invoked under mu is still seen.
+//
+// Two checks run over the finished graph:
+//
+//   - every edge violating a documented order (Orders) is reported at
+//     the acquisition that creates it;
+//   - every strongly connected component of two or more locks is a
+//     potential deadlock cycle, reported once at its newest edge.
+//
+// The graph is per-package and intraprocedural (each subsystem's lock
+// hierarchy lives within one package here), and the receiver
+// expression is ignored: two instances of the same struct type count
+// as the same node, which is conservative in the right direction for
+// order checking and matches how the repo documents its hierarchies
+// ("Log.mu before Log.syncMu", not "this log's mu").
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"predmatch/internal/analysis"
+)
+
+// Order documents one required acquisition order within a package:
+// Before is taken first, so acquiring Before while holding After is a
+// violation.
+type Order struct {
+	Pkg    string // package path the order applies to
+	Type   string // struct holding both mutexes
+	Before string // mutex documented to be acquired first
+	After  string // mutex documented to be acquired second
+}
+
+// Orders are the repository's documented lock hierarchies (see
+// internal/wal/log.go and docs/DURABILITY.md). Tests append fixture
+// entries.
+var Orders = []Order{
+	{Pkg: "predmatch/internal/wal", Type: "Log", Before: "mu", After: "syncMu"},
+	{Pkg: "predmatch/internal/server", Type: "Server", Before: "mu", After: "subMu"},
+	{Pkg: "predmatch/internal/server", Type: "Server", Before: "connMu", After: "subMu"},
+}
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisitions must follow the documented order and form no cycles",
+	Run:  run,
+}
+
+// node identifies one mutex: a field of a named struct.
+type node struct {
+	typ   *types.TypeName // origin object of the struct type
+	field string
+}
+
+func (n node) String() string { return n.typ.Name() + "." + n.field }
+
+// edge records that to was acquired while from was held, at pos.
+type edge struct {
+	from, to node
+	pos      token.Pos
+}
+
+// lockEvent is one Lock/Unlock call inside a CFG node.
+type lockEvent struct {
+	n       node
+	acquire bool
+	shared  bool // RLock/RUnlock
+	pos     token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	g := &graph{edges: make(map[[2]node]edge)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeFunc(pass, fd, g)
+		}
+	}
+	g.report(pass)
+	return nil
+}
+
+type graph struct {
+	edges map[[2]node]edge
+}
+
+func (g *graph) add(from, to node, pos token.Pos) {
+	if from == to {
+		return
+	}
+	key := [2]node{from, to}
+	if e, ok := g.edges[key]; !ok || pos < e.pos {
+		g.edges[key] = edge{from: from, to: to, pos: pos}
+	}
+}
+
+// analyzeFunc runs the may-hold dataflow over fd's CFG and records
+// every (held, acquired) pair as a graph edge.
+func analyzeFunc(pass *analysis.Pass, fd *ast.FuncDecl, g *graph) {
+	cfg := analysis.NewCFG(fd.Body)
+	events := blockEvents(pass, cfg)
+	entry := heldByContract(pass, fd)
+	if len(entry) == 0 {
+		// Cheap exit: no contract locks and no lock calls at all.
+		total := 0
+		for _, evs := range events {
+			total += len(evs)
+		}
+		if total == 0 {
+			return
+		}
+	}
+
+	// held sets per block boundary; nil means "not yet computed" so the
+	// union at a join only includes predecessors that have run.
+	in := make([]map[node]token.Pos, len(cfg.Blocks))
+	out := make([]map[node]token.Pos, len(cfg.Blocks))
+	in[0] = entry
+	for changed := true; changed; {
+		changed = false
+		for i, blk := range cfg.Blocks {
+			if i != 0 {
+				merged := make(map[node]token.Pos)
+				for _, p := range blk.Preds {
+					for n, pos := range out[p.Index] {
+						if old, ok := merged[n]; !ok || pos < old {
+							merged[n] = pos
+						}
+					}
+				}
+				in[i] = merged
+			}
+			o := apply(in[i], events[i], nil)
+			if !sameHeld(o, out[i]) {
+				out[i] = o
+				changed = true
+			}
+		}
+	}
+	// Converged: one recording pass per block.
+	for i := range cfg.Blocks {
+		apply(in[i], events[i], g)
+	}
+}
+
+// apply runs a block's lock events over the incoming held set,
+// returning the outgoing set and (when g is non-nil) recording edges.
+func apply(in map[node]token.Pos, events []lockEvent, g *graph) map[node]token.Pos {
+	held := make(map[node]token.Pos, len(in))
+	for n, pos := range in {
+		held[n] = pos
+	}
+	for _, ev := range events {
+		if ev.acquire {
+			if g != nil {
+				for from := range held {
+					g.add(from, ev.n, ev.pos)
+				}
+			}
+			if _, ok := held[ev.n]; !ok {
+				held[ev.n] = ev.pos
+			}
+		} else {
+			delete(held, ev.n)
+		}
+	}
+	return held
+}
+
+func sameHeld(a, b map[node]token.Pos) bool {
+	if b == nil || len(a) != len(b) {
+		return false
+	}
+	for n, pos := range a {
+		if bp, ok := b[n]; !ok || bp != pos {
+			return false
+		}
+	}
+	return true
+}
+
+// blockEvents collects each block's Lock/Unlock calls in source order.
+// Deferred calls are dropped: a deferred Unlock runs at exit, so the
+// lock stays held for ordering purposes. Function literals are opaque,
+// matching the CFG.
+func blockEvents(pass *analysis.Pass, cfg *analysis.CFG) [][]lockEvent {
+	events := make([][]lockEvent, len(cfg.Blocks))
+	for i, blk := range cfg.Blocks {
+		for _, stmt := range blk.Nodes {
+			if _, ok := stmt.(*ast.DeferStmt); ok {
+				continue
+			}
+			analysis.InspectBlockNode(stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit, *ast.DeferStmt:
+					return false
+				case *ast.CallExpr:
+					if ev, ok := asLockEvent(pass, n); ok {
+						events[i] = append(events[i], ev)
+					}
+				}
+				return true
+			})
+		}
+		sort.SliceStable(events[i], func(a, b int) bool {
+			return events[i][a].pos < events[i][b].pos
+		})
+	}
+	return events
+}
+
+// asLockEvent recognizes <expr>.<mutexField>.Lock() and friends where
+// mutexField is a sync.Mutex or sync.RWMutex field of a named struct.
+func asLockEvent(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var acquire, shared bool
+	switch fun.Sel.Name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, shared = true, true
+	case "Unlock":
+	case "RUnlock":
+		shared = true
+	default:
+		return lockEvent{}, false
+	}
+	t := pass.TypeOf(fun.X)
+	if !analysis.IsNamed(t, "sync", "Mutex") && !analysis.IsNamed(t, "sync", "RWMutex") {
+		return lockEvent{}, false
+	}
+	msel, ok := fun.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	base := analysis.NamedOf(pass.TypeOf(msel.X))
+	if base == nil {
+		return lockEvent{}, false
+	}
+	return lockEvent{
+		n:       node{typ: base.Origin().Obj(), field: msel.Sel.Name},
+		acquire: acquire,
+		shared:  shared,
+		pos:     call.Pos(),
+	}, true
+}
+
+// heldByContract seeds the entry held set from //predmatchvet:holds
+// directives, resolving each named mutex against the receiver's type.
+func heldByContract(pass *analysis.Pass, fd *ast.FuncDecl) map[node]token.Pos {
+	held := make(map[node]token.Pos)
+	if fd.Doc == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return held
+	}
+	recv := analysis.NamedOf(pass.TypeOf(fd.Recv.List[0].Type))
+	if recv == nil {
+		return held
+	}
+	st, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return held
+	}
+	fields := make(map[string]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if analysis.IsNamed(f.Type(), "sync", "Mutex") || analysis.IsNamed(f.Type(), "sync", "RWMutex") {
+			fields[f.Name()] = true
+		}
+	}
+	const directive = "predmatchvet:holds"
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, directive) {
+			continue
+		}
+		for _, mu := range strings.Fields(text[len(directive):]) {
+			name := strings.TrimSuffix(mu, ",")
+			if fields[name] {
+				held[node{typ: recv.Origin().Obj(), field: name}] = fd.Pos()
+			}
+		}
+	}
+	return held
+}
+
+// report runs the documented-order and cycle checks over the finished
+// graph.
+func (g *graph) report(pass *analysis.Pass) {
+	if len(g.edges) == 0 {
+		return
+	}
+	edges := make([]edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+
+	// Documented orders: an edge After → Before inverts one.
+	pkg := pass.Pkg.Path()
+	for _, e := range edges {
+		if e.from.typ != e.to.typ {
+			continue
+		}
+		for _, o := range Orders {
+			if o.Pkg == pkg && o.Type == e.from.typ.Name() &&
+				e.from.field == o.After && e.to.field == o.Before {
+				pass.Reportf(e.pos, "acquires %s while holding %s: the documented order is %s before %s",
+					e.to, e.from, o.Before, o.After)
+			}
+		}
+	}
+
+	// Cycles: report each strongly connected component of >= 2 locks
+	// once, at its newest edge (the most recently added acquisition is
+	// the likely culprit).
+	for _, scc := range stronglyConnected(edges) {
+		inSCC := make(map[node]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		var culprit edge
+		for _, e := range edges {
+			if inSCC[e.from] && inSCC[e.to] && e.pos >= culprit.pos {
+				culprit = e
+			}
+		}
+		names := make([]string, len(scc))
+		for i, n := range scc {
+			names[i] = n.String()
+		}
+		sort.Strings(names)
+		pass.Reportf(culprit.pos, "lock-order cycle among %s: acquiring %s while holding %s closes it",
+			strings.Join(names, ", "), culprit.to, culprit.from)
+	}
+}
+
+// stronglyConnected returns every SCC with at least two nodes, via
+// Tarjan's algorithm over the edge list.
+func stronglyConnected(edges []edge) [][]node {
+	succs := make(map[node][]node)
+	var nodes []node
+	seen := make(map[node]bool)
+	addNode := func(n node) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for _, e := range edges {
+		addNode(e.from)
+		addNode(e.to)
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+
+	index := make(map[node]int)
+	low := make(map[node]int)
+	onStack := make(map[node]bool)
+	var stack []node
+	var sccs [][]node
+	next := 0
+
+	var strongconnect func(v node)
+	strongconnect = func(v node) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) >= 2 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"predmatch/internal/analysis/analysistest"
+	"predmatch/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	saved := lockorder.Orders
+	lockorder.Orders = append(append([]lockorder.Order{}, saved...),
+		lockorder.Order{Pkg: "lockfix", Type: "DB", Before: "mu", After: "ioMu"},
+		lockorder.Order{Pkg: "lockfix", Type: "Store", Before: "mu", After: "flushMu"},
+	)
+	defer func() { lockorder.Orders = saved }()
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockfix")
+}

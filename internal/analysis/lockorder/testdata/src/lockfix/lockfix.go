@@ -1,0 +1,71 @@
+// Fixture for the lockorder analyzer. The test registers two
+// documented orders for this package: DB.mu before DB.ioMu, and
+// Store.mu before Store.flushMu. Pool has no documented order and is
+// caught purely by cycle detection.
+package lockfix
+
+import "sync"
+
+// DB documents mu before ioMu.
+type DB struct {
+	mu   sync.Mutex
+	ioMu sync.Mutex
+}
+
+// ok takes both locks but never holds them together: the release on
+// every branch kills the held set before mu is acquired.
+func (d *DB) ok(fast bool) {
+	d.ioMu.Lock()
+	if fast {
+		d.ioMu.Unlock()
+	} else {
+		d.ioMu.Unlock()
+	}
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// inverted acquires mu while a deferred unlock still holds ioMu: the
+// deferred release runs at exit, so ioMu is held at the mu acquisition.
+func (d *DB) inverted() {
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
+	d.mu.Lock() // want "acquires DB.mu while holding DB.ioMu: the documented order is mu before ioMu"
+	d.mu.Unlock()
+}
+
+// Store documents mu before flushMu.
+type Store struct {
+	mu      sync.Mutex
+	flushMu sync.Mutex
+}
+
+// flushLocked runs with flushMu already held by its caller, so taking
+// mu here inverts the documented order even with no Lock call in sight.
+//
+//predmatchvet:holds flushMu
+func (s *Store) flushLocked() {
+	s.mu.Lock() // want "acquires Store.mu while holding Store.flushMu: the documented order is mu before flushMu"
+	s.mu.Unlock()
+}
+
+// Pool has no documented order; the two methods below acquire its
+// locks in opposite orders, which is a deadlock cycle.
+type Pool struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *Pool) lockAB() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pool) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want "lock-order cycle among Pool.a, Pool.b"
+	p.a.Unlock()
+	p.b.Unlock()
+}

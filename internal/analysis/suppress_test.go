@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// flagCalls is a test analyzer reporting every call to a function
+// literally named flagme.
+var flagCalls = &Analyzer{
+	Name: "flagcalls",
+	Doc:  "reports calls to flagme",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+					pass.Reportf(call.Pos(), "call to flagme")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// checkSource type-checks src as a standalone package and runs the
+// given analyzers over it.
+func checkSource(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "supp.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := TypeCheck(fset, nil, "supptest", []*ast.File{f})
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := Check(pkg, analyzers...)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return diags
+}
+
+func TestSuppressionLifecycle(t *testing.T) {
+	const header = "package supptest\n\nfunc flagme()\nfunc fine()\n\n"
+
+	tests := []struct {
+		name string
+		src  string
+		want []string // substrings, one per expected diagnostic, in order
+	}{
+		{
+			name: "used suppression silences and is not stale",
+			src: `func f() {
+	flagme() //predmatchvet:ignore flagcalls intentional in this test
+}`,
+			want: nil,
+		},
+		{
+			name: "suppression on the line above counts as used",
+			src: `func f() {
+	//predmatchvet:ignore flagcalls intentional in this test
+	flagme()
+}`,
+			want: nil,
+		},
+		{
+			name: "stale suppression is reported",
+			src: `func f() {
+	fine() //predmatchvet:ignore flagcalls nothing to silence anymore
+}`,
+			want: []string{"stale suppression: no flagcalls diagnostic"},
+		},
+		{
+			name: "stale all suppression is reported",
+			src: `func f() {
+	fine() //predmatchvet:ignore all nothing to silence anymore
+}`,
+			want: []string{"stale suppression: no diagnostic"},
+		},
+		{
+			name: "suppression for an analyzer that did not run is left alone",
+			src: `func f() {
+	fine() //predmatchvet:ignore guardedby other driver invocations still need this
+}`,
+			want: nil,
+		},
+		{
+			name: "missing reason is malformed, not stale",
+			src: `func f() {
+	flagme() //predmatchvet:ignore flagcalls
+}`,
+			want: []string{"call to flagme", "malformed suppression"},
+		},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			diags := checkSource(t, header+tt.src, flagCalls)
+			if len(diags) != len(tt.want) {
+				t.Fatalf("got %d diagnostics %v, want %d", len(diags), diags, len(tt.want))
+			}
+			for i, w := range tt.want {
+				if !strings.Contains(diags[i].Message, w) {
+					t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, w)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionUsedByAnyAnalyzer pins the "all" semantics: an "all"
+// directive used by one analyzer is not stale for the others.
+func TestSuppressionUsedByAnyAnalyzer(t *testing.T) {
+	quiet := &Analyzer{Name: "quiet", Doc: "reports nothing", Run: func(*Pass) error { return nil }}
+	src := "package supptest\n\nfunc flagme()\n\nfunc f() {\n\tflagme() //predmatchvet:ignore all known issue\n}\n"
+	diags := checkSource(t, src, flagCalls, quiet)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want no diagnostics", diags)
+	}
+}

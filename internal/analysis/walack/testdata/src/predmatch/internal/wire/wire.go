@@ -1,0 +1,17 @@
+// Miniature copy of the real wire package: just enough surface for the
+// walack fixture handlers.
+package wire
+
+// Request is one client request.
+type Request struct {
+	ID       uint64
+	Relation string
+}
+
+// Message is one response frame; returning a non-error Message is an
+// ack.
+type Message struct {
+	ID     uint64
+	Error  string
+	WalSeq uint64
+}

@@ -1,0 +1,12 @@
+package walack_test
+
+import (
+	"testing"
+
+	"predmatch/internal/analysis/analysistest"
+	"predmatch/internal/analysis/walack"
+)
+
+func TestWalack(t *testing.T) {
+	analysistest.Run(t, "testdata", walack.Analyzer, "predmatch/internal/server")
+}

@@ -66,6 +66,8 @@ type Options struct {
 // loop with Run (it blocks), stop it with Stop. LeaderSeq and
 // Reconnects satisfy server.FollowerInfo for the stats surface.
 type Follower struct {
+	// leader/app/opt are set by New and immutable afterwards; the Run
+	// loop and Stop read them without synchronization.
 	leader string
 	app    Applier
 	opt    Options
@@ -75,10 +77,15 @@ type Follower struct {
 	leaderSeq  atomic.Uint64
 	reconnects atomic.Uint64
 
+	// stopOnce makes Stop idempotent; stopped is closed exactly once
+	// under it and is otherwise only received from.
 	stopOnce sync.Once
 	stopped  chan struct{}
-	connMu   sync.Mutex
-	nc       net.Conn // guarded-by: connMu (current stream, closed by Stop)
+	// connMu orders Stop's close of the current stream against the Run
+	// loop installing a new one, so a racing Stop can never strand a
+	// fresh connection.
+	connMu sync.Mutex
+	nc     net.Conn // guarded-by: connMu (current stream, closed by Stop)
 }
 
 // New builds a Follower replicating from the leader address into app.

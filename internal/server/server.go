@@ -211,6 +211,9 @@ type Server struct {
 	lnMu sync.Mutex
 	ln   net.Listener // guarded-by: lnMu
 
+	// done is closed exactly once by Close (via closeOnce) and is
+	// otherwise only received from; wg tracks per-connection and
+	// streamer goroutines so Close can wait them out.
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup

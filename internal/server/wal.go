@@ -251,7 +251,10 @@ func (s *Server) applyRecord(rec *wal.Record) error {
 
 // loadSnapshot installs a checkpoint: schemas, indexes, relation
 // contents (with their original tuple IDs), rules, and direct
-// predicates.
+// predicates. Runs under s.mu (replication bootstrap) or during
+// single-threaded recovery before the server accepts connections.
+//
+//predmatchvet:holds mu
 func (s *Server) loadSnapshot(snap *wal.Snapshot) error {
 	for _, sr := range snap.Relations {
 		if err := s.declareRelation(sr.Name, sr.Attrs); err != nil {
