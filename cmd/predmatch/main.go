@@ -18,21 +18,24 @@
 // Run with -demo for a built-in scenario based on the paper's EMP
 // examples.
 //
-// Three subcommands talk to durable daemon state instead of executing
-// a script:
+// Five subcommands talk to a running or durable daemon instead of
+// executing a script:
 //
 //	predmatch stats [-addr 127.0.0.1:7341]
 //	predmatch backup [-addr 127.0.0.1:7341] [-o file]
 //	predmatch restore [-data-dir dir] snapshot.ckpt
 //	predmatch promote [-addr 127.0.0.1:7341]
+//	predmatch trace [-admin 127.0.0.1:7342] [-id trace-id] [-slow] [-json]
 //
-// stats prints shard, IBS-tree, relation, WAL, replication and
-// per-connection statistics (the remote form of the script
-// interpreter's local `stats` statement). backup forces a checkpoint
-// on a running daemon; restore inspects a checkpoint file and
-// optionally seeds a fresh data directory from it (see
+// stats prints shard, IBS-tree, relation, workload-profile, WAL,
+// replication and per-connection statistics (the remote form of the
+// script interpreter's local `stats` statement). backup forces a
+// checkpoint on a running daemon; restore inspects a checkpoint file
+// and optionally seeds a fresh data directory from it (see
 // docs/DURABILITY.md). promote turns a replication follower into a
-// leader (see docs/REPLICATION.md).
+// leader (see docs/REPLICATION.md). trace pulls request traces from
+// the daemon's flight recorder over the admin listener (see
+// docs/OBSERVABILITY.md, "Tracing").
 package main
 
 import (
@@ -107,6 +110,8 @@ func main() {
 			os.Exit(runRestore(os.Args[2:]))
 		case "promote":
 			os.Exit(runPromote(os.Args[2:]))
+		case "trace":
+			os.Exit(runTrace(os.Args[2:]))
 		}
 	}
 	matcherName := flag.String("matcher", "ibs", strategy.FlagHelp())

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+)
+
+// runTrace implements `predmatch trace`: pull traces from a running
+// daemon's flight recorder. It talks to the admin HTTP listener (the
+// daemon's -admin address), not the protocol port — the recorder is an
+// operational surface, like /metrics.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("predmatch trace", flag.ExitOnError)
+	admin := fs.String("admin", "127.0.0.1:7342", "predmatchd admin address (the daemon's -admin listener)")
+	id := fs.String("id", "", "show only the trace with this id (as printed by loadgen or slow-request logs)")
+	slow := fs.Bool("slow", false, "read the slow-trace ring instead of the sampled flight recorder")
+	n := fs.Int("n", 0, "show at most N traces, newest first (0 = all)")
+	asJSON := fs.Bool("json", false, "emit the JSON form instead of the span tree rendering")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: predmatch trace [-admin host:port] [-id trace-id] [-slow] [-n count] [-json]")
+		return 2
+	}
+
+	q := url.Values{}
+	if *id != "" {
+		q.Set("id", *id)
+	}
+	if *slow {
+		q.Set("slow", "1")
+	}
+	if *n > 0 {
+		q.Set("n", strconv.Itoa(*n))
+	}
+	if *asJSON {
+		q.Set("format", "json")
+	}
+	u := url.URL{Scheme: "http", Host: *admin, Path: "/traces", RawQuery: q.Encode()}
+
+	resp, err := http.Get(u.String())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predmatch trace: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "predmatch trace: %s: %s", resp.Status, body)
+		return 1
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintf(os.Stderr, "predmatch trace: %v\n", err)
+		return 1
+	}
+	return 0
+}

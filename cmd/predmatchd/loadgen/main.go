@@ -9,11 +9,18 @@
 //
 //	loadgen [-addr 127.0.0.1:7341 | -self] [-workers 4] [-duration 2s]
 //	        [-seed 1] [-suffix s] [-followers addr1,addr2]
+//	        [-trace-every 64]
 //
 // With -self, loadgen starts an in-process daemon on a loopback port
 // and tears it down afterwards — a single-binary smoke test. The target
 // daemon must not already hold the relations/rules loadgen declares;
 // use -suffix to namespace them when sharing a daemon.
+//
+// Every -trace-every'th request per worker carries a client-minted
+// trace context, so the daemon traces it end to end regardless of its
+// own sampling; the report lists the slowest traced requests with
+// their trace ids, ready to paste into `predmatch trace -id` or the
+// daemon's /traces endpoint.
 //
 // With -followers, match probes are split round-robin across the given
 // replica addresses instead of the leader, each probe carrying the
@@ -30,6 +37,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,8 +48,10 @@ import (
 	"predmatch/internal/pred"
 	"predmatch/internal/schema"
 	"predmatch/internal/server"
+	"predmatch/internal/trace"
 	"predmatch/internal/tuple"
 	"predmatch/internal/value"
+	"predmatch/internal/wire"
 )
 
 func main() {
@@ -52,6 +62,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed for the deterministic workload")
 	suffix := flag.String("suffix", "", "suffix for relation and rule names (namespacing a shared daemon)")
 	followersFlag := flag.String("followers", "", "comma-separated follower addresses: match probes round-robin across them with read-your-writes tokens; mutations stay on -addr")
+	traceEvery := flag.Int("trace-every", 64, "send a trace context on every Nth request per worker (0 = never)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "loadgen: ", 0)
@@ -165,6 +176,7 @@ func main() {
 	// One shared request-latency histogram across all workers; obs
 	// histograms are lock-free, so contention is a few atomic adds.
 	lat := obs.NewHistogram(obs.DefBuckets...)
+	slowest := &slowestTraced{max: 5}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
@@ -197,6 +209,7 @@ func main() {
 			nextRead := 0
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			var live []tuple.ID
+			var reqN int
 			for {
 				select {
 				case <-stop:
@@ -204,10 +217,29 @@ func main() {
 				default:
 				}
 				tp := randomEmp(rng)
+				// Every Nth request carries a worker-minted trace context;
+				// arm() attaches it to whichever connection the branch uses.
+				var traceID, tracedOp string
+				if *traceEvery > 0 {
+					if reqN++; reqN%*traceEvery == 0 {
+						id := rng.Uint64()
+						if id == 0 {
+							id = 1
+						}
+						traceID = trace.FormatID(id)
+					}
+				}
+				arm := func(tc *client.Client, op string) {
+					if traceID != "" {
+						tracedOp = op
+						tc.TraceNext(&wire.TraceContext{ID: traceID})
+					}
+				}
 				var err error
 				t0 := time.Now()
 				switch r := rng.Intn(10); {
 				case r < 5 || len(live) < 5: // insert
+					arm(c, "insert")
 					var id tuple.ID
 					id, _, err = c.Insert(emp, tp)
 					if err == nil {
@@ -215,11 +247,13 @@ func main() {
 						mutations.Add(1)
 					}
 				case r < 7: // update
+					arm(c, "update")
 					_, err = c.Update(emp, live[rng.Intn(len(live))], tp)
 					if err == nil {
 						mutations.Add(1)
 					}
 				case r < 8: // delete
+					arm(c, "delete")
 					k := rng.Intn(len(live))
 					_, err = c.Delete(emp, live[k])
 					if err == nil {
@@ -229,6 +263,7 @@ func main() {
 				default: // match probe (lock-free path)
 					k := nextRead % len(readers)
 					nextRead++
+					arm(readers[k], "match")
 					// The token makes a follower read wait for this worker's
 					// own acked writes — stale answers would undercount hits.
 					var res []pred.ID
@@ -247,6 +282,9 @@ func main() {
 						errs.Add(1)
 					}
 					return
+				}
+				if traceID != "" {
+					slowest.add(tracedReq{ID: traceID, Op: tracedOp, Elapsed: time.Since(t0)})
 				}
 				lat.ObserveSince(t0)
 			}
@@ -287,6 +325,12 @@ report:
 	fmt.Printf("  match probes%8d  (%.0f/s), %d predicate hits\n", prb, float64(prb)/elapsed.Seconds(), matched.Load())
 	fmt.Printf("  latency     p50 %s  p95 %s  p99 %s  (%d requests)\n",
 		quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99), lat.Count())
+	if rs := slowest.list(); len(rs) > 0 {
+		fmt.Printf("  slowest traced requests (pull spans with `predmatch trace -id <id>`):\n")
+		for _, r := range rs {
+			fmt.Printf("    %s  %-6s  %s\n", r.ID, r.Op, r.Elapsed.Round(time.Microsecond))
+		}
+	}
 	if len(followers) > 0 {
 		fmt.Printf("  follower reads:\n")
 		for _, a := range readTargets {
@@ -314,6 +358,38 @@ report:
 // quantile renders a histogram quantile estimate as a duration.
 func quantile(h *obs.Histogram, q float64) time.Duration {
 	return time.Duration(h.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
+}
+
+// tracedReq is one traced request's identity and latency.
+type tracedReq struct {
+	ID      string
+	Op      string
+	Elapsed time.Duration
+}
+
+// slowestTraced keeps the max slowest traced requests seen across all
+// workers, so the report can surface their trace ids next to the
+// percentile block.
+type slowestTraced struct {
+	mu   sync.Mutex
+	max  int
+	reqs []tracedReq // guarded-by: mu (sorted slowest first, len <= max)
+}
+
+func (s *slowestTraced) add(r tracedReq) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reqs = append(s.reqs, r)
+	sort.Slice(s.reqs, func(i, j int) bool { return s.reqs[i].Elapsed > s.reqs[j].Elapsed })
+	if len(s.reqs) > s.max {
+		s.reqs = s.reqs[:s.max]
+	}
+}
+
+func (s *slowestTraced) list() []tracedReq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]tracedReq(nil), s.reqs...)
 }
 
 func randomEmp(rng *rand.Rand) tuple.Tuple {

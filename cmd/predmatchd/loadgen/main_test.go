@@ -1,0 +1,112 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"predmatch/internal/obs"
+)
+
+// TestQuantileSmallN pins the percentile block's behavior at the small
+// sample counts a short loadgen run produces. Audit conclusion, for
+// the record: obs.Histogram.Quantile is a bucketed estimate with
+// linear interpolation inside the target bucket (the same estimate
+// Prometheus's histogram_quantile computes), NOT nearest-rank over the
+// raw samples. At N < 100 this has two visible consequences, both
+// pinned here: a single observation still yields p50 < p95 < p99
+// (three interpolation points inside one bucket, none of them the
+// observed value), and every estimate is bounded by the bucket edges
+// around the observations rather than the observations themselves. For
+// a load report that's acceptable — the error is at most one bucket
+// width — but the numbers must not be read as exact order statistics.
+func TestQuantileSmallN(t *testing.T) {
+	// N=1: one 3ms observation lands in the (2.5ms, 5ms] bucket.
+	// rank = q for every quantile, so each estimate is lo + (hi-lo)*q:
+	// interpolation spreads the quantiles across the bucket even though
+	// there is only one sample.
+	h := obs.NewHistogram(obs.DefBuckets...)
+	h.Observe(0.003)
+	lo, hi := 2.5e-3, 5e-3
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, durOf(lo + (hi-lo)*0.50)}, // 3.75ms
+		{0.95, durOf(lo + (hi-lo)*0.95)}, // 4.875ms
+		{0.99, durOf(lo + (hi-lo)*0.99)}, // 4.975ms
+	} {
+		if got := quantile(h, c.q); got != c.want {
+			t.Errorf("N=1: quantile(%.2f) = %s, want %s", c.q, got, c.want)
+		}
+	}
+	if !(quantile(h, 0.50) < quantile(h, 0.95) && quantile(h, 0.95) < quantile(h, 0.99)) {
+		t.Error("N=1: quantiles are not strictly increasing")
+	}
+
+	// N=2 boundary: with both samples in one bucket, p50's rank (1.0)
+	// falls exactly on the first sample's cumulative count, and the
+	// interpolation (rank-prev)/count = 1/2 lands mid-bucket.
+	h2 := obs.NewHistogram(obs.DefBuckets...)
+	h2.Observe(0.003)
+	h2.Observe(0.004)
+	if got, want := quantile(h2, 0.50), durOf(lo+(hi-lo)*0.5); got != want {
+		t.Errorf("N=2: p50 = %s, want %s (mid-bucket)", got, want)
+	}
+
+	// N=3 across buckets: the estimate tracks the bucket holding the
+	// rank, so p50 stays in the middle sample's bucket and p99 in the
+	// top sample's.
+	h3 := obs.NewHistogram(obs.DefBuckets...)
+	h3.Observe(80e-6)  // (50µs, 100µs]
+	h3.Observe(0.003)  // (2.5ms, 5ms]
+	h3.Observe(0.2)    // (100ms, 250ms]
+	if got := quantile(h3, 0.50); got <= durOf(2.5e-3) || got > durOf(5e-3) {
+		t.Errorf("N=3: p50 = %s, want inside (2.5ms, 5ms]", got)
+	}
+	if got := quantile(h3, 0.99); got <= durOf(100e-3) || got > durOf(250e-3) {
+		t.Errorf("N=3: p99 = %s, want inside (100ms, 250ms]", got)
+	}
+
+	// Observations past the last finite bound clamp to it: a report can
+	// never print a latency above the histogram's range.
+	hInf := obs.NewHistogram(obs.DefBuckets...)
+	hInf.Observe(60) // beyond the 10s bound
+	if got, want := quantile(hInf, 0.99), durOf(10); got != want {
+		t.Errorf("+Inf bucket: p99 = %s, want clamp to %s", got, want)
+	}
+
+	// Empty histogram: Quantile is NaN; the duration conversion must
+	// not panic (it renders as a garbage-but-stable value only if the
+	// report ever prints it, which the count guard prevents — pin the
+	// NaN so that guard stays necessary and sufficient).
+	empty := obs.NewHistogram(obs.DefBuckets...)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram: Quantile != NaN")
+	}
+	if empty.Count() != 0 {
+		t.Error("empty histogram: Count != 0")
+	}
+}
+
+// durOf converts seconds to the report's rounded duration form.
+func durOf(secs float64) time.Duration {
+	return time.Duration(secs * float64(time.Second)).Round(time.Microsecond)
+}
+
+// TestSlowestTraced pins the slowest-request tracker: keeps the top
+// max by elapsed time, descending, under concurrent adds.
+func TestSlowestTraced(t *testing.T) {
+	s := &slowestTraced{max: 3}
+	for i, d := range []time.Duration{5, 1, 9, 3, 7, 2} {
+		s.add(tracedReq{ID: string(rune('a' + i)), Op: "match", Elapsed: d * time.Millisecond})
+	}
+	got := s.list()
+	if len(got) != 3 {
+		t.Fatalf("kept %d, want 3", len(got))
+	}
+	if got[0].Elapsed != 9*time.Millisecond || got[1].Elapsed != 7*time.Millisecond ||
+		got[2].Elapsed != 5*time.Millisecond {
+		t.Errorf("top-3 = %v", got)
+	}
+}

@@ -12,6 +12,7 @@
 //	           [-data-dir dir] [-fsync always|interval|off]
 //	           [-fsync-interval 100ms] [-wal-segment 64MiB]
 //	           [-snapshot-every 0] [-follow leader-addr]
+//	           [-trace-sample 0] [-trace-buf 256]
 //
 // -index picks the per-shard attribute index structure from the shared
 // strategy registry (internal/strategy): the paper's IBS-trees by
@@ -19,9 +20,16 @@
 // the current list.
 //
 // With -admin, a second HTTP listener serves the operational surface:
-// /metrics (Prometheus), /varz (JSON), /healthz and /debug/pprof (see
-// docs/OBSERVABILITY.md for the metric catalogue). -slowreq logs every
-// request slower than the threshold. Structured logs go to stderr.
+// /metrics (Prometheus), /varz (JSON), /healthz, /traces and
+// /debug/pprof (see docs/OBSERVABILITY.md for the metric catalogue).
+// -slowreq logs every request slower than the threshold and retains a
+// trace for it. Structured logs go to stderr.
+//
+// Tracing (docs/OBSERVABILITY.md, "Tracing"): requests that carry a
+// trace context are always traced end to end; -trace-sample N
+// additionally head-samples one in every N requests server-side. Both
+// land in an in-memory flight recorder of -trace-buf traces served at
+// /traces and by `predmatch trace`.
 //
 // With -data-dir, the daemon is durable: it recovers the directory's
 // snapshot and write-ahead log before listening, and appends every
@@ -57,6 +65,7 @@ import (
 	"predmatch/internal/repl"
 	"predmatch/internal/server"
 	"predmatch/internal/strategy"
+	"predmatch/internal/trace"
 	"predmatch/internal/wal"
 )
 
@@ -76,6 +85,8 @@ func main() {
 	walSegment := flag.Int64("wal-segment", wal.DefaultSegmentBytes, "target WAL segment size in bytes before rotation")
 	snapEvery := flag.Duration("snapshot-every", 0, "background checkpoint cadence (0 = only on shutdown and backup op)")
 	follow := flag.String("follow", "", "start as a replication follower of the leader at this address (requires -data-dir)")
+	traceSample := flag.Int("trace-sample", 0, "head-sample one in every N requests into the trace flight recorder (0 = only client-initiated and slow traces)")
+	traceBuf := flag.Int("trace-buf", 256, "flight recorder capacity in traces")
 	indexName := flag.String("index", "ibs", strategy.IndexFlagHelp())
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -110,6 +121,14 @@ func main() {
 		Registry:     reg,
 		Logger:       logger,
 		SlowRequest:  *slowReq,
+		// The tracer is always on: client-initiated traces and slow-trace
+		// retention work without any flag; -trace-sample adds server-side
+		// head sampling on top.
+		Tracer: trace.New(trace.Config{
+			SampleEvery: *traceSample,
+			Slow:        *slowReq,
+			Capacity:    *traceBuf,
+		}),
 	}
 	if *indexName != "ibs" {
 		// The strategy registry supplies the per-shard attribute index;

@@ -80,6 +80,9 @@ type Client struct {
 	pending map[uint64]chan wire.Message // guarded-by: mu
 	err     error                        // guarded-by: mu (terminal connection error, set once)
 	closed  bool                         // guarded-by: mu
+	// nextTrace is the trace context armed by TraceNext, attached to
+	// (and cleared by) the next request this client sends.
+	nextTrace *wire.TraceContext // guarded-by: mu
 
 	notifyMu sync.Mutex
 	notify   chan Notification // guarded-by: notifyMu
@@ -245,6 +248,10 @@ func (c *Client) call(req *wire.Request) (*wire.Message, error) {
 	}
 	req.ID = c.nextID
 	c.nextID++
+	if c.nextTrace != nil && req.Trace == nil {
+		req.Trace = c.nextTrace
+		c.nextTrace = nil
+	}
 	ch := make(chan wire.Message, 1)
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
@@ -291,6 +298,19 @@ func (c *Client) call(req *wire.Request) (*wire.Message, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("client: %s request timed out after %v", req.Op, c.timeout)
 	}
+}
+
+// TraceNext arms a trace context for the next request this client
+// sends: the server joins the given trace (tracing the request end to
+// end regardless of its own sampling) and echoes the id on the
+// response. Use a fresh id per request; the armed context applies to
+// exactly one call. Safe for the usual client pattern of one goroutine
+// per client; with concurrent callers, which call picks the context up
+// is unspecified (but exactly one does).
+func (c *Client) TraceNext(tc *wire.TraceContext) {
+	c.mu.Lock()
+	c.nextTrace = tc
+	c.mu.Unlock()
 }
 
 // Ping checks server liveness.

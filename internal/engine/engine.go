@@ -25,6 +25,7 @@ import (
 	"predmatch/internal/parser"
 	"predmatch/internal/pred"
 	"predmatch/internal/storage"
+	"predmatch/internal/trace"
 	"predmatch/internal/tuple"
 	"predmatch/internal/value"
 )
@@ -93,6 +94,15 @@ type Engine struct {
 	onFire     []func(FiringEvent)
 	firingsVec *obs.CounterVec // per-rule activation counters; nil when uninstrumented
 	events     *obs.Counter    // storage events observed
+	// span is the current trace parent for event processing, set by the
+	// serialized mutation path via SetSpan (same caller serialization
+	// that makes the unlocked byPred read in onEvent safe). During a
+	// cascade onEvent temporarily re-points it at the firing rule's
+	// span so nested events parent under the rule that caused them.
+	span *trace.Span
+	// tm is e.m's traced extension, resolved once at construction; nil
+	// when the matcher doesn't implement matcher.TracedMatcher.
+	tm matcher.TracedMatcher
 }
 
 // Option configures an Engine.
@@ -147,9 +157,17 @@ func New(db *storage.DB, funcs *pred.Registry, m matcher.Matcher, opts ...Option
 	for _, o := range opts {
 		o(e)
 	}
+	e.tm, _ = m.(matcher.TracedMatcher)
 	db.Observe(e.onEvent)
 	return e
 }
+
+// SetSpan installs sp as the trace parent for the mutation about to be
+// applied (nil to clear). Like onEvent, it relies on the caller
+// serializing mutations; the server calls it under its own mutex around
+// each applied mutation, so a traced request's firing cascade lands in
+// that request's trace and nothing leaks into the next one.
+func (e *Engine) SetSpan(sp *trace.Span) { e.span = sp }
 
 // Matcher returns the engine's matching strategy.
 func (e *Engine) Matcher() matcher.Matcher { return e.m }
@@ -308,11 +326,30 @@ func (e *Engine) onEvent(ev storage.Event) error {
 		return fmt.Errorf("engine: cascade depth limit %d exceeded at %s on %s", e.maxDepth, ev.Op, ev.Rel)
 	}
 
-	matched, err := e.m.Match(ev.Rel, t, e.scratch[:0])
+	// One span per storage event; the stab's child spans hang off it
+	// when the matcher supports tracing. All span calls are nil-receiver
+	// no-ops on an untraced mutation.
+	parent := e.span
+	esp := parent.Child("engine.event")
+	if esp != nil {
+		esp.SetStr("rel", ev.Rel)
+		esp.SetStr("op", ev.Op.String())
+		esp.SetInt("depth", int64(e.depth))
+	}
+
+	var matched []pred.ID
+	var err error
+	if esp != nil && e.tm != nil {
+		matched, err = e.tm.MatchTraced(ev.Rel, t, e.scratch[:0], esp)
+	} else {
+		matched, err = e.m.Match(ev.Rel, t, e.scratch[:0])
+	}
 	e.scratch = matched
 	if err != nil {
+		esp.End()
 		return err
 	}
+	esp.SetInt("matches", int64(len(matched)))
 
 	// A rule with several DNF predicates fires once; order rule firings
 	// by name for determinism.
@@ -350,10 +387,27 @@ func (e *Engine) onEvent(ev storage.Event) error {
 				Depth:   e.depth - 1,
 			})
 		}
-		if err := e.execute(r, ev, t); err != nil {
+		// Cascaded events raised by this rule's actions parent under the
+		// rule's span; restore the original parent either way (error
+		// paths included — the server clears the span after the
+		// mutation, so a stale intermediate can never leak).
+		var rsp *trace.Span
+		if esp != nil {
+			rsp = esp.Child("rule.fire")
+			rsp.SetStr("rule", r.Name)
+			e.span = rsp
+		}
+		err := e.execute(r, ev, t)
+		if esp != nil {
+			rsp.End()
+			e.span = parent
+		}
+		if err != nil {
+			esp.End()
 			return err
 		}
 	}
+	esp.End()
 	return nil
 }
 

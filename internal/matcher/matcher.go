@@ -7,6 +7,7 @@ package matcher
 
 import (
 	"predmatch/internal/pred"
+	"predmatch/internal/trace"
 	"predmatch/internal/tuple"
 )
 
@@ -30,4 +31,14 @@ type Matcher interface {
 
 	// Len returns the number of registered predicates.
 	Len() int
+}
+
+// TracedMatcher is the optional extension a strategy implements to
+// explain one probe inside a request trace: MatchTraced behaves exactly
+// like Match but attaches child spans (snapshot load, prefilter
+// verdict, stab) to sp. Callers type-assert once and fall back to
+// Match; passing a nil span must be equivalent to Match.
+type TracedMatcher interface {
+	Matcher
+	MatchTraced(rel string, t tuple.Tuple, dst []pred.ID, sp *trace.Span) ([]pred.ID, error)
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden file")
@@ -38,6 +39,9 @@ func TestExpositionGolden(t *testing.T) {
 	emp.Observe(2)
 	r.CounterFunc("predmatch_notify_dropped_total",
 		"Notifications dropped by the overflow policy.", func() uint64 { return 42 })
+	// Fixed values stand in for what RegisterRuntime derives from
+	// debug.ReadBuildInfo and the process clock.
+	registerBuildInfo(r, "v0.9.0", "go1.99.7", time.Unix(1700000000, 0))
 
 	var got bytes.Buffer
 	if err := r.WritePrometheus(&got); err != nil {

@@ -2,18 +2,24 @@ package obs
 
 import (
 	"runtime"
+	"runtime/debug"
 	"time"
 )
 
 // RegisterRuntime exports a small set of Go runtime gauges on reg:
-// goroutine count, heap in use, total GC pauses and process uptime.
-// ReadMemStats costs a brief stop-the-world, which is paid per scrape,
-// not per request.
+// build identity, process start time, goroutine count, heap in use,
+// total GC pauses and process uptime. ReadMemStats costs a brief
+// stop-the-world, which is paid per scrape, not per request.
 func RegisterRuntime(reg *Registry) {
 	if reg == nil {
 		return
 	}
 	start := time.Now()
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	registerBuildInfo(reg, version, runtime.Version(), start)
 	reg.GaugeFunc("predmatch_goroutines",
 		"Number of live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
@@ -34,4 +40,21 @@ func RegisterRuntime(reg *Registry) {
 			runtime.ReadMemStats(&ms)
 			return float64(ms.PauseTotalNs) / 1e9
 		})
+}
+
+// registerBuildInfo exports the identity series: a constant-1
+// predmatch_build_info gauge carrying the version labels, and the
+// process start time as unix seconds — the pair Prometheus tooling
+// expects for deployment tracking and server-side uptime. Split from
+// RegisterRuntime so the exposition golden test can pin the shape with
+// fixed values.
+func registerBuildInfo(reg *Registry, version, goVersion string, start time.Time) {
+	reg.GaugeSet("predmatch_build_info",
+		"Build identity of the running binary; the value is always 1.",
+		[]string{"version", "go_version"}, func(emit Emit) {
+			emit(1, version, goVersion)
+		})
+	reg.GaugeFunc("predmatch_process_start_time_seconds",
+		"Unix time the process started.",
+		func() float64 { return float64(start.Unix()) })
 }

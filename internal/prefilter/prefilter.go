@@ -241,6 +241,20 @@ func (f *Filter) Stats() Stats {
 	return Stats{Admitted: f.admitted.Load(), Skipped: f.skipped.Load()}
 }
 
+// QueriedBits returns the bitmap of attribute positions carrying at
+// least one interval clause for rel — the positions the index keeps
+// trees for and consults per probe. The returned slice is part of an
+// immutable published summary and must not be modified; nil means no
+// summary (no predicates registered). The workload profiler uses this
+// to attribute each stab to the attributes it actually queried.
+func (f *Filter) QueriedBits(rel string) []uint64 {
+	s := (*f.rels.Load())[rel]
+	if s == nil {
+		return nil
+	}
+	return s.bits
+}
+
 // Admitted returns the number of tuples that passed the filter.
 func (f *Filter) Admitted() uint64 { return f.admitted.Load() }
 

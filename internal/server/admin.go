@@ -5,10 +5,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"predmatch/internal/obs"
+	"predmatch/internal/trace"
 )
 
 // Admin is the daemon's operational HTTP listener, separate from the
@@ -19,6 +21,8 @@ import (
 //	/metrics       Prometheus text exposition of reg
 //	/varz          the same registry as a JSON document
 //	/healthz       200 while serving, 503 once shutdown has begun
+//	/traces        the tracer's flight recorder (text; ?format=json,
+//	               ?slow=1, ?id=<trace id>, ?n=<max traces>)
 //	/debug/pprof/  the standard net/http/pprof profile endpoints
 //
 // The endpoints are unauthenticated; bind the admin listener to
@@ -54,6 +58,17 @@ func NewAdmin(addr string, reg *obs.Registry, s *Server) *Admin {
 		}
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		var tr *trace.Tracer
+		if s != nil {
+			tr = s.Tracer()
+		}
+		if tr == nil {
+			http.Error(w, "tracing is not enabled (start the daemon with -trace-sample or -slowreq)", http.StatusNotFound)
+			return
+		}
+		serveTraces(w, r, tr)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -68,6 +83,50 @@ func NewAdmin(addr string, reg *obs.Registry, s *Server) *Admin {
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
+}
+
+// serveTraces renders the flight recorder's contents. Query params:
+// slow=1 restricts to the slow ring, id=<16-hex> to one trace,
+// n=<count> caps the number of traces (newest first), format=json
+// switches from the human tree rendering to JSON.
+func serveTraces(w http.ResponseWriter, r *http.Request, tr *trace.Tracer) {
+	q := r.URL.Query()
+	var traces []*trace.Trace
+	if q.Get("slow") != "" && q.Get("slow") != "0" {
+		traces = tr.SlowTraces()
+	} else {
+		traces = tr.Traces()
+	}
+	if id := q.Get("id"); id != "" {
+		if _, ok := trace.ParseID(id); !ok {
+			http.Error(w, "bad trace id (want 1-16 hex digits)", http.StatusBadRequest)
+			return
+		}
+		keep := traces[:0]
+		for _, t := range traces {
+			if t.ID == id {
+				keep = append(keep, t)
+			}
+		}
+		traces = keep
+	}
+	if ns := q.Get("n"); ns != "" {
+		n, err := strconv.Atoi(ns)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if n < len(traces) {
+			traces = traces[:n]
+		}
+	}
+	if q.Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteJSON(w, traces)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	trace.WriteText(w, traces)
 }
 
 // ListenAndServe listens on the configured address and serves until

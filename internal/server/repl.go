@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"predmatch/internal/storage"
+	"predmatch/internal/trace"
 	"predmatch/internal/tuple"
 	"predmatch/internal/wal"
 	"predmatch/internal/wire"
@@ -239,7 +240,30 @@ func (s *Server) ReplApplySnapshot(snap *wal.Snapshot) error {
 // the recovery code path (rules do not re-fire; the record carries
 // their effects), append it to the local log preserving the leader's
 // sequence, and advance the read frontier once locally durable.
+//
+// A record carrying a trace context (the leader's request was traced)
+// is recorded here as a follower.apply root span joined to the same
+// trace id, so the leader's and follower's flight recorders correlate.
 func (s *Server) ReplApplyRecord(rec *wal.Record) error {
+	var sp *trace.Span
+	if tr := s.cfg.Tracer; tr != nil && rec.Trace != nil {
+		if id, ok := trace.ParseID(rec.Trace.ID); ok {
+			sp = tr.Join("follower.apply", id)
+			sp.SetInt("seq", int64(rec.Seq))
+			sp.SetStr("kind", rec.Kind)
+		}
+	}
+	err := s.replApplyRecord(rec, sp)
+	if sp != nil {
+		if err != nil {
+			sp.SetStr("error", err.Error())
+		}
+		sp.End()
+	}
+	return err
+}
+
+func (s *Server) replApplyRecord(rec *wal.Record, sp *trace.Span) error {
 	s.mu.Lock()
 	if !s.isFollower.Load() {
 		s.mu.Unlock()
@@ -261,12 +285,24 @@ func (s *Server) ReplApplyRecord(rec *wal.Record) error {
 		s.mu.Unlock()
 		return fmt.Errorf("server: apply replicated record %d: %w", rec.Seq, err)
 	}
+	if rec.Kind == wal.KindMutate {
+		// db.Apply bypasses storage observers, so the follower feeds the
+		// write profile here (one write per replicated event).
+		for _, we := range rec.Events {
+			s.profileRel(we.Rel).RecordWrite()
+		}
+	}
+	asp := sp.Child("wal.append")
 	_, err := s.wal.AppendExact(rec)
+	asp.End()
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	if err := s.wal.Commit(rec.Seq); err != nil {
+	csp := sp.Child("wal.commit")
+	err = s.wal.Commit(rec.Seq)
+	csp.End()
+	if err != nil {
 		return err
 	}
 	s.advanceApplied(rec.Seq)

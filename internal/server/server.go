@@ -47,6 +47,7 @@ import (
 	"predmatch/internal/pred"
 	"predmatch/internal/shard"
 	"predmatch/internal/storage"
+	"predmatch/internal/trace"
 	"predmatch/internal/tuple"
 	"predmatch/internal/wal"
 	"predmatch/internal/wire"
@@ -125,6 +126,13 @@ type Config struct {
 	// for replication to catch up before failing with a leader redirect
 	// (default 2s).
 	MinSeqWait time.Duration
+	// Tracer enables request-scoped tracing: requests carrying a trace
+	// context (Request.Trace) and head-sampled requests are traced
+	// through dispatch, matching, the firing cascade and the WAL, and
+	// recorded in the tracer's flight recorder (default nil = tracing
+	// off; a nil tracer's methods are no-ops, so the request path pays
+	// only nil checks).
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -230,6 +238,12 @@ type Server struct {
 	// met holds the request-path metric handles; nil when cfg.Registry
 	// is nil, which compiles the instrumentation down to nil checks.
 	met *serverMetrics
+
+	// prof accumulates the per-relation workload profile (stab latency,
+	// selectivity, write rate, queried attributes) that feeds the stats
+	// surface and /varz; always on — its cost is a few uncontended
+	// atomic adds per operation. See internal/trace.Profiles.
+	prof *trace.Profiles
 }
 
 // subscription is one connection's notification filter and counters,
@@ -264,11 +278,17 @@ func newServer(cfg Config) *Server {
 		subs:        make(map[*conn]*subscription),
 		directPreds: make(map[int64]*wire.Predicate),
 		appliedWait: make(chan struct{}),
+		prof:        trace.NewProfiles(),
 	}
 	s.nextPredID.Store(int64(DirectPredBase))
 	if cfg.FollowerOf != "" {
 		s.isFollower.Store(true)
 	}
+	// Workload profiling: count every applied storage event (trigger and
+	// cascade) against its relation. Registered before the engine's
+	// observer so a rule raise (which aborts the notify chain) cannot
+	// hide an applied event from the profile.
+	s.db.Observe(s.onEventProfile)
 	if cfg.DataDir != "" {
 		// The WAL capture observer must be registered before the engine's:
 		// the notify chain aborts at the first observer error (a rule
@@ -300,6 +320,9 @@ func newServer(cfg Config) *Server {
 		smOpts = append(smOpts, shard.WithName(cfg.MatcherName))
 	}
 	s.sm = shard.New(s.db.Catalog(), s.funcs, smOpts...)
+	// Install the profile accumulator before any predicate registration
+	// (recovery replay included): shards resolve their handle at creation.
+	s.sm.SetProfiles(s.prof)
 	s.eng = engine.New(s.db, s.funcs, s.sm, engOpts...)
 	s.met = newServerMetrics(cfg.Registry, s)
 	s.eng.OnFire(s.onFire)
@@ -742,15 +765,45 @@ func okMsg(id uint64) wire.Message {
 }
 
 // handle executes one request, builds its response, and records the
-// request's latency and the slow-request log line. The uninstrumented
-// fast path (no Registry, no SlowRequest) skips even the clock reads.
+// request's latency, its trace (when sampled or carried in) and the
+// slow-request log line. The uninstrumented fast path (no Registry, no
+// SlowRequest, no Tracer) skips even the clock reads.
 func (s *Server) handle(c *conn, req *wire.Request) wire.Message {
-	if s.met == nil && s.cfg.SlowRequest <= 0 {
-		return s.dispatch(c, req)
+	tr := s.cfg.Tracer
+	if s.met == nil && s.cfg.SlowRequest <= 0 && tr == nil {
+		return s.dispatch(c, req, nil)
+	}
+	// Root span: a request carrying a trace context joins the client's
+	// trace (the client decided to trace it); otherwise head sampling
+	// decides, and the response carries the server-assigned id back.
+	var sp *trace.Span
+	if tr != nil {
+		if req.Trace != nil {
+			if id, ok := trace.ParseID(req.Trace.ID); ok {
+				sp = tr.Join("server."+req.Op, id)
+			}
+		} else if tr.Sampled() {
+			sp = tr.Start("server." + req.Op)
+		}
+		if sp != nil {
+			if req.Relation != "" {
+				sp.SetStr("rel", req.Relation)
+			}
+			sp.SetStr("remote", c.nc.RemoteAddr().String())
+		}
 	}
 	t0 := time.Now()
-	m := s.dispatch(c, req)
+	m := s.dispatch(c, req, sp)
 	elapsed := time.Since(t0)
+	var traceID string
+	if sp != nil {
+		if m.Error != "" {
+			sp.SetStr("error", m.Error)
+		}
+		traceID = sp.TraceID()
+		sp.End()
+		m.Trace = &wire.TraceContext{ID: traceID}
+	}
 	if s.met != nil {
 		if h := s.met.reqLat[req.Op]; h != nil {
 			h.Observe(elapsed.Seconds())
@@ -760,17 +813,68 @@ func (s *Server) handle(c *conn, req *wire.Request) wire.Message {
 		}
 	}
 	if sr := s.cfg.SlowRequest; sr > 0 && elapsed >= sr {
+		if traceID == "" {
+			// Not sampled: retain a synthesized root-only trace so the slow
+			// request is still inspectable at /traces (sampled slow traces
+			// land in the slow ring via the tracer itself).
+			traceID = tr.RecordSlow("server."+req.Op, t0, elapsed,
+				trace.Str("rel", req.Relation),
+				trace.Str("remote", c.nc.RemoteAddr().String()))
+		}
 		s.cfg.Logger.Warn("slow request",
 			"op", req.Op, "id", req.ID, "relation", req.Relation,
-			"remote", c.nc.RemoteAddr().String(), "elapsed", elapsed)
+			"remote", c.nc.RemoteAddr().String(), "elapsed", elapsed,
+			"trace_id", traceID)
 	}
 	return m
+}
+
+// Tracer returns the server's tracer (nil when tracing is off); the
+// admin endpoint serves /traces from its flight recorder.
+func (s *Server) Tracer() *trace.Tracer { return s.cfg.Tracer }
+
+// Profiles returns the workload profile accumulator (never nil).
+func (s *Server) Profiles() *trace.Profiles { return s.prof }
+
+// traceCtx converts a request's span into the wire form a WAL record
+// carries through the log and the replication stream (nil = untraced).
+func traceCtx(sp *trace.Span) *wire.TraceContext {
+	if sp == nil {
+		return nil
+	}
+	return &wire.TraceContext{ID: sp.TraceID(), Span: sp.SpanID()}
+}
+
+// onEventProfile feeds the workload profile: one applied storage event
+// (trigger or cascade) = one write against its relation. Never errors,
+// so it can never abort the notify chain.
+func (s *Server) onEventProfile(ev storage.Event) error {
+	s.profileRel(ev.Rel).RecordWrite()
+	return nil
+}
+
+// profileRel resolves a relation's profile accumulator, creating it
+// with the catalog's attribute names on first sight (relations that
+// never get a predicate still profile their write rate).
+func (s *Server) profileRel(rel string) *trace.RelProfile {
+	if rp := s.prof.Lookup(rel); rp != nil {
+		return rp
+	}
+	var names []string
+	if r, ok := s.db.Catalog().Get(rel); ok {
+		for _, a := range r.Attrs() {
+			names = append(names, a.Name)
+		}
+	}
+	return s.prof.Rel(rel, names)
 }
 
 // dispatch routes one request to its handler. On a follower every
 // state-changing op is rejected with a leader redirect before reaching
 // its handler; reads, subscriptions, stats and backups serve locally.
-func (s *Server) dispatch(c *conn, req *wire.Request) wire.Message {
+// sp is the request's root span (nil when untraced); handlers that
+// explain themselves attach child spans to it.
+func (s *Server) dispatch(c *conn, req *wire.Request, sp *trace.Span) wire.Message {
 	switch req.Op {
 	case wire.OpDeclare, wire.OpIndex, wire.OpRule, wire.OpDropRule,
 		wire.OpAddPred, wire.OpRemovePred,
@@ -784,21 +888,21 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Message {
 	case wire.OpPing:
 		return okMsg(req.ID)
 	case wire.OpDeclare:
-		return s.handleDeclare(req)
+		return s.handleDeclare(req, sp)
 	case wire.OpIndex:
-		return s.handleIndex(req)
+		return s.handleIndex(req, sp)
 	case wire.OpRule:
-		return s.handleRule(req)
+		return s.handleRule(req, sp)
 	case wire.OpDropRule:
-		return s.handleDropRule(req)
+		return s.handleDropRule(req, sp)
 	case wire.OpAddPred:
-		return s.handleAddPred(req)
+		return s.handleAddPred(req, sp)
 	case wire.OpRemovePred:
-		return s.handleRemovePred(req)
+		return s.handleRemovePred(req, sp)
 	case wire.OpInsert, wire.OpUpdate, wire.OpDelete:
-		return s.handleMutation(req)
+		return s.handleMutation(req, sp)
 	case wire.OpMatch:
-		return s.handleMatch(req)
+		return s.handleMatch(req, sp)
 	case wire.OpMatchBatch:
 		return s.handleMatchBatch(req)
 	case wire.OpSubscribe:
@@ -828,7 +932,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Message {
 // Request.MinSeq and the replica serves the read only once its applied
 // state covers it.
 
-func (s *Server) handleDeclare(req *wire.Request) wire.Message {
+func (s *Server) handleDeclare(req *wire.Request, sp *trace.Span) wire.Message {
 	s.mu.Lock()
 	if err := s.declareRelation(req.Relation, req.Attrs); err != nil {
 		s.mu.Unlock()
@@ -836,9 +940,9 @@ func (s *Server) handleDeclare(req *wire.Request) wire.Message {
 	}
 	seq, werr := s.logCommand(&wal.Record{
 		Kind: wal.KindDeclare, Relation: req.Relation, Attrs: req.Attrs,
-	})
+	}, sp)
 	s.mu.Unlock()
-	if err := s.commit(seq, werr); err != nil {
+	if err := s.commit(seq, werr, sp); err != nil {
 		return errMsg(req.ID, err)
 	}
 	m := okMsg(req.ID)
@@ -846,7 +950,7 @@ func (s *Server) handleDeclare(req *wire.Request) wire.Message {
 	return m
 }
 
-func (s *Server) handleIndex(req *wire.Request) wire.Message {
+func (s *Server) handleIndex(req *wire.Request, sp *trace.Span) wire.Message {
 	s.mu.Lock()
 	tab, ok := s.db.Table(req.Relation)
 	if !ok {
@@ -859,9 +963,9 @@ func (s *Server) handleIndex(req *wire.Request) wire.Message {
 	}
 	seq, werr := s.logCommand(&wal.Record{
 		Kind: wal.KindIndex, Relation: req.Relation, Attr: req.Attr,
-	})
+	}, sp)
 	s.mu.Unlock()
-	if err := s.commit(seq, werr); err != nil {
+	if err := s.commit(seq, werr, sp); err != nil {
 		return errMsg(req.ID, err)
 	}
 	m := okMsg(req.ID)
@@ -869,16 +973,16 @@ func (s *Server) handleIndex(req *wire.Request) wire.Message {
 	return m
 }
 
-func (s *Server) handleRule(req *wire.Request) wire.Message {
+func (s *Server) handleRule(req *wire.Request, sp *trace.Span) wire.Message {
 	s.mu.Lock()
 	r, err := s.eng.DefineRule(req.Source)
 	if err != nil {
 		s.mu.Unlock()
 		return errMsg(req.ID, err)
 	}
-	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindRule, Source: req.Source})
+	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindRule, Source: req.Source}, sp)
 	s.mu.Unlock()
-	if err := s.commit(seq, werr); err != nil {
+	if err := s.commit(seq, werr, sp); err != nil {
 		return errMsg(req.ID, err)
 	}
 	m := okMsg(req.ID)
@@ -887,15 +991,15 @@ func (s *Server) handleRule(req *wire.Request) wire.Message {
 	return m
 }
 
-func (s *Server) handleDropRule(req *wire.Request) wire.Message {
+func (s *Server) handleDropRule(req *wire.Request, sp *trace.Span) wire.Message {
 	s.mu.Lock()
 	if err := s.eng.DropRule(req.Name); err != nil {
 		s.mu.Unlock()
 		return errMsg(req.ID, err)
 	}
-	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindDropRule, Name: req.Name})
+	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindDropRule, Name: req.Name}, sp)
 	s.mu.Unlock()
-	if err := s.commit(seq, werr); err != nil {
+	if err := s.commit(seq, werr, sp); err != nil {
 		return errMsg(req.ID, err)
 	}
 	m := okMsg(req.ID)
@@ -909,7 +1013,7 @@ func (s *Server) handleDropRule(req *wire.Request) wire.Message {
 // WAL record are one atomic step with respect to checkpoints — a
 // snapshot can never capture a predicate whose log record lies after
 // the snapshot's sequence.
-func (s *Server) handleAddPred(req *wire.Request) wire.Message {
+func (s *Server) handleAddPred(req *wire.Request, sp *trace.Span) wire.Message {
 	if req.Pred == nil {
 		return errMsg(req.ID, errors.New("addpred needs a pred"))
 	}
@@ -921,9 +1025,9 @@ func (s *Server) handleAddPred(req *wire.Request) wire.Message {
 	}
 	seq, werr := s.logCommand(&wal.Record{
 		Kind: wal.KindAddPred, PredID: int64(id), Pred: req.Pred,
-	})
+	}, sp)
 	s.mu.Unlock()
-	if err := s.commit(seq, werr); err != nil {
+	if err := s.commit(seq, werr, sp); err != nil {
 		return errMsg(req.ID, err)
 	}
 	m := okMsg(req.ID)
@@ -932,7 +1036,7 @@ func (s *Server) handleAddPred(req *wire.Request) wire.Message {
 	return m
 }
 
-func (s *Server) handleRemovePred(req *wire.Request) wire.Message {
+func (s *Server) handleRemovePred(req *wire.Request, sp *trace.Span) wire.Message {
 	id := pred.ID(req.PredID)
 	if id < DirectPredBase {
 		return errMsg(req.ID, fmt.Errorf("predicate %d is not client-registered", req.PredID))
@@ -943,9 +1047,9 @@ func (s *Server) handleRemovePred(req *wire.Request) wire.Message {
 		return errMsg(req.ID, err)
 	}
 	delete(s.directPreds, req.PredID)
-	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindRemovePred, PredID: req.PredID})
+	seq, werr := s.logCommand(&wal.Record{Kind: wal.KindRemovePred, PredID: req.PredID}, sp)
 	s.mu.Unlock()
-	if err := s.commit(seq, werr); err != nil {
+	if err := s.commit(seq, werr, sp); err != nil {
 		return errMsg(req.ID, err)
 	}
 	m := okMsg(req.ID)
@@ -964,13 +1068,22 @@ func (s *Server) handleRemovePred(req *wire.Request) wire.Message {
 // durable under the sync policy — log-before-ack. A mutation whose
 // rule raised still applied events, so it is logged and committed even
 // though the response carries the rule's error.
-func (s *Server) handleMutation(req *wire.Request) wire.Message {
+func (s *Server) handleMutation(req *wire.Request, sp *trace.Span) wire.Message {
 	s.mu.Lock()
 	s.pending = s.pending[:0]
+	if sp != nil {
+		// Hand the engine the root span for the duration of this mutation
+		// so the firing cascade records engine.event / rule.fire children;
+		// cleared before mu is released (the engine runs only under mu).
+		s.eng.SetSpan(sp)
+	}
 	m := s.applyMutation(req)
-	seq, werr := s.logPending()
+	if sp != nil {
+		s.eng.SetSpan(nil)
+	}
+	seq, werr := s.logPending(sp)
 	s.mu.Unlock()
-	if err := s.commit(seq, werr); err != nil {
+	if err := s.commit(seq, werr, sp); err != nil {
 		// The in-memory state changed but cannot be made durable; the log
 		// is poisoned and every further state change will fail the same
 		// way. Surface the WAL error over the rule-level outcome.
@@ -1026,9 +1139,15 @@ func (s *Server) applyMutation(req *wire.Request) wire.Message {
 // touches the mutation mutex. A min_seq token makes the read wait until
 // the server's applied state covers that sequence (read-your-writes
 // across replicas; see docs/REPLICATION.md).
-func (s *Server) handleMatch(req *wire.Request) wire.Message {
-	if err := s.waitMinSeq(req.MinSeq); err != nil {
-		return s.minSeqErr(req.ID, err)
+func (s *Server) handleMatch(req *wire.Request, sp *trace.Span) wire.Message {
+	if req.MinSeq > 0 {
+		wsp := sp.Child("repl.wait")
+		wsp.SetInt("min_seq", int64(req.MinSeq))
+		err := s.waitMinSeq(req.MinSeq)
+		wsp.End()
+		if err != nil {
+			return s.minSeqErr(req.ID, err)
+		}
 	}
 	rel, ok := s.db.Catalog().Get(req.Relation)
 	if !ok {
@@ -1038,7 +1157,7 @@ func (s *Server) handleMatch(req *wire.Request) wire.Message {
 	if err != nil {
 		return errMsg(req.ID, err)
 	}
-	ids, err := s.sm.Match(req.Relation, t, nil)
+	ids, err := s.sm.MatchTraced(req.Relation, t, nil, sp)
 	if err != nil {
 		return errMsg(req.ID, err)
 	}
@@ -1124,6 +1243,16 @@ func (s *Server) handleStats(req *wire.Request) wire.Message {
 	}
 	if pf, ok := s.sm.PrefilterStats(); ok {
 		st.Prefilter = &wire.PrefilterStat{Admitted: pf.Admitted, Skipped: pf.Skipped}
+	}
+	for _, rp := range s.prof.Snapshot() {
+		ps := wire.ProfileStat{
+			Rel: rp.Relation, Stabs: rp.Stabs, Skipped: rp.Skipped,
+			Results: rp.Results, StabSecs: rp.StabSecs, Writes: rp.Writes,
+		}
+		for _, a := range rp.Attrs {
+			ps.Attrs = append(ps.Attrs, wire.AttrProfile{Name: a.Name, Queried: a.Queried})
+		}
+		st.Profiles = append(st.Profiles, ps)
 	}
 	for _, sh := range s.sm.Stats() {
 		st.Shards = append(st.Shards, wire.ShardStat{

@@ -1,0 +1,243 @@
+package server_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"predmatch/internal/client"
+	"predmatch/internal/schema"
+	"predmatch/internal/server"
+	"predmatch/internal/trace"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+	"predmatch/internal/wire"
+)
+
+// tracesDoc mirrors the /traces?format=json document for assertions.
+type tracesDoc struct {
+	Traces []struct {
+		ID     string `json:"id"`
+		Root   string `json:"root"`
+		Remote bool   `json:"remote"`
+		Spans  []struct {
+			ID     uint64 `json:"id"`
+			Parent uint64 `json:"parent"`
+			Name   string `json:"name"`
+		} `json:"spans"`
+	} `json:"traces"`
+}
+
+func getTraces(t *testing.T, base, query string) tracesDoc {
+	t.Helper()
+	code, body := adminGet(t, base+"/traces?format=json"+query)
+	if code != 200 {
+		t.Fatalf("/traces: status %d: %s", code, body)
+	}
+	var doc tracesDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/traces: %v\n%s", err, body)
+	}
+	return doc
+}
+
+// spanTree indexes one trace's spans by name and returns a lookup of
+// parent names, "" for the root or missing spans.
+func parentNames(spans []struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent"`
+	Name   string `json:"name"`
+}) map[string]string {
+	byID := make(map[uint64]string)
+	for _, s := range spans {
+		byID[s.ID] = s.Name
+	}
+	out := make(map[string]string)
+	for _, s := range spans {
+		out[s.Name] = byID[s.Parent]
+	}
+	return out
+}
+
+// TestTracedMutationPipeline is the tentpole's acceptance check: one
+// client-initiated traced insert against a durable daemon must yield a
+// single trace at /traces containing the full pipeline — engine event,
+// snapshot load, prefilter verdict, index stab, the fired rule, the
+// WAL append and the group-commit flush — correctly nested under the
+// server op root.
+func TestTracedMutationPipeline(t *testing.T) {
+	cfg := server.Config{
+		DataDir: t.TempDir(),
+		Tracer:  trace.New(trace.Config{}), // no sampling: only the carried context traces
+	}
+	s, addr, stop := startDurable(t, cfg)
+	defer stop()
+	base, stopAdmin := startAdmin(t, server.NewAdmin("unused", nil, s))
+	defer stopAdmin()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rel := schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "salary", Type: value.KindInt})
+	if err := c.DeclareRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DefineRule("rule senior on insert to emp when age > 50 do log 'senior'"); err != nil {
+		t.Fatal(err)
+	}
+
+	// An untraced insert warms the path and must not be recorded.
+	if _, _, err := c.Insert("emp", tuple.Tuple{value.String_("bob"), value.Int(33), value.Int(25000)}); err != nil {
+		t.Fatal(err)
+	}
+	if doc := getTraces(t, base, ""); len(doc.Traces) != 0 {
+		t.Fatalf("untraced insert was recorded: %d traces", len(doc.Traces))
+	}
+
+	const traceID = "00000000feedc0de"
+	c.TraceNext(&wire.TraceContext{ID: traceID})
+	if _, _, err := c.Insert("emp", tuple.Tuple{value.String_("ada"), value.Int(52), value.Int(18000)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The group-commit span ends off the request goroutine; poll until
+	// the completed trace lands in the recorder.
+	var doc tracesDoc
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		doc = getTraces(t, base, "&id="+traceID)
+		if len(doc.Traces) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared: %+v", traceID, doc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tr := doc.Traces[0]
+	if tr.Root != "server.insert" || !tr.Remote {
+		t.Errorf("trace head = root %q remote %v", tr.Root, tr.Remote)
+	}
+	parents := parentNames(tr.Spans)
+	want := map[string]string{
+		"server.insert":   "",
+		"engine.event":    "server.insert",
+		"shard.snapshot":  "engine.event",
+		"shard.prefilter": "engine.event",
+		"shard.stab":      "engine.event",
+		"rule.fire":       "engine.event",
+		"wal.append":      "server.insert",
+		"wal.commit":      "server.insert",
+	}
+	for name, parent := range want {
+		got, ok := parents[name]
+		if !ok {
+			t.Errorf("span %q missing from trace: %+v", name, tr.Spans)
+			continue
+		}
+		if got != parent {
+			t.Errorf("span %q nested under %q, want %q", name, got, parent)
+		}
+	}
+
+	// The response echoed an explorable id, and the text rendering and
+	// slow/n/id query paths serve without error.
+	if code, body := adminGet(t, base+"/traces?id="+traceID); code != 200 || body == "" {
+		t.Errorf("/traces text form: %d %q", code, body)
+	}
+	if code, _ := adminGet(t, base+"/traces?slow=1&n=2"); code != 200 {
+		t.Errorf("/traces?slow=1: %d", code)
+	}
+	if code, _ := adminGet(t, base+"/traces?id=zzz"); code != 400 {
+		t.Errorf("/traces bad id: %d, want 400", code)
+	}
+	if code, _ := adminGet(t, base+"/traces?n=-1"); code != 400 {
+		t.Errorf("/traces bad n: %d, want 400", code)
+	}
+}
+
+// TestTracesDisabled: without a tracer the endpoint 404s with a hint
+// instead of serving an empty document.
+func TestTracesDisabled(t *testing.T) {
+	s, _, stop := startServer(t, server.Config{})
+	defer stop()
+	base, stopAdmin := startAdmin(t, server.NewAdmin("unused", nil, s))
+	defer stopAdmin()
+	if code, body := adminGet(t, base+"/traces"); code != 404 || body == "" {
+		t.Errorf("/traces without tracer: %d %q", code, body)
+	}
+}
+
+// TestTraceCrossesReplication: a traced mutation on the leader must
+// surface on the follower as a follower.apply trace under the same
+// trace id — the context rides the WAL record through the replication
+// stream.
+func TestTraceCrossesReplication(t *testing.T) {
+	leaderCfg := server.Config{
+		DataDir: t.TempDir(),
+		Tracer:  trace.New(trace.Config{}),
+	}
+	leader, leaderAddr, stopLeader := startDurable(t, leaderCfg)
+	_ = leader
+	follower, _, _, stopFollower := startFollower(t, leaderAddr, server.Config{
+		Tracer: trace.New(trace.Config{}),
+	})
+
+	c, err := client.Dial(leaderAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := schema.MustRelation("emp",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt})
+	if err := c.DeclareRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	const traceID = "00000000feedface"
+	c.TraceNext(&wire.TraceContext{ID: traceID})
+	if _, _, err := c.Insert("emp", tuple.Tuple{value.String_("ada"), value.Int(52)}); err != nil {
+		t.Fatal(err)
+	}
+	seq := c.LastSeq()
+	waitSeq(t, "follower", follower.ReplAppliedSeq, seq)
+
+	var got []*trace.Trace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got = nil
+		for _, tr := range follower.Tracer().Traces() {
+			if tr.ID == traceID {
+				got = append(got, tr)
+			}
+		}
+		if len(got) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never recorded the leader's trace id")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tr := got[0]
+	if tr.Root != "follower.apply" || !tr.Remote {
+		t.Errorf("follower trace = root %q remote %v", tr.Root, tr.Remote)
+	}
+	names := make(map[string]bool)
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"follower.apply", "wal.append", "wal.commit"} {
+		if !names[want] {
+			t.Errorf("follower trace missing span %q: %v", want, names)
+		}
+	}
+
+	c.Close()
+	stopFollower()
+	stopLeader()
+}

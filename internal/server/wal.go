@@ -27,6 +27,7 @@ import (
 	"predmatch/internal/pred"
 	"predmatch/internal/schema"
 	"predmatch/internal/storage"
+	"predmatch/internal/trace"
 	"predmatch/internal/tuple"
 	"predmatch/internal/value"
 	"predmatch/internal/wal"
@@ -98,40 +99,59 @@ func (s *Server) onEventWAL(ev storage.Event) error {
 
 // logPending appends the captured events of the current mutation as one
 // record. Returns seq 0 when there is nothing to log (no WAL, or the
-// request failed before applying anything).
+// request failed before applying anything). A traced request stamps its
+// trace context on the record (it rides the log into the replication
+// stream) and records the append as a wal.append span.
 //
 //predmatchvet:holds mu
-func (s *Server) logPending() (uint64, error) {
+func (s *Server) logPending(sp *trace.Span) (uint64, error) {
 	if s.wal == nil || len(s.pending) == 0 {
 		return 0, nil
 	}
 	events := make([]wal.Event, len(s.pending))
 	copy(events, s.pending)
-	return s.wal.Append(&wal.Record{Kind: wal.KindMutate, Events: events})
+	rec := &wal.Record{Kind: wal.KindMutate, Events: events, Trace: traceCtx(sp)}
+	asp := sp.Child("wal.append")
+	seq, err := s.wal.Append(rec)
+	asp.SetInt("seq", int64(seq))
+	asp.SetInt("events", int64(len(events)))
+	asp.End()
+	return seq, err
 }
 
 // logCommand appends one DDL command record. Returns seq 0 when the
 // server has no WAL.
 //
 //predmatchvet:holds mu
-func (s *Server) logCommand(rec *wal.Record) (uint64, error) {
+func (s *Server) logCommand(rec *wal.Record, sp *trace.Span) (uint64, error) {
 	if s.wal == nil {
 		return 0, nil
 	}
-	return s.wal.Append(rec)
+	rec.Trace = traceCtx(sp)
+	asp := sp.Child("wal.append")
+	seq, err := s.wal.Append(rec)
+	asp.SetInt("seq", int64(seq))
+	asp.End()
+	return seq, err
 }
 
 // commit waits for seq to be durable under the configured sync policy.
 // The caller must have released s.mu: this is the group-commit window —
-// other mutators append (and share the fsync) while we wait.
-func (s *Server) commit(seq uint64, err error) error {
+// other mutators append (and share the fsync) while we wait. The
+// wal.commit span therefore ends off the server mutex, which is why a
+// trace's span list carries its own lock.
+func (s *Server) commit(seq uint64, err error, sp *trace.Span) error {
 	if err != nil {
 		return err
 	}
 	if s.wal == nil || seq == 0 {
 		return nil
 	}
-	return s.wal.Commit(seq)
+	csp := sp.Child("wal.commit")
+	csp.SetInt("seq", int64(seq))
+	cerr := s.wal.Commit(seq)
+	csp.End()
+	return cerr
 }
 
 // parseEventOp is the inverse of storage.Op.String for replay.

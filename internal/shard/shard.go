@@ -37,6 +37,7 @@ import (
 	"predmatch/internal/pred"
 	"predmatch/internal/prefilter"
 	"predmatch/internal/schema"
+	"predmatch/internal/trace"
 	"predmatch/internal/tuple"
 )
 
@@ -53,6 +54,11 @@ type ShardedMatcher struct {
 	workers int
 	name    string
 	met     *metrics // nil unless built with WithMetrics
+
+	// prof is the workload profile accumulator fed by every Match (stab
+	// count/latency/results, prefilter skips, queried attributes). nil
+	// unless installed with SetProfiles.
+	prof *trace.Profiles
 
 	// pf is the attribute prefilter consulted before every snapshot
 	// stab; tuples it proves unmatchable never enter a tree. nil when
@@ -74,7 +80,10 @@ type ShardedMatcher struct {
 	ids  map[pred.ID]string // guarded-by: idMu
 }
 
-var _ matcher.Matcher = (*ShardedMatcher)(nil)
+var (
+	_ matcher.Matcher       = (*ShardedMatcher)(nil)
+	_ matcher.TracedMatcher = (*ShardedMatcher)(nil)
+)
 
 // relShard is one relation's slice of the index.
 type relShard struct {
@@ -89,6 +98,9 @@ type relShard struct {
 	// once at shard creation so Match never takes the vec's lookup
 	// lock. nil when the matcher is uninstrumented.
 	lat *obs.Histogram
+	// prof is the relation's workload-profile handle, resolved once at
+	// shard creation for the same reason. nil when unprofiled.
+	prof *trace.RelProfile
 }
 
 // Option configures a ShardedMatcher.
@@ -141,6 +153,12 @@ func New(catalog *schema.Catalog, funcs *pred.Registry, opts ...Option) *Sharded
 	return m
 }
 
+// SetProfiles installs the workload profile accumulator every shard
+// feeds. Install before registering predicates (shards resolve their
+// profile handle at creation); the server does this right after
+// constructing the matcher, before recovery replays any DDL.
+func (m *ShardedMatcher) SetProfiles(p *trace.Profiles) { m.prof = p }
+
 // Name implements matcher.Matcher.
 func (m *ShardedMatcher) Name() string { return m.name }
 
@@ -176,6 +194,15 @@ func (m *ShardedMatcher) shardOrCreate(rel string) *relShard {
 	sh := &relShard{}
 	if m.met != nil {
 		sh.lat = m.met.lat.With(rel)
+	}
+	if m.prof != nil {
+		var names []string
+		if r, ok := m.catalog.Get(rel); ok {
+			for _, a := range r.Attrs() {
+				names = append(names, a.Name)
+			}
+		}
+		sh.prof = m.prof.Rel(rel, names)
 	}
 	next[rel] = sh
 	m.dir.Store(&next)
@@ -271,26 +298,73 @@ func (m *ShardedMatcher) Remove(id pred.ID) error {
 
 // Match implements matcher.Matcher with a lock-free snapshot read.
 func (m *ShardedMatcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	return m.MatchTraced(rel, t, dst, nil)
+}
+
+// MatchTraced implements matcher.TracedMatcher: Match, additionally
+// attaching child spans for the snapshot load, the prefilter verdict
+// and the stab to sp. A nil sp records no spans (every span call is a
+// nil-receiver no-op), so the untraced path pays only nil checks.
+func (m *ShardedMatcher) MatchTraced(rel string, t tuple.Tuple, dst []pred.ID, sp *trace.Span) ([]pred.ID, error) {
+	ssp := sp.Child("shard.snapshot")
 	sh := m.shard(rel)
-	if sh == nil {
-		return dst, nil
+	var snap *core.Index
+	if sh != nil {
+		snap = sh.snap.Load()
 	}
-	snap := sh.snap.Load()
 	if snap == nil {
+		ssp.SetBool("miss", true)
+		ssp.End()
 		return dst, nil
 	}
+	if sp != nil {
+		ssp.SetInt("version", int64(sh.version.Load()))
+	}
+	ssp.End()
 	// The filter is consulted after the snapshot load: if this reader
 	// observed a snapshot containing predicate p, the writer's filter
 	// registration of p (sequenced before the publish) is visible too.
-	if m.pf != nil && !m.pf.Admit(rel, t) {
-		return dst, nil
+	if m.pf != nil {
+		admit := m.pf.Admit(rel, t)
+		if sp != nil {
+			psp := sp.Child("shard.prefilter")
+			psp.SetBool("admit", admit)
+			psp.End()
+		}
+		if !admit {
+			sh.prof.Skip()
+			return dst, nil
+		}
 	}
-	if sh.lat == nil {
+	if sh.lat == nil && sh.prof == nil && sp == nil {
 		return snap.MatchSnapshot(rel, t, dst)
 	}
+	tsp := sp.Child("shard.stab")
 	t0 := time.Now()
 	out, err := snap.MatchSnapshot(rel, t, dst)
-	sh.lat.ObserveSince(t0)
+	d := time.Since(t0)
+	if sh.lat != nil {
+		sh.lat.Observe(d.Seconds())
+	}
+	if sh.prof != nil {
+		sh.prof.Stab(d, len(out))
+		if m.pf != nil {
+			// Attribute the stab to the positions the index consulted:
+			// those carrying at least one interval clause.
+			for i, word := range m.pf.QueriedBits(rel) {
+				for b := 0; word != 0; b, word = b+1, word>>1 {
+					if word&1 != 0 {
+						sh.prof.QueriedAttr(i*64 + b)
+					}
+				}
+			}
+		}
+	}
+	if sp != nil {
+		tsp.SetStr("rel", rel)
+		tsp.SetInt("results", int64(len(out)))
+	}
+	tsp.End()
 	return out, err
 }
 

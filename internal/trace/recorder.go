@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one completed, immutable trace as held by the flight
+// recorder and rendered by /traces.
+type Trace struct {
+	// ID is the trace id in wire form (FormatID).
+	ID string `json:"id"`
+	// Root is the root span's name (the server op for request traces).
+	Root string `json:"root"`
+	// Start is the wall-clock start, for display; all span timings are
+	// monotonic offsets from it.
+	Start time.Time `json:"start"`
+	// Duration is the root span's duration in nanoseconds.
+	Duration time.Duration `json:"duration_ns"`
+	// Slow marks a trace retained by the slow threshold (including
+	// root-only traces synthesized for unsampled slow requests).
+	Slow bool `json:"slow,omitempty"`
+	// Remote marks a trace joined from a wire-propagated context: the
+	// id was minted by another process.
+	Remote bool `json:"remote,omitempty"`
+	// Spans holds every finished span, in end order. Parent links
+	// express the tree; the root has ID 1 and Parent 0.
+	Spans []SpanData `json:"spans"`
+
+	// Seq is the recorder admission order (newest-first sort key and
+	// cross-ring dedup key); not part of the wire form.
+	Seq uint64 `json:"-"`
+}
+
+// SpanData is one finished span.
+type SpanData struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"` // 0 = root
+	Name   string `json:"name"`
+	// Start is the monotonic offset from the trace start.
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Attr is one typed span attribute. Exactly one of Str/Int/Bool is
+// meaningful, named by Kind.
+type Attr struct {
+	Key  string `json:"key"`
+	Kind string `json:"kind"` // "str", "int" or "bool"
+	Str  string `json:"str,omitempty"`
+	Int  int64  `json:"int,omitempty"`
+	Bool bool   `json:"bool,omitempty"`
+}
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Kind: "str", Str: v} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Kind: "int", Int: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Kind: "bool", Bool: v} }
+
+// recorder is a lock-striped ring buffer of completed traces. Writers
+// are spread round-robin across the stripes so concurrent request
+// goroutines finishing traces contend on different locks; each stripe
+// is an independent ring that overwrites its oldest entry when full.
+// Readers (the /traces handler) lock one stripe at a time, so a
+// snapshot never blocks more than 1/nth of the writers.
+const recStripes = 8
+
+type recorder struct {
+	seq     atomic.Uint64 // round-robin writer distribution
+	stripes [recStripes]recStripe
+}
+
+type recStripe struct {
+	mu  sync.Mutex
+	buf []*Trace // guarded-by: mu (ring storage, fixed capacity)
+	n   int      // guarded-by: mu (entries written, saturates at cap)
+	pos int      // guarded-by: mu (next write slot)
+}
+
+// init sizes the rings: capacity is split evenly across the stripes,
+// at least one slot each.
+func (r *recorder) init(capacity int) {
+	per := (capacity + recStripes - 1) / recStripes
+	if per < 1 {
+		per = 1
+	}
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		s.buf = make([]*Trace, per)
+		s.mu.Unlock()
+	}
+}
+
+// put records one trace, evicting the stripe's oldest when full.
+func (r *recorder) put(t *Trace) {
+	s := &r.stripes[r.seq.Add(1)%recStripes]
+	s.mu.Lock()
+	s.buf[s.pos] = t
+	s.pos = (s.pos + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// snapshot copies the current contents, in no particular order.
+func (r *recorder) snapshot() []*Trace {
+	var out []*Trace
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for _, t := range s.buf[:s.n] {
+			out = append(out, t)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// sortTraces orders traces newest-admitted first.
+func sortTraces(ts []*Trace) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Seq > ts[j].Seq })
+}

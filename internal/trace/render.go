@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteJSON renders traces as a JSON document {"traces": [...]},
+// indented for humans but stable for tools.
+func WriteJSON(w io.Writer, traces []*Trace) error {
+	if traces == nil {
+		traces = []*Trace{} // render [] rather than null
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Traces []*Trace `json:"traces"`
+	}{traces})
+}
+
+// WriteText renders traces as an indented human-readable span tree,
+// newest trace first:
+//
+//	trace 00000000deadbeef  server.insert  1.2ms  slow  start=...
+//	  server.insert 1.2ms
+//	    engine.event 800µs  [rel=emp op=insert depth=0]
+//	    wal.commit 250µs  [seq=42]
+func WriteText(w io.Writer, traces []*Trace) error {
+	for i, t := range traces {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := writeTrace(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTrace(w io.Writer, t *Trace) error {
+	flags := ""
+	if t.Slow {
+		flags += "  slow"
+	}
+	if t.Remote {
+		flags += "  remote"
+	}
+	if _, err := fmt.Fprintf(w, "trace %s  %s  %s%s  start=%s\n",
+		t.ID, t.Root, fmtDur(t.Duration), flags,
+		t.Start.UTC().Format(time.RFC3339Nano)); err != nil {
+		return err
+	}
+	// Build the tree: children grouped by parent, ordered by start
+	// offset (ties by id, which is allocation order).
+	kids := make(map[uint64][]SpanData, len(t.Spans))
+	for _, sd := range t.Spans {
+		kids[sd.Parent] = append(kids[sd.Parent], sd)
+	}
+	for _, k := range kids {
+		sort.Slice(k, func(i, j int) bool {
+			if k[i].Start != k[j].Start {
+				return k[i].Start < k[j].Start
+			}
+			return k[i].ID < k[j].ID
+		})
+	}
+	var walk func(parent uint64, depth int) error
+	walk = func(parent uint64, depth int) error {
+		for _, sd := range kids[parent] {
+			if _, err := fmt.Fprintf(w, "%*s%s %s%s\n",
+				2*(depth+1), "", sd.Name, fmtDur(sd.Duration), fmtAttrs(sd.Attrs)); err != nil {
+				return err
+			}
+			if err := walk(sd.ID, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0, 0)
+}
+
+// fmtDur rounds to the microsecond for readability; sub-microsecond
+// spans keep full precision so they don't render as 0s.
+func fmtDur(d time.Duration) string {
+	if r := d.Round(time.Microsecond); r != 0 {
+		return r.String()
+	}
+	return d.String()
+}
+
+// fmtAttrs renders attributes as "  [k=v k=v]", empty for none.
+func fmtAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	out := "  ["
+	for i, a := range attrs {
+		if i > 0 {
+			out += " "
+		}
+		out += a.Key + "=" + a.ValueString()
+	}
+	return out + "]"
+}
+
+// ValueString renders the attribute's value per its kind.
+func (a Attr) ValueString() string {
+	switch a.Kind {
+	case "int":
+		return strconv.FormatInt(a.Int, 10)
+	case "bool":
+		return strconv.FormatBool(a.Bool)
+	default:
+		return a.Str
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// goldenTraces builds a deterministic recorder's-eye view of two
+// traces: a remote multi-span mutate showing the full pipeline
+// (prefilter → stab → firing → WAL append → group commit) and a
+// root-only synthesized slow trace — the two shapes /traces serves.
+func goldenTraces() []*Trace {
+	start := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return []*Trace{
+		{
+			ID:       "00000000deadbeef",
+			Root:     "server.insert",
+			Start:    start,
+			Duration: 1520 * time.Microsecond,
+			Slow:     true,
+			Remote:   true,
+			Seq:      2,
+			Spans: []SpanData{
+				{ID: 3, Parent: 2, Name: "shard.prefilter", Start: 60 * time.Microsecond,
+					Duration: 10 * time.Microsecond, Attrs: []Attr{Bool("admitted", true)}},
+				{ID: 4, Parent: 2, Name: "shard.stab", Start: 80 * time.Microsecond,
+					Duration: 200 * time.Microsecond, Attrs: []Attr{Int("results", 3)}},
+				{ID: 5, Parent: 2, Name: "rule.fire", Start: 300 * time.Microsecond,
+					Duration: 150 * time.Microsecond, Attrs: []Attr{Str("rule", "mid_band")}},
+				{ID: 2, Parent: 1, Name: "engine.event", Start: 50 * time.Microsecond,
+					Duration: 420 * time.Microsecond,
+					Attrs:    []Attr{Str("rel", "emp"), Str("op", "insert")}},
+				{ID: 6, Parent: 1, Name: "wal.append", Start: 500 * time.Microsecond,
+					Duration: 90 * time.Microsecond, Attrs: []Attr{Int("seq", 42)}},
+				{ID: 7, Parent: 1, Name: "wal.commit", Start: 600 * time.Microsecond,
+					Duration: 900 * time.Microsecond, Attrs: []Attr{Int("seq", 42)}},
+				{ID: 1, Parent: 0, Name: "server.insert",
+					Duration: 1520 * time.Microsecond, Attrs: []Attr{Str("rel", "emp")}},
+			},
+		},
+		{
+			ID:       "0000000000000abc",
+			Root:     "server.match",
+			Start:    start.Add(-time.Second),
+			Duration: 250*time.Millisecond + 333*time.Nanosecond,
+			Slow:     true,
+			Seq:      1,
+			Spans: []SpanData{
+				{ID: 1, Name: "server.match", Duration: 250*time.Millisecond + 333*time.Nanosecond,
+					Attrs: []Attr{Str("rel", "emp"), Str("remote", "10.0.0.7:58214")}},
+			},
+		},
+	}
+}
+
+// TestWriteTextGolden pins the human rendering of /traces and
+// `predmatch trace`: tree nesting by parent links, start-offset
+// ordering among siblings, flag and attribute formatting. Regenerate
+// with `go test ./internal/trace -update`.
+func TestWriteTextGolden(t *testing.T) {
+	var got bytes.Buffer
+	if err := WriteText(&got, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "traces.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("text rendering differs from %s:\ngot:\n%s\nwant:\n%s", golden, got.Bytes(), want)
+	}
+}
+
+// TestWriteJSON checks the JSON document shape tools consume: a
+// {"traces": [...]} wrapper, never null, with Seq kept internal.
+func TestWriteJSON(t *testing.T) {
+	var empty bytes.Buffer
+	if err := WriteJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(empty.Bytes(), &doc); err != nil {
+		t.Fatalf("empty document: %v\n%s", err, empty.Bytes())
+	}
+	if doc.Traces == nil || len(doc.Traces) != 0 {
+		t.Errorf("nil input must render as an empty array, got %s", empty.Bytes())
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	var full struct {
+		Traces []map[string]any `json:"traces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Traces) != 2 {
+		t.Fatalf("%d traces in document", len(full.Traces))
+	}
+	tr := full.Traces[0]
+	if tr["id"] != "00000000deadbeef" || tr["slow"] != true || tr["remote"] != true {
+		t.Errorf("trace head = %v", tr)
+	}
+	if _, leaked := tr["Seq"]; leaked {
+		t.Error("recorder Seq leaked into the wire form")
+	}
+	if spans, ok := tr["spans"].([]any); !ok || len(spans) != 7 {
+		t.Errorf("spans = %v", tr["spans"])
+	}
+}

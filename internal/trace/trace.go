@@ -1,0 +1,375 @@
+// Package trace is the daemon's request-scoped tracing subsystem: a
+// span model threaded through the full request pipeline (dispatch →
+// prefilter → snapshot load → index stab → firing cascade → WAL append
+// → group commit → follower apply) so one slow request can be explained
+// span by span instead of guessed at from aggregate metrics.
+//
+// Design constraints, in order:
+//
+//  1. Zero overhead when off. Spans are passed as explicit *Span
+//     values, never via context.Context, and every method is a no-op on
+//     a nil receiver — an untraced request threads nil through the
+//     whole pipeline and pays only the nil checks.
+//  2. Always-on capture. Finished traces land in a lock-striped
+//     ring-buffer "flight recorder" (plus a separate ring that retains
+//     slow traces unconditionally), so the recent past is always
+//     inspectable at /traces without any collector infrastructure.
+//  3. Head sampling. The keep/drop decision is made once, before the
+//     root span is created (Sampled), so a sampled request records
+//     every span and an unsampled one records none. Slow requests that
+//     were not sampled are still retained as synthesized root-only
+//     traces (RecordSlow), unifying the old -slowreq logging with the
+//     recorder.
+//  4. Stdlib only, and a leaf of the package graph: everything above it
+//     (wire, shard, engine, wal, server) may import it.
+//
+// Durations are monotonic: span starts are offsets from the trace's
+// start reading, taken with time.Since, so a wall-clock step never
+// corrupts a duration.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets a Tracer's sampling and retention knobs.
+type Config struct {
+	// SampleEvery enables head sampling: one in every SampleEvery
+	// requests is traced end to end. 0 disables head sampling
+	// (slow-trace retention still works), 1 traces everything.
+	SampleEvery int
+
+	// Slow retains any trace whose root duration reaches this bound in
+	// the slow ring, regardless of sampling. 0 disables slow retention.
+	Slow time.Duration
+
+	// Capacity is the flight recorder's total trace capacity
+	// (default 256).
+	Capacity int
+
+	// SlowCapacity is the slow ring's trace capacity (default 64).
+	SlowCapacity int
+}
+
+// Tracer makes sampling decisions, allocates trace ids and owns the
+// flight recorder. A nil *Tracer is a valid "tracing disabled" tracer:
+// Sampled reports false, Start and Join return nil spans.
+type Tracer struct {
+	every uint64
+	slow  time.Duration
+
+	seq  atomic.Uint64 // head-sampling clock
+	ids  atomic.Uint64 // trace id generator state (splitmix64 walk)
+	fseq atomic.Uint64 // admission order across both rings
+
+	rec     recorder // sampled traces
+	slowRec recorder // slow traces, retained unconditionally
+}
+
+// New builds a Tracer. Zero-value knobs get the documented defaults.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.SlowCapacity <= 0 {
+		cfg.SlowCapacity = 64
+	}
+	t := &Tracer{
+		every: uint64(max(cfg.SampleEvery, 0)),
+		slow:  cfg.Slow,
+	}
+	t.rec.init(cfg.Capacity)
+	t.slowRec.init(cfg.SlowCapacity)
+	// Random-origin ids so concurrent processes (leader and followers)
+	// never collide on locally minted trace ids.
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		t.ids.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+	return t
+}
+
+// Sampled makes the head-sampling decision for one request: true for
+// one in every cfg.SampleEvery calls. The caller creates a root span
+// (Start) only on true, which is what makes sampling "head" — the
+// whole request is either fully traced or not at all.
+func (t *Tracer) Sampled() bool {
+	if t == nil || t.every == 0 {
+		return false
+	}
+	return t.seq.Add(1)%t.every == 0
+}
+
+// Slow returns the slow-trace retention threshold (0 = disabled).
+func (t *Tracer) Slow() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slow
+}
+
+// Start begins a locally rooted trace and returns its root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root(name, t.newID(), false)
+}
+
+// Join begins a root span attached to a remote trace id — a trace that
+// originated on another process (a traced client request, or a leader's
+// mutation arriving on a follower through the replication stream). The
+// resulting trace is recorded here under the remote id, so the fleet's
+// recorders can be correlated by trace id.
+func (t *Tracer) Join(name string, traceID uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root(name, traceID, true)
+}
+
+func (t *Tracer) root(name string, id uint64, remote bool) *Span {
+	st := &state{tr: t, id: id, remote: remote, start: time.Now(), next: 1}
+	return &Span{st: st, id: 1, name: name, start: st.start}
+}
+
+// RecordSlow retains a synthesized root-only trace for a request that
+// was not head-sampled but crossed the slow threshold: the tracer
+// cannot reconstruct the request's inner spans after the fact, but the
+// op, start and duration the server already measured are enough to make
+// the request explorable (and greppable by the trace id this returns,
+// which the server attaches to the slow-request log line).
+func (t *Tracer) RecordSlow(name string, start time.Time, d time.Duration, attrs ...Attr) string {
+	if t == nil {
+		return ""
+	}
+	tr := &Trace{
+		ID:       FormatID(t.newID()),
+		Root:     name,
+		Start:    start,
+		Duration: d,
+		Slow:     true,
+		Spans:    []SpanData{{ID: 1, Name: name, Duration: d, Attrs: attrs}},
+	}
+	tr.Seq = t.fseq.Add(1)
+	t.slowRec.put(tr)
+	return tr.ID
+}
+
+// finish records a completed trace: sampled traces always enter the
+// flight recorder; traces at or past the slow threshold additionally
+// enter the slow ring, which evicts independently (a burst of fast
+// sampled traffic can never push a slow trace out).
+func (t *Tracer) finish(tr *Trace) {
+	tr.Slow = t.slow > 0 && tr.Duration >= t.slow
+	tr.Seq = t.fseq.Add(1)
+	t.rec.put(tr)
+	if tr.Slow {
+		t.slowRec.put(tr)
+	}
+}
+
+// Traces returns the recorded traces, newest first: the flight
+// recorder's contents merged with the slow ring, deduplicated by
+// admission sequence.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	out := t.rec.snapshot()
+	seen := make(map[uint64]bool, len(out))
+	for _, tr := range out {
+		seen[tr.Seq] = true
+	}
+	for _, tr := range t.slowRec.snapshot() {
+		if !seen[tr.Seq] {
+			out = append(out, tr)
+		}
+	}
+	sortTraces(out)
+	return out
+}
+
+// SlowTraces returns only the slow ring's contents, newest first.
+func (t *Tracer) SlowTraces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	out := t.slowRec.snapshot()
+	sortTraces(out)
+	return out
+}
+
+// newID mints a trace id: a splitmix64 walk from a random origin, so
+// ids are unique within a process and collide across processes with
+// negligible probability.
+func (t *Tracer) newID() uint64 {
+	x := t.ids.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 { // reserve 0 for "no trace"
+		x = 1
+	}
+	return x
+}
+
+// state is the shared, mutable core of one in-flight trace. Spans of
+// one trace may end from different goroutines (the group-commit wait
+// runs off the server mutex), so the finished-span list is locked.
+type state struct {
+	tr     *Tracer
+	id     uint64
+	remote bool
+	start  time.Time
+
+	mu    sync.Mutex
+	next  uint64     // guarded-by: mu (span id allocator; root is 1)
+	spans []SpanData // guarded-by: mu (finished spans, end order)
+}
+
+// Span is one timed operation inside a trace. The zero of usefulness:
+// every method is a no-op on a nil receiver, so untraced code paths
+// thread nil spans at the cost of a nil check. A Span's setters and End
+// must be called from one goroutine (the one doing the spanned work);
+// distinct spans of the same trace are safe to end concurrently.
+type Span struct {
+	st     *state
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// Child begins a sub-span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.st.mu.Lock()
+	s.st.next++
+	id := s.st.next
+	s.st.mu.Unlock()
+	return &Span{st: s.st, id: id, parent: s.id, name: name, start: time.Now()}
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s != nil {
+		s.attrs = append(s.attrs, Str(key, v))
+	}
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s != nil {
+		s.attrs = append(s.attrs, Int(key, v))
+	}
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s != nil {
+		s.attrs = append(s.attrs, Bool(key, v))
+	}
+}
+
+// End finishes the span. Ending the root span completes the trace and
+// hands it to the flight recorder; a second End is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	sd := SpanData{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start.Sub(s.st.start),
+		Duration: d,
+		Attrs:    s.attrs,
+	}
+	st := s.st
+	st.mu.Lock()
+	st.spans = append(st.spans, sd)
+	var done []SpanData
+	if s.parent == 0 {
+		done = st.spans
+		st.spans = nil
+	}
+	st.mu.Unlock()
+	if done == nil {
+		return
+	}
+	st.tr.finish(&Trace{
+		ID:       FormatID(st.id),
+		Root:     s.name,
+		Start:    st.start,
+		Duration: d,
+		Remote:   st.remote,
+		Spans:    done,
+	})
+}
+
+// TraceID returns the trace's id in wire form ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return FormatID(s.st.id)
+}
+
+// SpanID returns this span's id within the trace (0 on a nil span).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Duration returns the time elapsed since the span started (its final
+// duration once ended is what lands in the recorder; this accessor is
+// for callers that need the running value, e.g. the server's slow-path
+// check). 0 on a nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// FormatID renders a trace id in the wire form: 16 lowercase hex
+// digits, zero-padded so ids sort and grep cleanly.
+func FormatID(id uint64) string {
+	const hexdig = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdig[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses a wire-form trace id. It accepts any 1–16 digit hex
+// string; ok is false for anything else (including 0, the reserved
+// "no trace" id).
+func ParseID(s string) (uint64, bool) {
+	if s == "" || len(s) > 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}

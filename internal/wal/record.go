@@ -70,6 +70,12 @@ type Record struct {
 	PredID   int64           `json:"pred_id,omitempty"`  // addpred, rmpred
 	Pred     *wire.Predicate `json:"pred,omitempty"`     // addpred
 	Events   []Event         `json:"events,omitempty"`   // mutate
+
+	// Trace is the trace context of the traced request that produced
+	// this record, if any. It rides the record through the log and the
+	// replication stream so a follower can attach its apply span to the
+	// same trace; recovery replay ignores it.
+	Trace *wire.TraceContext `json:"trace,omitempty"`
 }
 
 // Frame layout constants.

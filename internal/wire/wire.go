@@ -116,6 +116,24 @@ type Request struct {
 	// (a follower waits for replication to catch up, then serves or
 	// redirects). Mutation acks carry the token in Message.WalSeq.
 	MinSeq uint64 `json:"min_seq,omitempty"`
+
+	// Trace is the optional request-scoped trace context (absent on the
+	// wire when nil, so untraced traffic is byte-identical to protocol
+	// versions that predate it). A server with tracing enabled joins the
+	// carried trace instead of making its own sampling decision, which
+	// is how one trace crosses the network: client → leader → WAL →
+	// replication stream → follower.
+	Trace *TraceContext `json:"trace,omitempty"`
+}
+
+// TraceContext is the wire-portable identity of a trace: the trace id
+// and (optionally) the sending side's span id, so a remote process can
+// attach its own spans to the same trace. The id is 1–16 lowercase hex
+// digits (see internal/trace FormatID/ParseID); presence of a context
+// means "trace this" — there is no separate sampled bit.
+type TraceContext struct {
+	ID   string `json:"id"`
+	Span uint64 `json:"span,omitempty"`
 }
 
 // Message type discriminators.
@@ -234,12 +252,41 @@ type PrefilterStat struct {
 	Skipped  uint64 `json:"skipped"`
 }
 
+// ProfileStat is one relation's workload profile in the stats
+// response: the feed for index-strategy selection (stab volume and
+// latency, observed selectivity, write rate, and which attributes the
+// probes actually consulted).
+type ProfileStat struct {
+	Rel string `json:"rel"`
+	// Stabs counts index probes that ran; Skipped the probes the
+	// prefilter proved unmatchable without touching a tree.
+	Stabs   uint64 `json:"stabs"`
+	Skipped uint64 `json:"skipped,omitempty"`
+	// Results is the total matches returned across all stabs
+	// (Results/Stabs = observed selectivity).
+	Results uint64 `json:"results,omitempty"`
+	// StabSecs is cumulative stab latency in seconds.
+	StabSecs float64 `json:"stab_secs,omitempty"`
+	// Writes counts applied mutation events against the relation.
+	Writes uint64 `json:"writes,omitempty"`
+	// Attrs is the queried-attribute histogram: per attribute, how many
+	// stabs consulted it (i.e. it carried an interval clause).
+	Attrs []AttrProfile `json:"attrs,omitempty"`
+}
+
+// AttrProfile is one attribute's entry in the queried histogram.
+type AttrProfile struct {
+	Name    string `json:"name"`
+	Queried uint64 `json:"queried"`
+}
+
 // Stats is the payload of a stats response.
 type Stats struct {
 	Rules       []string       `json:"rules"`
 	Matcher     string         `json:"matcher"`
 	Predicates  int            `json:"predicates"`
 	Prefilter   *PrefilterStat `json:"prefilter,omitempty"`
+	Profiles    []ProfileStat  `json:"profiles,omitempty"`
 	Shards      []ShardStat    `json:"shards,omitempty"`
 	Trees       []TreeStat     `json:"trees,omitempty"`
 	Relations   []RelStat      `json:"relations,omitempty"`
@@ -302,6 +349,13 @@ type Message struct {
 	Snap      json.RawMessage `json:"snap,omitempty"`
 	Rec       json.RawMessage `json:"rec,omitempty"`
 	LeaderSeq uint64          `json:"leader_seq,omitempty"`
+
+	// Trace echoes the trace context on responses to traced requests
+	// (and carries the server-assigned id when the server head-sampled
+	// an untraced request), so callers can log an explorable id.
+	// Omitted everywhere else: frames without tracing are byte-identical
+	// to protocol versions that predate the field.
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // FromValue converts an engine value to its JSON literal: numbers for
