@@ -58,9 +58,9 @@ func TestQuantileSmallN(t *testing.T) {
 	// rank, so p50 stays in the middle sample's bucket and p99 in the
 	// top sample's.
 	h3 := obs.NewHistogram(obs.DefBuckets...)
-	h3.Observe(80e-6)  // (50µs, 100µs]
-	h3.Observe(0.003)  // (2.5ms, 5ms]
-	h3.Observe(0.2)    // (100ms, 250ms]
+	h3.Observe(80e-6) // (50µs, 100µs]
+	h3.Observe(0.003) // (2.5ms, 5ms]
+	h3.Observe(0.2)   // (100ms, 250ms]
 	if got := quantile(h3, 0.50); got <= durOf(2.5e-3) || got > durOf(5e-3) {
 		t.Errorf("N=3: p50 = %s, want inside (2.5ms, 5ms]", got)
 	}
@@ -108,5 +108,36 @@ func TestSlowestTraced(t *testing.T) {
 	if got[0].Elapsed != 9*time.Millisecond || got[1].Elapsed != 7*time.Millisecond ||
 		got[2].Elapsed != 5*time.Millisecond {
 		t.Errorf("top-3 = %v", got)
+	}
+}
+
+// TestParsePhases pins the -phases flag grammar: the default steady
+// mix, the three named phases in order, and rejection of unknown names.
+func TestParsePhases(t *testing.T) {
+	steady, err := parsePhases(" ")
+	if err != nil || len(steady) != 1 || steady[0].name != "steady" {
+		t.Fatalf("default phases = %+v, %v", steady, err)
+	}
+	if m := steady[0].mix; m.insert+m.update+m.delete != 80 || m.churn != 0 {
+		t.Fatalf("steady mix changed: %+v", m)
+	}
+	specs, err := parsePhases("read-heavy, write-heavy,mixed")
+	if err != nil || len(specs) != 3 {
+		t.Fatalf("parsePhases = %+v, %v", specs, err)
+	}
+	for i, want := range []string{"read-heavy", "write-heavy", "mixed"} {
+		if specs[i].name != want {
+			t.Fatalf("phase %d = %q, want %q", i, specs[i].name, want)
+		}
+	}
+	// Read-heavy is probe-dominated; write-heavy churns predicates.
+	if m := specs[0].mix; m.insert+m.update+m.delete+m.churn >= 20 {
+		t.Fatalf("read-heavy mix not probe-dominated: %+v", m)
+	}
+	if specs[1].mix.churn == 0 {
+		t.Fatal("write-heavy phase has no predicate churn")
+	}
+	if _, err := parsePhases("read-heavy,bogus"); err == nil {
+		t.Fatal("unknown phase accepted")
 	}
 }

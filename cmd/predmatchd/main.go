@@ -17,7 +17,10 @@
 // -index picks the per-shard attribute index structure from the shared
 // strategy registry (internal/strategy): the paper's IBS-trees by
 // default, or hint, islist, pst, segtree, inttree, augtree — run -h for
-// the current list.
+// the current list. `-index meta` instead runs the adaptive engine
+// (internal/meta): each relation starts on IBS-trees and is migrated
+// online between ibs, islist and hint as its observed stab/write mix
+// dictates; `predmatch stats` shows the per-relation decisions.
 //
 // With -admin, a second HTTP listener serves the operational surface:
 // /metrics (Prometheus), /varz (JSON), /healthz, /traces and
@@ -107,9 +110,11 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 
-	if _, ok := strategy.CoreOptions(*indexName); !ok {
-		fmt.Fprintf(os.Stderr, "predmatchd: %v\n", strategy.UnknownIndexErr(*indexName))
-		os.Exit(2)
+	if *indexName != "meta" {
+		if _, ok := strategy.CoreOptions(*indexName); !ok {
+			fmt.Fprintf(os.Stderr, "predmatchd: %v\n", strategy.UnknownIndexErr(*indexName))
+			os.Exit(2)
+		}
 	}
 
 	cfg := server.Config{
@@ -130,10 +135,17 @@ func main() {
 			Capacity:    *traceBuf,
 		}),
 	}
-	if *indexName != "ibs" {
-		// The strategy registry supplies the per-shard attribute index;
-		// the default "ibs" keeps the zero-Config behavior (and its
+	switch *indexName {
+	case "ibs":
+		// The default keeps the zero-Config behavior (and its
 		// instrumented tree counters).
+	case "meta":
+		// The adaptive engine: warm-up on ibs, migrate per relation as
+		// the workload profile dictates.
+		ac := strategy.MetaConfig("ibs")
+		cfg.Adaptive = &ac
+	default:
+		// The strategy registry supplies the per-shard attribute index.
 		cfg.IndexOptions, _ = strategy.CoreOptions(*indexName)
 		cfg.MatcherName = "sharded-" + *indexName
 	}

@@ -91,6 +91,47 @@ func (r *Registry) goodDoubleCheck() *Config {
 	return c
 }
 
+// Index stands in for a rebuilt per-relation index during an online
+// structure migration.
+type Index struct {
+	Structure string
+	N         int
+}
+
+// Shard publishes its live index snapshot lock-free; migrations swap
+// in a structure rebuilt off-lock.
+type Shard struct {
+	idx atomic.Pointer[Index]
+}
+
+// migrateClean is the sanctioned migration publish path: rebuild a
+// fresh candidate per attempt, publish it with a version check, and
+// never touch a candidate after it has been offered to readers.
+func (s *Shard) migrateClean(structure string) {
+	for {
+		cur := s.idx.Load()
+		next := &Index{Structure: structure, N: cur.N}
+		if s.idx.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// migratePatchAfterSwap reuses one rebuilt candidate across swap
+// attempts, patching it in place on the retry path — but a successful
+// CompareAndSwap already handed that value to lock-free readers, so
+// the back-edge write races with them.
+func (s *Shard) migratePatchAfterSwap(structure string) {
+	next := &Index{Structure: structure}
+	for {
+		cur := s.idx.Load()
+		next.N = cur.N // want "write to next.N after next was published"
+		if s.idx.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
 // staleDoubleCheck skips the re-load: a rebuild that raced in between
 // the first load and the lock gets silently clobbered.
 func (r *Registry) staleDoubleCheck() *Config {

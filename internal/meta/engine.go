@@ -1,0 +1,522 @@
+// Package meta implements the adaptive meta-matcher (ROADMAP item 1):
+// a per-relation cost model over the registered index structures, fed by
+// the live workload profiles (internal/trace), that picks the cheapest
+// structure for each relation's observed stab/write mix and migrates the
+// serving shards online through the existing clone-and-publish snapshot
+// swap.
+//
+// The paper fixes one structure (the IBS-tree) for every predicate
+// class; this package closes the loop the repo has been building toward:
+// PR 6 supplied the candidate structures behind one registry, PR 9 the
+// per-relation workload observations, internal/shard the atomic
+// migration primitive — the Engine here is the brain that connects them.
+//
+// Design constraints, enforced by construction:
+//
+//   - No thrash: a migration needs the challenger to beat the incumbent
+//     by a hysteresis margin AND a per-relation cooldown to have
+//     elapsed. The workload view is an EWMA window (trace.Window), so
+//     one bursty tick cannot flip a relation.
+//   - Warm-up: below MinPreds predicates or MinOpsRate observed
+//     operations per second, a relation stays on the configured default
+//     (the static -index flag's structure) — tiny or idle relations are
+//     not worth a rebuild, and their profiles are noise.
+//   - Hard fallback: with no engine decision a shard gets the default
+//     structure, so losing the engine (or running with -index ibs) is
+//     exactly the static behaviour.
+//   - Lock discipline: the shard layer calls Engine.Options while
+//     holding a shard mutex, so Options reads an atomically published
+//     decision map and takes no locks. Tick acquires e.mu and may then
+//     take shard mutexes (via Migrate); the reverse order never occurs.
+package meta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predmatch/internal/core"
+	"predmatch/internal/obs"
+	"predmatch/internal/shard"
+	"predmatch/internal/trace"
+)
+
+// Cost is one structure's cost model: nanosecond estimates for a stab
+// and for a write against an index of n predicates. The coefficients
+// are per-strategy calibration constants (internal/strategy supplies
+// values anchored to measured stab and serving-layer clone costs); the
+// absolute numbers matter less than the relative shape — flat indexes
+// stab in near-constant time and clone cheaply, tree structures pay
+// O(log n) stabs with a steeper constant and an expensive per-item
+// re-insertion when the serving layer clones them on write.
+type Cost struct {
+	StabFixedNS  float64 // per-stab fixed overhead
+	StabLogNS    float64 // per-stab cost × log2(1+n)
+	StabPerHitNS float64 // per result returned (candidate verification)
+
+	WriteFixedNS     float64 // per-write fixed overhead
+	WriteLogNS       float64 // per-write cost × log2(1+n)
+	RebuildPerItemNS float64 // per-write cost × n (clone/lazy-rebuild structures)
+}
+
+// StabNS estimates one stab against n predicates returning hits results.
+func (c Cost) StabNS(n, hits float64) float64 {
+	return c.StabFixedNS + c.StabLogNS*math.Log2(1+n) + c.StabPerHitNS*hits
+}
+
+// WriteNS estimates one write against n predicates.
+func (c Cost) WriteNS(n float64) float64 {
+	return c.WriteFixedNS + c.WriteLogNS*math.Log2(1+n) + c.RebuildPerItemNS*n
+}
+
+// Candidate is one structure the engine may choose: a strategy name
+// (matching the core.WithName the Opts install, and the
+// internal/strategy registry entry), the core options that build it,
+// and its cost model.
+type Candidate struct {
+	Name string
+	Opts []core.Option
+	Cost Cost
+}
+
+// Config parameterizes an Engine. Zero fields take the defaults noted
+// on each.
+type Config struct {
+	// Candidates is the structure set scored per relation. Must contain
+	// Default. Required.
+	Candidates []Candidate
+	// Default names the warm-up / fallback structure — the static
+	// -index flag's value. Required.
+	Default string
+	// Profiles is the workload accumulator the serving matcher feeds
+	// (ShardedMatcher.SetProfiles must install the same one). Required.
+	Profiles *trace.Profiles
+
+	Interval   time.Duration // background tick period (default 1s)
+	HalfLife   time.Duration // EWMA half-life of the workload window (default 5s)
+	MinPreds   int           // warm-up size threshold (default 16)
+	MinOpsRate float64       // warm-up ops/sec threshold (default 1)
+	Hysteresis float64       // challenger must beat incumbent by this margin (default 0.2)
+	Cooldown   time.Duration // min time between migrations of one relation (default 3s)
+
+	// Registry, when non-nil, receives the predmatch_meta_* metric
+	// families.
+	Registry *obs.Registry
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+// RelDecision explains one relation's current choice — the row behind
+// the `predmatch stats` adaptive-index table.
+type RelDecision struct {
+	Rel        string
+	Strategy   string        // structure currently serving the relation
+	Since      time.Duration // how long the structure has been resident
+	Migrations uint64        // online migrations performed on this relation
+	Reason     string        // human-readable rationale for the current choice
+	EstNS      float64       // estimated per-op cost of the chosen structure
+	AltName    string        // best rejected alternative ("" during warm-up)
+	AltNS      float64       // its estimated per-op cost
+	StabRate   float64       // EWMA stabs/sec feeding the decision
+	WriteRate  float64       // EWMA writes/sec feeding the decision
+}
+
+// relState is the engine's per-relation bookkeeping.
+type relState struct {
+	strategy      string // structure last observed serving the relation
+	since         time.Time
+	lastMigration time.Time
+	migrations    uint64
+	reason        string
+	estNS         float64
+	altName       string
+	altNS         float64
+	stabRate      float64
+	writeRate     float64
+	residency     map[string]time.Duration // cumulative per-structure residency
+}
+
+// Engine scores candidate structures per relation and migrates the
+// bound ShardedMatcher online. Construct with New, attach with Bind,
+// then either Start the background loop or drive Tick explicitly.
+type Engine struct {
+	cfg    Config
+	byName map[string]Candidate
+	window *trace.Window
+	now    func() time.Time
+
+	// choices maps relation → chosen candidate name for the shard
+	// chooser. Published copy-on-write so Options (called under shard
+	// mutexes) never blocks; see the package lock-discipline note.
+	choices atomic.Pointer[map[string]string] // write-guarded-by: mu
+
+	mu       sync.Mutex
+	sm       *shard.ShardedMatcher // guarded-by: mu (set once by Bind)
+	state    map[string]*relState  // guarded-by: mu
+	lastTick time.Time             // guarded-by: mu
+
+	decisions  *obs.Counter    // nil without Registry
+	migrations *obs.CounterVec // nil without Registry
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates cfg and returns an unbound engine.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Candidates) == 0 {
+		return nil, fmt.Errorf("meta: no candidates")
+	}
+	if cfg.Profiles == nil {
+		return nil, fmt.Errorf("meta: nil Profiles")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.HalfLife <= 0 {
+		cfg.HalfLife = 5 * time.Second
+	}
+	if cfg.MinPreds <= 0 {
+		cfg.MinPreds = 16
+	}
+	if cfg.MinOpsRate <= 0 {
+		cfg.MinOpsRate = 1
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 0.2
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 3 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	e := &Engine{
+		cfg:    cfg,
+		byName: make(map[string]Candidate, len(cfg.Candidates)),
+		window: trace.NewWindow(cfg.Profiles, cfg.HalfLife),
+		now:    cfg.Now,
+		state:  make(map[string]*relState),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, c := range cfg.Candidates {
+		if c.Name == "" {
+			return nil, fmt.Errorf("meta: unnamed candidate")
+		}
+		if _, dup := e.byName[c.Name]; dup {
+			return nil, fmt.Errorf("meta: duplicate candidate %q", c.Name)
+		}
+		e.byName[c.Name] = c
+	}
+	if _, ok := e.byName[cfg.Default]; !ok {
+		return nil, fmt.Errorf("meta: default %q is not a candidate", cfg.Default)
+	}
+	empty := make(map[string]string)
+	e.choices.Store(&empty) //predmatchvet:ignore guardedby constructor publish; e is not shared yet
+	if reg := cfg.Registry; reg != nil {
+		e.decisions = reg.Counter("predmatch_meta_decisions_total",
+			"Relations evaluated by the adaptive meta-engine's cost model.")
+		e.migrations = reg.CounterVec("predmatch_meta_migrations_total",
+			"Online index-structure migrations performed, by relation and target structure.",
+			"rel", "to")
+		reg.GaugeSet("predmatch_meta_strategy",
+			"Currently chosen structure per relation (1 = active).",
+			[]string{"rel", "strategy"}, func(emit obs.Emit) {
+				for _, d := range e.Stats() {
+					emit(1, d.Rel, d.Strategy)
+				}
+			})
+		reg.GaugeSet("predmatch_meta_residency_seconds",
+			"Cumulative seconds each structure has served each relation.",
+			[]string{"rel", "strategy"}, func(emit obs.Emit) {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				for rel, st := range e.state {
+					for name, d := range st.residency {
+						emit(d.Seconds(), rel, name)
+					}
+				}
+			})
+	}
+	return e, nil
+}
+
+// Bind attaches the serving matcher the engine migrates. Call once,
+// before Start/Tick. The matcher should have been built with
+// shard.WithIndexChooser(e.Options) so first snapshots follow the
+// engine's decisions too.
+func (e *Engine) Bind(sm *shard.ShardedMatcher) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sm = sm
+}
+
+// Options is the shard chooser: the core options for rel's current
+// decision, falling back to the default candidate. Lock-free — it is
+// called while the caller holds a shard mutex.
+func (e *Engine) Options(rel string) []core.Option {
+	name := e.cfg.Default
+	if m := e.choices.Load(); m != nil {
+		if s, ok := (*m)[rel]; ok {
+			name = s
+		}
+	}
+	return e.byName[name].Opts
+}
+
+// Default returns the fallback structure name.
+func (e *Engine) Default() string { return e.cfg.Default }
+
+// Tick runs one decision round at the given instant: refresh the
+// workload window, score every candidate per relation, and migrate
+// where a challenger clears hysteresis and cooldown. Returns the number
+// of migrations performed. Safe for concurrent use; rounds serialize on
+// the engine mutex.
+func (e *Engine) Tick(now time.Time) int {
+	stats := e.window.Update(now)
+	byRel := make(map[string]trace.WindowStat, len(stats))
+	for _, ws := range stats {
+		byRel[ws.Relation] = ws
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sm == nil {
+		return 0
+	}
+	dt := time.Duration(0)
+	if !e.lastTick.IsZero() {
+		dt = now.Sub(e.lastTick)
+	}
+	e.lastTick = now
+
+	migrated := 0
+	live := make(map[string]bool)
+	for _, ss := range e.sm.Stats() {
+		live[ss.Rel] = true
+		st := e.state[ss.Rel]
+		if st == nil {
+			st = &relState{
+				strategy:  ss.Structure,
+				since:     now,
+				residency: make(map[string]time.Duration),
+			}
+			e.state[ss.Rel] = st
+		}
+		if st.strategy != ss.Structure {
+			// The structure changed under us (static rebuild, recovery):
+			// resync instead of fighting it.
+			st.strategy = ss.Structure
+			st.since = now
+		}
+		if dt > 0 {
+			st.residency[st.strategy] += dt
+		}
+		if e.decisions != nil {
+			e.decisions.Inc()
+		}
+		if e.decide(st, ss, byRel[ss.Rel], now) {
+			migrated++
+		}
+	}
+	// A relation whose shard is gone (none are dropped today, but the
+	// profile can be — trace.Profiles.Drop) must not pin engine state.
+	for rel := range e.state {
+		if !live[rel] {
+			delete(e.state, rel)
+			e.forgetChoice(rel)
+		}
+	}
+	return migrated
+}
+
+// decide scores one relation and migrates it if a challenger wins.
+// Called with e.mu held; ws is the zero WindowStat when the relation
+// has no profile yet.
+//
+//predmatchvet:holds mu
+func (e *Engine) decide(st *relState, ss shard.ShardStats, ws trace.WindowStat, now time.Time) bool {
+	n := float64(ss.Predicates)
+	opsRate := ws.StabRate + ws.WriteRate
+	st.stabRate, st.writeRate = ws.StabRate, ws.WriteRate
+
+	if ss.Predicates < e.cfg.MinPreds || opsRate < e.cfg.MinOpsRate {
+		st.reason = fmt.Sprintf("warm-up: %d preds, %.1f ops/s — default %s until %d preds and %.0f ops/s",
+			ss.Predicates, opsRate, e.cfg.Default, e.cfg.MinPreds, e.cfg.MinOpsRate)
+		st.estNS, st.altName, st.altNS = 0, "", 0
+		return false
+	}
+
+	// Score every candidate: ns of index work per second of wall clock.
+	type scored struct {
+		cand  Candidate
+		score float64
+	}
+	all := make([]scored, 0, len(e.cfg.Candidates))
+	for _, c := range e.cfg.Candidates {
+		s := ws.StabRate*c.Cost.StabNS(n, ws.AvgResults) + ws.WriteRate*c.Cost.WriteNS(n)
+		all = append(all, scored{c, s})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
+	best := all[0]
+
+	// The incumbent's score; an unknown structure (not in the candidate
+	// set) always loses, subject to cooldown.
+	curScore := math.Inf(1)
+	if cur, ok := e.byName[st.strategy]; ok {
+		curScore = ws.StabRate*cur.Cost.StabNS(n, ws.AvgResults) + ws.WriteRate*cur.Cost.WriteNS(n)
+	}
+
+	perOp := func(score float64) float64 {
+		if opsRate <= 0 {
+			return 0
+		}
+		return score / opsRate
+	}
+	mix := "mixed"
+	switch {
+	case ws.StabRate >= 4*ws.WriteRate:
+		mix = "stab-heavy/low-write"
+	case ws.WriteRate >= 4*ws.StabRate:
+		mix = "write-heavy/low-stab"
+	}
+
+	if best.cand.Name == st.strategy || best.score >= curScore*(1-e.cfg.Hysteresis) {
+		// Incumbent holds: report the best rejected challenger.
+		st.estNS = perOp(curScore)
+		st.altName, st.altNS = "", 0
+		for _, s := range all {
+			if s.cand.Name != st.strategy {
+				st.altName, st.altNS = s.cand.Name, perOp(s.score)
+				break
+			}
+		}
+		st.reason = fmt.Sprintf("%s, because %s (%.0f stabs/s, %.0f writes/s), est %s vs %s (%s)",
+			st.strategy, mix, ws.StabRate, ws.WriteRate,
+			fmtNS(st.estNS), fmtNS(st.altNS), st.altName)
+		return false
+	}
+
+	if !st.lastMigration.IsZero() && now.Sub(st.lastMigration) < e.cfg.Cooldown {
+		st.reason = fmt.Sprintf("%s pending cooldown; %s would win (%s vs %s)",
+			st.strategy, best.cand.Name, fmtNS(perOp(best.score)), fmtNS(perOp(curScore)))
+		return false
+	}
+
+	ok, err := e.sm.Migrate(ss.Rel, best.cand.Opts...)
+	if err != nil || !ok {
+		st.reason = fmt.Sprintf("migration to %s failed: %v", best.cand.Name, err)
+		return false
+	}
+	prev := st.strategy
+	st.strategy = best.cand.Name
+	st.since = now
+	st.lastMigration = now
+	st.migrations++
+	st.estNS = perOp(best.score)
+	st.altName, st.altNS = prev, perOp(curScore)
+	st.reason = fmt.Sprintf("%s, because %s (%.0f stabs/s, %.0f writes/s), est %s vs %s (%s)",
+		best.cand.Name, mix, ws.StabRate, ws.WriteRate,
+		fmtNS(st.estNS), fmtNS(st.altNS), prev)
+	e.setChoice(ss.Rel, best.cand.Name)
+	if e.migrations != nil {
+		e.migrations.With(ss.Rel, best.cand.Name).Inc()
+	}
+	return true
+}
+
+// setChoice publishes rel's decision for the shard chooser.
+//
+//predmatchvet:holds mu
+func (e *Engine) setChoice(rel, name string) {
+	cur := *e.choices.Load()
+	next := make(map[string]string, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[rel] = name
+	e.choices.Store(&next)
+}
+
+// forgetChoice removes rel's decision.
+//
+//predmatchvet:holds mu
+func (e *Engine) forgetChoice(rel string) {
+	cur := *e.choices.Load()
+	if _, ok := cur[rel]; !ok {
+		return
+	}
+	next := make(map[string]string, len(cur)-1)
+	for k, v := range cur {
+		if k != rel {
+			next[k] = v
+		}
+	}
+	e.choices.Store(&next)
+}
+
+// Stats reports every relation's current decision, sorted by relation.
+func (e *Engine) Stats() []RelDecision {
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RelDecision, 0, len(e.state))
+	for rel, st := range e.state {
+		out = append(out, RelDecision{
+			Rel:        rel,
+			Strategy:   st.strategy,
+			Since:      now.Sub(st.since),
+			Migrations: st.migrations,
+			Reason:     st.reason,
+			EstNS:      st.estNS,
+			AltName:    st.altName,
+			AltNS:      st.altNS,
+			StabRate:   st.stabRate,
+			WriteRate:  st.writeRate,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	return out
+}
+
+// Start launches the background decision loop; Stop ends it. Callers
+// that prefer explicit control (the standalone Matcher, tests) drive
+// Tick instead and never Start.
+func (e *Engine) Start() {
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(e.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-t.C:
+				e.Tick(e.now())
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop started by Start and waits for it
+// to exit. Safe to call once, after Start.
+func (e *Engine) Stop() {
+	close(e.stop)
+	<-e.done
+}
+
+// fmtNS renders a nanosecond estimate the way the stats table does.
+func fmtNS(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1000:
+		return fmt.Sprintf("%.0fns", ns)
+	default:
+		return fmt.Sprintf("%.1fµs", ns/1000)
+	}
+}

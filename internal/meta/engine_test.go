@@ -1,0 +1,312 @@
+package meta_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"predmatch/internal/core"
+	"predmatch/internal/interval"
+	"predmatch/internal/islist"
+	"predmatch/internal/matcher"
+	"predmatch/internal/matchertest"
+	"predmatch/internal/meta"
+	"predmatch/internal/pred"
+	"predmatch/internal/shard"
+	"predmatch/internal/trace"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// Test candidates: "ibs" (the core default) modelled write-cheap and
+// stab-expensive, "islist" the reverse. The coefficients are synthetic
+// — the tests exercise the decision logic, not the calibration.
+func testCandidates() []meta.Candidate {
+	return []meta.Candidate{
+		{
+			Name: "ibs",
+			Cost: meta.Cost{
+				StabFixedNS: 100, StabLogNS: 300, StabPerHitNS: 25,
+				WriteFixedNS: 200, RebuildPerItemNS: 20,
+			},
+		},
+		{
+			Name: "islist",
+			Opts: []core.Option{
+				core.WithIndexFactory(func() core.AttrIndex { return islist.New(value.Compare) }),
+				core.WithName("islist"),
+			},
+			Cost: meta.Cost{
+				StabFixedNS: 50, StabLogNS: 5, StabPerHitNS: 25,
+				WriteFixedNS: 200, RebuildPerItemNS: 300,
+			},
+		},
+	}
+}
+
+type rig struct {
+	prof *trace.Profiles
+	eng  *meta.Engine
+	sm   *shard.ShardedMatcher
+	tup  tuple.Tuple
+	now  time.Time
+}
+
+// newRig wires a profiled sharded matcher to an engine with fast
+// thresholds and a fake clock, pre-loaded with n "emp" predicates.
+func newRig(t *testing.T, n int, cfg meta.Config) *rig {
+	t.Helper()
+	f := matchertest.NewFixture()
+	r := &rig{prof: trace.NewProfiles(), now: time.Unix(1000, 0)}
+	if cfg.Candidates == nil {
+		cfg.Candidates = testCandidates()
+	}
+	if cfg.Default == "" {
+		cfg.Default = "ibs"
+	}
+	cfg.Profiles = r.prof
+	if cfg.HalfLife == 0 {
+		cfg.HalfLife = time.Second
+	}
+	if cfg.MinPreds == 0 {
+		cfg.MinPreds = 16
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 2 * time.Second
+	}
+	cfg.Now = func() time.Time { return r.now }
+	eng, err := meta.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = eng
+	r.sm = shard.New(f.Catalog, f.Funcs,
+		shard.WithIndexChooser(eng.Options),
+		shard.WithName("meta"))
+	r.sm.SetProfiles(r.prof)
+	eng.Bind(r.sm)
+	for id := 1; id <= n; id++ {
+		p := pred.New(pred.ID(id), "emp",
+			pred.IvClause("age", interval.AtLeast(value.Int(int64(id%60)))))
+		if err := r.sm.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emp, _ := f.Catalog.Get("emp")
+	r.tup = make(tuple.Tuple, len(emp.Attrs()))
+	for i, a := range emp.Attrs() {
+		switch a.Type {
+		case value.KindInt:
+			r.tup[i] = value.Int(30)
+		case value.KindFloat:
+			r.tup[i] = value.Float(30)
+		default:
+			r.tup[i] = value.String_("x")
+		}
+	}
+	return r
+}
+
+func (r *rig) stabs(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := r.sm.Match("emp", r.tup, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (r *rig) structure(t *testing.T) string {
+	t.Helper()
+	for _, s := range r.sm.Stats() {
+		if s.Rel == "emp" {
+			return s.Structure
+		}
+	}
+	t.Fatal("no emp shard")
+	return ""
+}
+
+func (r *rig) decision(t *testing.T) meta.RelDecision {
+	t.Helper()
+	for _, d := range r.eng.Stats() {
+		if d.Rel == "emp" {
+			return d
+		}
+	}
+	t.Fatal("no emp decision")
+	return meta.RelDecision{}
+}
+
+func TestWarmupHoldsDefault(t *testing.T) {
+	r := newRig(t, 8, meta.Config{MinPreds: 16})
+	r.eng.Tick(r.now)
+	r.now = r.now.Add(time.Second)
+	r.stabs(t, 1000)
+	if got := r.eng.Tick(r.now); got != 0 {
+		t.Fatalf("warm-up migrated %d relations", got)
+	}
+	if s := r.structure(t); s != "ibs" {
+		t.Fatalf("warm-up structure = %q, want ibs", s)
+	}
+	d := r.decision(t)
+	if !strings.Contains(d.Reason, "warm-up") {
+		t.Fatalf("reason = %q, want warm-up", d.Reason)
+	}
+}
+
+func TestStabHeavyMigratesAndExplains(t *testing.T) {
+	r := newRig(t, 64, meta.Config{})
+	r.eng.Tick(r.now) // seed window baselines
+	r.now = r.now.Add(time.Second)
+	r.stabs(t, 2000)
+	if got := r.eng.Tick(r.now); got != 1 {
+		t.Fatalf("Tick migrated %d, want 1 (decision: %+v)", got, r.decision(t))
+	}
+	if s := r.structure(t); s != "islist" {
+		t.Fatalf("structure = %q, want islist", s)
+	}
+	d := r.decision(t)
+	if d.Migrations != 1 || d.Strategy != "islist" {
+		t.Fatalf("decision = %+v", d)
+	}
+	if !strings.Contains(d.Reason, "stab-heavy") || !strings.Contains(d.Reason, "islist") {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	if d.EstNS <= 0 || d.AltNS <= d.EstNS {
+		t.Fatalf("estimates not ordered: est %v alt %v", d.EstNS, d.AltNS)
+	}
+	// The chooser now reports the decision for future shards of the
+	// relation.
+	if opts := r.eng.Options("emp"); len(opts) == 0 {
+		t.Fatal("Options(emp) empty after islist decision")
+	}
+	// Matches still work on the migrated structure.
+	out, err := r.sm.Match("emp", r.tup, nil)
+	if err != nil || len(out) == 0 {
+		t.Fatalf("post-migration match: %v, %v", out, err)
+	}
+}
+
+func TestCooldownThenFlipBack(t *testing.T) {
+	r := newRig(t, 64, meta.Config{Cooldown: 5 * time.Second})
+	r.eng.Tick(r.now)
+	r.now = r.now.Add(time.Second)
+	r.stabs(t, 2000)
+	if got := r.eng.Tick(r.now); got != 1 {
+		t.Fatalf("initial migration: %d", got)
+	}
+	// Shift to write-heavy: predicate churn, no stabs. One second in,
+	// the cooldown blocks the flip back even though ibs now wins.
+	churn := func(base int) {
+		for i := 0; i < 200; i++ {
+			id := pred.ID(base + i)
+			p := pred.New(id, "emp", pred.IvClause("age", interval.AtLeast(value.Int(int64(i%60)))))
+			if err := r.sm.Add(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.sm.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	churn(10000)
+	r.now = r.now.Add(time.Second)
+	if got := r.eng.Tick(r.now); got != 0 {
+		t.Fatal("migration during cooldown")
+	}
+	if d := r.decision(t); !strings.Contains(d.Reason, "cooldown") {
+		t.Fatalf("reason = %q, want cooldown", d.Reason)
+	}
+	// Past the cooldown with sustained churn, the flip lands.
+	migrations := 0
+	for i := 0; i < 8; i++ {
+		churn(11000 + 1000*i)
+		r.now = r.now.Add(time.Second)
+		migrations += r.eng.Tick(r.now)
+	}
+	if migrations == 0 {
+		t.Fatalf("no flip back under churn: %+v", r.decision(t))
+	}
+	if s := r.structure(t); s != "ibs" {
+		t.Fatalf("structure = %q, want ibs after churn", s)
+	}
+}
+
+func TestHysteresisHoldsNearTies(t *testing.T) {
+	// Two candidates whose costs differ by less than the hysteresis
+	// margin: the incumbent must hold.
+	close1 := meta.Cost{StabFixedNS: 100, StabLogNS: 10, WriteFixedNS: 100}
+	close2 := meta.Cost{StabFixedNS: 95, StabLogNS: 10, WriteFixedNS: 100}
+	r := newRig(t, 64, meta.Config{
+		Candidates: []meta.Candidate{
+			{Name: "ibs", Cost: close1},
+			{Name: "islist", Opts: []core.Option{
+				core.WithIndexFactory(func() core.AttrIndex { return islist.New(value.Compare) }),
+				core.WithName("islist"),
+			}, Cost: close2},
+		},
+		Hysteresis: 0.2,
+	})
+	r.eng.Tick(r.now)
+	for i := 0; i < 5; i++ {
+		r.now = r.now.Add(time.Second)
+		r.stabs(t, 2000)
+		if got := r.eng.Tick(r.now); got != 0 {
+			t.Fatalf("tick %d migrated on a near-tie", i)
+		}
+	}
+	if s := r.structure(t); s != "ibs" {
+		t.Fatalf("structure = %q, want ibs held", s)
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	prof := trace.NewProfiles()
+	cases := []meta.Config{
+		{},                             // no candidates
+		{Candidates: testCandidates()}, // no profiles
+		{Candidates: testCandidates(), Profiles: prof, Default: "nope"},
+		{Candidates: []meta.Candidate{{Name: "a"}, {Name: "a"}}, Profiles: prof, Default: "a"},
+	}
+	for i, cfg := range cases {
+		if _, err := meta.New(cfg); err == nil {
+			t.Fatalf("case %d: no error", i)
+		}
+	}
+}
+
+// TestMatcherConformance runs the standalone adaptive matcher through
+// the sequential conformance suite.
+func TestMatcherConformance(t *testing.T) {
+	matchertest.Run(t, func(f *matchertest.Fixture) matcher.Matcher {
+		m, err := meta.NewMatcher(f.Catalog, f.Funcs, meta.Config{
+			Candidates: testCandidates(),
+			Default:    "ibs",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+}
+
+// TestMatcherConcurrent drives the writer/reader storm against the
+// adaptive matcher with aggressive thresholds so inline ticks and
+// migrations actually happen mid-storm.
+func TestMatcherConcurrent(t *testing.T) {
+	matchertest.RunConcurrent(t, func(f *matchertest.Fixture) matcher.Matcher {
+		m, err := meta.NewMatcher(f.Catalog, f.Funcs, meta.Config{
+			Candidates: testCandidates(),
+			Default:    "ibs",
+			MinPreds:   4,
+			MinOpsRate: 0.1,
+			HalfLife:   50 * time.Millisecond,
+			Cooldown:   10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+}

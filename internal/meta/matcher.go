@@ -1,0 +1,102 @@
+package meta
+
+import (
+	"sync/atomic"
+
+	"predmatch/internal/matcher"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/shard"
+	"predmatch/internal/trace"
+	"predmatch/internal/tuple"
+)
+
+// tickEvery is the operation count between inline decision rounds of a
+// standalone Matcher. The serving daemon runs the engine's background
+// loop instead; the standalone wrapper (benchmarks, the predmatch CLI,
+// conformance sweeps) ticks inline so it needs no goroutine and can
+// never leak one.
+const tickEvery = 512
+
+// Matcher is the registry-facing adaptive matcher: a ShardedMatcher
+// whose per-relation structures are chosen and migrated by an Engine,
+// self-contained behind the ordinary matcher.Matcher interface. Every
+// tickEvery operations, the operation that trips the counter runs one
+// decision round inline (guarded so concurrent trippers don't stack).
+type Matcher struct {
+	*shard.ShardedMatcher
+	eng     *Engine
+	ops     atomic.Uint64
+	ticking atomic.Bool
+}
+
+var (
+	_ matcher.Matcher       = (*Matcher)(nil)
+	_ matcher.TracedMatcher = (*Matcher)(nil)
+)
+
+// NewMatcher builds a self-contained adaptive matcher. A nil
+// cfg.Profiles gets a private accumulator (the wrapper feeds it
+// itself); everything else follows Config's defaults.
+func NewMatcher(cat *schema.Catalog, funcs *pred.Registry, cfg Config) (*Matcher, error) {
+	if cfg.Profiles == nil {
+		cfg.Profiles = trace.NewProfiles()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sm := shard.New(cat, funcs,
+		shard.WithIndexChooser(eng.Options),
+		shard.WithName("meta"))
+	sm.SetProfiles(cfg.Profiles)
+	eng.Bind(sm)
+	return &Matcher{ShardedMatcher: sm, eng: eng}, nil
+}
+
+// Engine exposes the decision engine (stats, explicit ticks).
+func (m *Matcher) Engine() *Engine { return m.eng }
+
+// maybeTick runs a decision round every tickEvery operations. The CAS
+// guard keeps rounds from stacking: an operation that loses the race
+// simply skips — the winner's round covers it.
+func (m *Matcher) maybeTick() {
+	if m.ops.Add(1)%tickEvery != 0 {
+		return
+	}
+	if !m.ticking.CompareAndSwap(false, true) {
+		return
+	}
+	defer m.ticking.Store(false)
+	m.eng.Tick(m.eng.now())
+}
+
+// Add implements matcher.Matcher. The embedded shard layer records the
+// write into the profile; the wrapper only counts the operation toward
+// the next inline tick.
+func (m *Matcher) Add(p *pred.Predicate) error {
+	err := m.ShardedMatcher.Add(p)
+	m.maybeTick()
+	return err
+}
+
+// Remove implements matcher.Matcher.
+func (m *Matcher) Remove(id pred.ID) error {
+	err := m.ShardedMatcher.Remove(id)
+	m.maybeTick()
+	return err
+}
+
+// Match implements matcher.Matcher.
+func (m *Matcher) Match(rel string, t tuple.Tuple, dst []pred.ID) ([]pred.ID, error) {
+	out, err := m.ShardedMatcher.Match(rel, t, dst)
+	m.maybeTick()
+	return out, err
+}
+
+// MatchTraced implements matcher.TracedMatcher.
+func (m *Matcher) MatchTraced(rel string, t tuple.Tuple, dst []pred.ID, sp *trace.Span) ([]pred.ID, error) {
+	out, err := m.ShardedMatcher.MatchTraced(rel, t, dst, sp)
+	m.maybeTick()
+	return out, err
+}

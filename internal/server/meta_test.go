@@ -1,0 +1,109 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"predmatch/internal/interval"
+	"predmatch/internal/pred"
+	"predmatch/internal/server"
+	"predmatch/internal/strategy"
+	"predmatch/internal/tuple"
+	"predmatch/internal/value"
+)
+
+// TestAdaptiveIndexE2E runs the daemon with the adaptive meta engine
+// (`predmatchd -index meta`) under a stab-heavy client workload and
+// waits for a live migration: the stats surface must report the meta
+// section, a decision naming the new structure, and a shard whose
+// Structure changed away from the warm-up default — all while match
+// responses keep flowing.
+func TestAdaptiveIndexE2E(t *testing.T) {
+	ac := strategy.MetaConfig("ibs")
+	// Aggressive pacing so the background loop decides within the test
+	// budget on a real clock.
+	ac.Interval = 20 * time.Millisecond
+	ac.MinPreds = 8
+	ac.MinOpsRate = 0.1
+	ac.HalfLife = 100 * time.Millisecond
+	ac.Cooldown = 10 * time.Millisecond
+	_, addr, stop := startServer(t, server.Config{Adaptive: &ac})
+	defer stop()
+	c := dial(t, addr)
+	defer c.Close()
+
+	if err := c.DeclareRelation(empRel); err != nil {
+		t.Fatal(err)
+	}
+	for id := pred.ID(1); id <= 32; id++ {
+		p := pred.New(id, "emp",
+			pred.IvClause("age", interval.AtLeast(value.Int(int64(id)%60))))
+		if _, err := c.AddPredicate(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := tuple.New(value.String_("w"), value.Int(70), value.Int(50000), value.String_("toy"))
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for i := 0; i < 200; i++ {
+			res, err := c.Match("emp", probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != 32 {
+				t.Fatalf("match returned %d results, want 32", len(res))
+			}
+		}
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Matcher != "meta" {
+			t.Fatalf("matcher = %q, want meta", st.Matcher)
+		}
+		if st.Meta == nil || st.Meta.Default != "ibs" {
+			t.Fatalf("stats meta section = %+v", st.Meta)
+		}
+		// Migration landed when the decision row counts one and the
+		// shard's live structure agrees with it.
+		var decided string
+		var migrations uint64
+		for _, d := range st.Meta.Rels {
+			if d.Rel == "emp" {
+				decided, migrations = d.Structure, d.Migrations
+			}
+		}
+		// A frame can straddle the migration (shards and the meta section
+		// are read at slightly different instants), so require agreement
+		// rather than failing on a transient mismatch.
+		agreed := true
+		for _, sh := range st.Shards {
+			if sh.Rel == "emp" && sh.Structure != decided {
+				agreed = false
+			}
+		}
+		if migrations >= 1 && agreed {
+			if decided == "ibs" {
+				t.Fatalf("migrated but still on the default: %+v", st.Meta.Rels)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no migration under stab-heavy load; meta: %+v shards: %+v",
+				st.Meta, st.Shards)
+		}
+	}
+}
+
+// TestAdaptiveConfigRejected pins the error path: an invalid adaptive
+// config must fail Open rather than panic later.
+func TestAdaptiveConfigRejected(t *testing.T) {
+	ac := strategy.MetaConfig("ibs")
+	ac.Default = "nope"
+	if _, err := server.Open(server.Config{Adaptive: &ac}); err == nil ||
+		!strings.Contains(err.Error(), "adaptive") {
+		t.Fatalf("Open with bad adaptive config: err = %v", err)
+	}
+}

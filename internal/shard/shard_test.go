@@ -276,8 +276,8 @@ func TestStats(t *testing.T) {
 		}
 	}
 	want := []shard.ShardStats{
-		{Rel: "emp", Predicates: 2, Version: 2},
-		{Rel: "items", Predicates: 1, Version: 1},
+		{Rel: "emp", Predicates: 2, Version: 2, Structure: "ibs"},
+		{Rel: "items", Predicates: 1, Version: 1, Structure: "ibs"},
 	}
 	if got := m.Stats(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Stats after adds = %+v, want %+v", got, want)
@@ -292,8 +292,8 @@ func TestStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	want = []shard.ShardStats{
-		{Rel: "emp", Predicates: 1, Version: 3},
-		{Rel: "items", Predicates: 0, Version: 2},
+		{Rel: "emp", Predicates: 1, Version: 3, Structure: "ibs"},
+		{Rel: "items", Predicates: 0, Version: 2, Structure: "ibs"},
 	}
 	if got := m.Stats(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Stats after removes = %+v, want %+v", got, want)

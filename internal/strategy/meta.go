@@ -1,0 +1,114 @@
+package strategy
+
+import (
+	"predmatch/internal/core"
+	"predmatch/internal/hint"
+	"predmatch/internal/islist"
+	"predmatch/internal/matcher"
+	"predmatch/internal/meta"
+	"predmatch/internal/pred"
+	"predmatch/internal/schema"
+	"predmatch/internal/value"
+)
+
+// MetaCandidates returns the structure set the adaptive meta-matcher
+// selects over, with per-strategy cost coefficients. The stab
+// coefficients are anchored to the index-level BENCH_PR6 measurements
+// (hint stab ~281ns vs ibs ~2260ns at ~10k intervals → the log terms
+// below). The write coefficients are anchored to the *serving layer*,
+// not the bare index: the sharded matcher publishes copy-on-write
+// snapshots, so every predicate add/remove pays a full core.Index
+// clone. Clone cost is where the structures really diverge
+// (BenchmarkMetaMatcher, 512 standing predicates):
+//
+//   - ibs: the paper's balanced tree. O(log n) stabs with a steep
+//     constant; cloning re-inserts every interval into fresh trees,
+//     ~2.7µs per standing predicate per write.
+//   - islist: interval skip list. Slightly cheaper stabs than ibs,
+//     dearest clone (~3µs/item — rebuilding towers is not cheap).
+//   - hint: flat hierarchical partitioning. Near-constant stabs — by
+//     far the cheapest read — and its clone is a tight flat-array
+//     rebuild, ~0.6µs/item, so it wins churn at the serving layer too.
+//
+// The engine only needs the *relative* shape to be right: once a
+// relation outgrows the warm-up threshold the model steers it to hint
+// and the hysteresis margin absorbs the calibration error; the tree
+// structures remain the warm-up default, the -index fallback, and the
+// right answer for small or idle relations where migration isn't worth
+// a rebuild.
+func MetaCandidates() []meta.Candidate {
+	return []meta.Candidate{
+		{
+			Name: "ibs",
+			Cost: meta.Cost{
+				StabFixedNS: 100, StabLogNS: 160, StabPerHitNS: 25,
+				WriteFixedNS: 400, RebuildPerItemNS: 2700,
+			},
+		},
+		{
+			Name: "islist",
+			Opts: islistOpts(),
+			Cost: meta.Cost{
+				StabFixedNS: 120, StabLogNS: 120, StabPerHitNS: 25,
+				WriteFixedNS: 400, RebuildPerItemNS: 3000,
+			},
+		},
+		{
+			Name: "hint",
+			Opts: hintOpts(),
+			Cost: meta.Cost{
+				StabFixedNS: 150, StabLogNS: 10, StabPerHitNS: 15,
+				WriteFixedNS: 400, RebuildPerItemNS: 580,
+			},
+		},
+	}
+}
+
+func hintOpts() []core.Option {
+	return []core.Option{
+		core.WithIndexFactory(func() core.AttrIndex { return hint.New(value.Compare) }),
+		core.WithName("hint"),
+	}
+}
+
+func islistOpts() []core.Option {
+	return []core.Option{
+		core.WithIndexFactory(func() core.AttrIndex { return islist.New(value.Compare) }),
+		core.WithName("islist"),
+	}
+}
+
+// MetaConfig returns the adaptive engine configuration the binaries
+// use: the candidate set above with fallback, thresholds, and pacing at
+// their serving defaults. fallback names the warm-up/fallback structure
+// (the static -index flag's value); it must be one of the candidates,
+// so callers validate it with MetaFallbackOK first when it comes from a
+// user flag.
+func MetaConfig(fallback string) meta.Config {
+	return meta.Config{
+		Candidates: MetaCandidates(),
+		Default:    fallback,
+	}
+}
+
+// MetaFallbackOK reports whether name is a valid meta fallback
+// structure (a member of the candidate set).
+func MetaFallbackOK(name string) bool {
+	for _, c := range MetaCandidates() {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// newMeta builds the registry's standalone adaptive matcher.
+func newMeta(cat *schema.Catalog, funcs *pred.Registry) matcher.Matcher {
+	m, err := meta.NewMatcher(cat, funcs, MetaConfig("ibs"))
+	if err != nil {
+		// The config above is static and validated by tests; failing
+		// here is a programming error, not an input error.
+		panic("strategy: meta matcher config: " + err.Error())
+	}
+	return m
+}

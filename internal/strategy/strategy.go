@@ -148,6 +148,11 @@ var registry = []Info{
 				shard.WithName("sharded-hint"))
 		},
 	},
+	{
+		Name:    "meta",
+		Summary: "adaptive: per-relation structure chosen by a workload cost model, migrated online",
+		New:     newMeta,
+	},
 }
 
 func ibsUnbalancedOpts() []core.Option {
@@ -213,9 +218,11 @@ func FlagHelp() string {
 }
 
 // IndexFlagHelp renders the usage string for predmatchd's -index flag:
-// only the strategies that can serve as a per-shard attribute index.
+// the strategies that can serve as a per-shard attribute index, plus
+// "meta" — the adaptive engine that picks among them per relation.
 func IndexFlagHelp() string {
-	return "per-shard attribute index structure (one of " + strings.Join(IndexNames(), ", ") + ")"
+	return "per-shard attribute index structure (one of " + strings.Join(IndexNames(), ", ") +
+		", or meta for workload-adaptive selection with online migration)"
 }
 
 // UnknownErr builds the standard unknown-strategy error, naming every

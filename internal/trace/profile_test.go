@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestProfilesDrop(t *testing.T) {
+	p := NewProfiles()
+	rp := p.Rel("emp", []string{"age"})
+	rp.Stab(time.Microsecond, 1)
+	p.Rel("dept", nil).RecordWrite()
+
+	p.Drop("emp")
+	if p.Lookup("emp") != nil {
+		t.Fatal("Lookup after Drop returned the dropped relation")
+	}
+	if got := len(p.Snapshot()); got != 1 {
+		t.Fatalf("Snapshot after Drop: %d relations, want 1", got)
+	}
+	// The cached handle keeps working (orphaned) and a re-created
+	// relation starts fresh.
+	rp.Stab(time.Microsecond, 1)
+	fresh := p.Rel("emp", []string{"age"})
+	if fresh == rp {
+		t.Fatal("Rel after Drop returned the dropped accumulator")
+	}
+	if st := p.Snapshot(); st[1].Relation != "emp" || st[1].Stabs != 0 {
+		t.Fatalf("re-created relation not fresh: %+v", st[1])
+	}
+	// Idempotent and nil-safe.
+	p.Drop("emp")
+	p.Drop("emp")
+	p.Drop("never-existed")
+	var nilP *Profiles
+	nilP.Drop("emp")
+}
+
+func TestWindowRatesAndDecay(t *testing.T) {
+	p := NewProfiles()
+	rp := p.Rel("emp", []string{"age"})
+	w := NewWindow(p, 2*time.Second)
+	t0 := time.Unix(1000, 0)
+
+	// First Update seeds baselines: rates zero.
+	if st := w.Update(t0); len(st) != 1 || st[0].StabRate != 0 {
+		t.Fatalf("seed Update: %+v", st)
+	}
+
+	// 100 stabs at 1µs each, 2 results apiece, over 1s.
+	for i := 0; i < 100; i++ {
+		rp.Stab(time.Microsecond, 2)
+	}
+	for i := 0; i < 10; i++ {
+		rp.RecordWrite()
+	}
+	st := w.Update(t0.Add(time.Second))
+	// dt = halfLife/2 → alpha = 1 - 2^(-1/2) ≈ 0.2929.
+	alpha := 1 - math.Exp2(-0.5)
+	wantStab := alpha * 100
+	if math.Abs(st[0].StabRate-wantStab) > 1e-9 {
+		t.Fatalf("StabRate = %v, want %v", st[0].StabRate, wantStab)
+	}
+	if math.Abs(st[0].WriteRate-alpha*10) > 1e-9 {
+		t.Fatalf("WriteRate = %v, want %v", st[0].WriteRate, alpha*10)
+	}
+	// First interval with stabs seeds the averages directly.
+	if math.Abs(st[0].AvgStabNS-1000) > 1e-6 {
+		t.Fatalf("AvgStabNS = %v, want 1000", st[0].AvgStabNS)
+	}
+	if math.Abs(st[0].AvgResults-2) > 1e-9 {
+		t.Fatalf("AvgResults = %v, want 2", st[0].AvgResults)
+	}
+	if st[0].Lifetime.Stabs != 100 {
+		t.Fatalf("Lifetime.Stabs = %d, want 100", st[0].Lifetime.Stabs)
+	}
+
+	// An idle interval decays the rates toward zero but leaves the
+	// latency average (no stabs ran to fold in).
+	st = w.Update(t0.Add(2 * time.Second))
+	if st[0].StabRate >= wantStab || st[0].StabRate <= 0 {
+		t.Fatalf("idle interval: StabRate = %v, want decayed in (0, %v)", st[0].StabRate, wantStab)
+	}
+	if st[0].AvgStabNS != 1000 {
+		t.Fatalf("idle interval changed AvgStabNS: %v", st[0].AvgStabNS)
+	}
+
+	// Stat mirrors the last Update.
+	got, ok := w.Stat("emp")
+	if !ok || got.StabRate != st[0].StabRate {
+		t.Fatalf("Stat = %+v, %v", got, ok)
+	}
+	if _, ok := w.Stat("nope"); ok {
+		t.Fatal("Stat for unknown relation reported ok")
+	}
+}
+
+func TestWindowShiftOvertakesLifetime(t *testing.T) {
+	// A workload shift must move the decayed rates past the lifetime
+	// average within a few half-lives — the whole reason the meta
+	// engine reads the window, not the raw counters.
+	p := NewProfiles()
+	rp := p.Rel("emp", nil)
+	w := NewWindow(p, time.Second)
+	now := time.Unix(0, 0)
+	w.Update(now)
+
+	// Phase 1: 10s read-heavy (1000 stabs/s, no writes).
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 1000; j++ {
+			rp.Stab(time.Microsecond, 1)
+		}
+		now = now.Add(time.Second)
+		w.Update(now)
+	}
+	st, _ := w.Stat("emp")
+	if st.StabRate < 900 || st.WriteRate != 0 {
+		t.Fatalf("phase 1: %+v", st)
+	}
+
+	// Phase 2: 5s write-heavy (1000 writes/s, no stabs).
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 1000; j++ {
+			rp.RecordWrite()
+		}
+		now = now.Add(time.Second)
+		w.Update(now)
+	}
+	st, _ = w.Stat("emp")
+	if st.WriteRate < st.StabRate {
+		t.Fatalf("after shift, WriteRate (%v) should dominate StabRate (%v)", st.WriteRate, st.StabRate)
+	}
+	// Lifetime counters still say read-heavy — the window disagrees.
+	if st.Lifetime.Stabs < st.Lifetime.Writes {
+		t.Fatalf("lifetime should still be stab-dominated: %+v", st.Lifetime)
+	}
+}
+
+func TestWindowPrunesDroppedAndAdoptsNew(t *testing.T) {
+	p := NewProfiles()
+	p.Rel("a", nil).Stab(time.Microsecond, 0)
+	w := NewWindow(p, time.Second)
+	now := time.Unix(0, 0)
+	w.Update(now)
+
+	// New relation appears mid-stream: adopted with interval-local rates.
+	p.Rel("b", nil).RecordWrite()
+	now = now.Add(time.Second)
+	st := w.Update(now)
+	if len(st) != 2 || st[1].Relation != "b" || st[1].WriteRate <= 0 {
+		t.Fatalf("new relation not adopted: %+v", st)
+	}
+
+	// Dropped relation disappears from the window on the next Update.
+	p.Drop("a")
+	now = now.Add(time.Second)
+	st = w.Update(now)
+	if len(st) != 1 || st[0].Relation != "b" {
+		t.Fatalf("dropped relation not pruned: %+v", st)
+	}
+	if _, ok := w.Stat("a"); ok {
+		t.Fatal("Stat still knows dropped relation")
+	}
+}
+
+func TestWindowNonPositiveInterval(t *testing.T) {
+	p := NewProfiles()
+	rp := p.Rel("a", nil)
+	w := NewWindow(p, 0) // 0 → DefaultHalfLife
+	now := time.Unix(0, 0)
+	w.Update(now)
+	rp.Stab(time.Microsecond, 0)
+	// Same timestamp: no fold, view unchanged.
+	st := w.Update(now)
+	if len(st) != 1 || st[0].StabRate != 0 {
+		t.Fatalf("zero-dt Update folded anyway: %+v", st)
+	}
+}
